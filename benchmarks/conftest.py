@@ -1,0 +1,54 @@
+"""Shared infrastructure for the paper-artifact benchmarks.
+
+Every benchmark regenerates one table or figure from the report.  Output
+goes two places: printed to the terminal (run with ``-s`` to see it live)
+and persisted under ``benchmarks/results/`` so the artifacts survive the
+run.
+
+Sizing: paper-exact workloads (2M PIC particles, 32K bodies, ...) take a
+while in pure Python, so by default problem sizes are divided by
+``REPRO_BENCH_SCALE`` (default 4).  The machine models charge virtual
+time, so speedup/efficiency *shapes* are insensitive to this scaling;
+only experiments that depend on absolute memory footprints (the paging /
+superlinear study) always run at paper sizes.  Set ``REPRO_BENCH_SCALE=1``
+to reproduce everything at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """The size divisor (1 = paper-exact sizes)."""
+    return max(1.0, float(os.environ.get("REPRO_BENCH_SCALE", "4")))
+
+
+def scaled(size: int) -> int:
+    """A problem size divided by the bench scale."""
+    return max(1, int(round(size / bench_scale())))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def artifact(results_dir, request):
+    """Callable saving (and echoing) a named artifact's text."""
+
+    def write(name: str, text: str) -> str:
+        path = results_dir / f"{name}.txt"
+        header = f"[{request.node.name}] scale=1/{bench_scale():g}\n"
+        path.write_text(header + text + "\n")
+        print(f"\n{text}\n-> saved to {path}")
+        return text
+
+    return write

@@ -1,0 +1,73 @@
+"""Appendix B Section 4.2.2 ablation: vendor-style ``gssum`` vs the
+authors' parallel-prefix global sum.
+
+The paper: gssum "works very efficiently for 4- and 8-processor
+partitions, but [not] for 16- and 32-processor ones ... To reduce the
+communication overhead, we have implemented our own global sum routine
+based on parallel-prefix algorithm using many one-to-one communications."
+This benchmark times both reductions of a 32^3 grid across processor
+counts and checks the crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import Engine
+from repro.machines import paragon as _paragon
+from repro.machines.api import allreduce, gssum_naive
+from repro.perf import format_table
+
+GRID_BYTES_SHAPE = (32, 32, 32)
+RANK_COUNTS = (4, 8, 16, 32)
+
+
+def paragon(nranks):
+    return _paragon(nranks, protocol="nx")
+
+
+def _time_global_sum(nranks: int, method: str) -> float:
+    def program(ctx):
+        value = np.full(GRID_BYTES_SHAPE, float(ctx.rank))
+        if method == "gssum":
+            total = yield from gssum_naive(ctx, value)
+        else:
+            total = yield from allreduce(ctx, value)
+        return float(total[0, 0, 0])
+
+    run = Engine(paragon(nranks)).run(program)
+    expected = float(sum(range(nranks)))
+    assert all(r == pytest.approx(expected) for r in run.results)
+    return run.elapsed_s
+
+
+def test_gssum_vs_prefix(benchmark, artifact):
+    def run():
+        return {
+            method: {n: _time_global_sum(n, method) for n in RANK_COUNTS}
+            for method in ("gssum", "prefix")
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [n, times["gssum"][n], times["prefix"][n], times["gssum"][n] / times["prefix"][n]]
+        for n in RANK_COUNTS
+    ]
+    artifact(
+        "appendixB_gssum_vs_prefix",
+        format_table(
+            "Global sum of a 32^3 grid: gssum (many-to-many) vs parallel prefix",
+            ["P", "gssum_s", "prefix_s", "ratio"],
+            rows,
+        ),
+    )
+
+    # gssum is tolerable at small P but collapses relative to the prefix
+    # sum as P grows (the paper's 8 -> 16 transition).
+    assert times["gssum"][4] < 3.0 * times["prefix"][4]
+    assert times["gssum"][32] > 3.0 * times["prefix"][32]
+    # gssum's cost grows superlinearly with P; prefix logarithmically-ish.
+    assert times["gssum"][32] / times["gssum"][4] > 4.0
+    assert times["prefix"][32] / times["prefix"][4] < 4.0

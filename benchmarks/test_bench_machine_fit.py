@@ -1,0 +1,71 @@
+"""Appendix C extension: the centroid as a functional-unit requirement
+predictor.
+
+Section 3 claims the centroid "represents the functional units types and
+average number of them needed in the target machine in order to sustain a
+performance rate close to the machine's peak rate".  For each NAS-like
+kernel this benchmark provisions an abstract superscalar at exactly the
+centroid and measures the sustained rate against the oracle's, then
+perturbs the configuration to show the prediction is tight in the
+dominant category and slack in rare ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import format_table
+from repro.workload import (
+    nas_suite,
+    oracle_schedule,
+    required_units,
+    sustained_rate,
+)
+
+
+def test_centroid_predicts_machine_fit(benchmark, artifact):
+    def run():
+        rows = []
+        for trace in nas_suite(0.5):
+            schedule = oracle_schedule(trace)
+            units = required_units(schedule.workload)
+            achieved = sustained_rate(trace, units)
+            starved = dict(units)
+            starved["intops"] = max(1, units["intops"] // 4)
+            degraded = sustained_rate(trace, starved)
+            rows.append(
+                (
+                    trace.name,
+                    schedule.average_parallelism,
+                    achieved,
+                    achieved / schedule.average_parallelism,
+                    degraded / achieved,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "appendixC_machine_fit",
+        format_table(
+            "Centroid-provisioned machines: sustained ops/cycle vs oracle",
+            ["kernel", "oracle_rate", "achieved", "fraction", "int/4_ratio"],
+            [
+                [name, f"{o:.1f}", f"{a:.1f}", f"{f:.2f}", f"{d:.2f}"]
+                for name, o, a, f, d in rows
+            ],
+        ),
+    )
+
+    fractions = {name: f for name, _, _, f, _ in rows}
+    degradations = {name: d for name, _, _, _, d in rows}
+    # Smooth kernels sustain a large share of their oracle rate on a
+    # centroid-sized machine (the smoothability connection).
+    assert fractions["mgrid"] > 0.85
+    assert fractions["applu"] > 0.8
+    # Every kernel sustains a majority of its rate.
+    for name, fraction in fractions.items():
+        assert fraction > 0.5, name
+    # Quartering the dominant (integer) units hurts every kernel.
+    for name, degradation in degradations.items():
+        assert degradation < 0.95, name

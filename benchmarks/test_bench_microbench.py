@@ -1,0 +1,72 @@
+"""Machine-model characterization: the classic communication
+micro-kernels against all three calibrated specs.
+
+Not a paper artifact per se, but JNNIE's micro-performance methodology in
+miniature — and the sanity sheet for every calibrated number in
+`repro.machines.specs`: PVM costs more than NX per message; the T3D's
+torus keeps full bisection bandwidth while the 4-wide Paragon mesh loses
+about half under cross-machine stress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import (
+    bisection_exchange,
+    paragon,
+    ping_pong,
+    ring_bandwidth,
+    t3d,
+)
+from repro.perf import format_table
+
+
+def test_machine_characterization(benchmark, artifact):
+    machines = {
+        "paragon-pvm": paragon(16, protocol="pvm"),
+        "paragon-nx": paragon(16, protocol="nx"),
+        "t3d": t3d(16),
+    }
+
+    def run():
+        out = {}
+        for name, machine in machines.items():
+            model = ping_pong(machine)
+            out[name] = (
+                model.alpha_s,
+                model.beta_bytes_per_s,
+                ring_bandwidth(machine),
+                bisection_exchange(machine),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{alpha * 1e6:.0f}us",
+            f"{beta / 1e6:.1f}MB/s",
+            f"{ring / 1e6:.0f}MB/s",
+            f"{bisect / 1e6:.0f}MB/s",
+        ]
+        for name, (alpha, beta, ring, bisect) in results.items()
+    ]
+    artifact(
+        "machine_characterization",
+        format_table(
+            "Communication micro-kernels over the calibrated machine models",
+            ["machine", "alpha", "beta", "ring_bw", "bisection_bw"],
+            rows,
+        ),
+    )
+
+    pvm = results["paragon-pvm"]
+    nx = results["paragon-nx"]
+    cray = results["t3d"]
+    # PVM's per-message cost dwarfs NX's; NX still trails the T3D links.
+    assert pvm[0] > 2 * nx[0]
+    assert pvm[1] < nx[1] < cray[1]
+    # Mesh bisection collapses relative to its ring; torus holds up.
+    assert results["paragon-nx"][3] < 0.7 * results["paragon-nx"][2]
+    assert cray[3] > 0.6 * cray[2]

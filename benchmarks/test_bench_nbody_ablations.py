@@ -1,0 +1,194 @@
+"""N-body design-choice ablations called out in DESIGN.md:
+
+* opening angle theta — the accuracy/cost frontier of the Barnes-Hut
+  approximation (force error vs interaction count),
+* costzones vs ORB partitioning — load balance achieved at equal rank
+  counts (the paper picked costzones for its simplicity at comparable
+  balance),
+* manager-worker vs replicated worker-worker — the communication /
+  redundancy trade of Section 5.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import plummer_sphere
+from repro.machines import paragon as _paragon
+from repro.nbody import (
+    build_tree,
+    costzones_partition,
+    direct_forces,
+    orb_partition,
+    partition_balance,
+    run_parallel_nbody,
+    tree_forces,
+)
+from repro.perf import format_table
+
+from conftest import scaled
+
+
+def paragon(nranks):
+    return _paragon(nranks, protocol="nx")
+
+
+def test_theta_accuracy_cost_frontier(benchmark, artifact):
+    particles = plummer_sphere(scaled(4096), dim=2, seed=0)
+
+    def run():
+        tree = build_tree(particles.positions, particles.masses)
+        exact = direct_forces(particles.positions, particles.masses).accelerations
+        out = []
+        for theta in (0.2, 0.4, 0.6, 0.8, 1.2):
+            result = tree_forces(
+                tree, particles.positions, particles.masses, theta=theta
+            )
+            errors = np.linalg.norm(
+                result.accelerations - exact, axis=1
+            ) / np.linalg.norm(exact, axis=1)
+            out.append(
+                (theta, result.total_interactions / particles.n, float(np.median(errors)))
+            )
+        return out
+
+    frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "ablation_nbody_theta",
+        format_table(
+            "Barnes-Hut theta frontier (median relative force error vs "
+            "interactions per body)",
+            ["theta", "inter/body", "median_err"],
+            [[t, f"{i:.0f}", f"{e:.2e}"] for t, i, e in frontier],
+        ),
+    )
+    thetas, inters, errors = zip(*frontier)
+    # Cost decreases and error increases monotonically with theta.
+    assert list(inters) == sorted(inters, reverse=True)
+    assert list(errors) == sorted(errors)
+    assert errors[0] < 3e-3 and inters[-1] < inters[0] / 3
+
+
+def test_multipole_order_ablation(benchmark, artifact):
+    """Monopole vs quadrupole expansions (the paper's 'perhaps with
+    quadrupole and higher moments' aside): same acceptance test and
+    interaction count, lower error — or equivalently, the same error at a
+    much larger theta."""
+    particles = plummer_sphere(scaled(4096), dim=2, seed=3)
+
+    def run():
+        exact = direct_forces(particles.positions, particles.masses).accelerations
+        rows = []
+        for multipole in ("monopole", "quadrupole"):
+            tree = build_tree(
+                particles.positions, particles.masses, multipole=multipole
+            )
+            for theta in (0.5, 0.8):
+                result = tree_forces(
+                    tree, particles.positions, particles.masses, theta=theta
+                )
+                errors = np.linalg.norm(
+                    result.accelerations - exact, axis=1
+                ) / np.linalg.norm(exact, axis=1)
+                rows.append(
+                    (
+                        multipole,
+                        theta,
+                        result.total_interactions / particles.n,
+                        float(np.median(errors)),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "ablation_nbody_multipole",
+        format_table(
+            "Multipole order vs accuracy (median relative force error)",
+            ["multipole", "theta", "inter/body", "median_err"],
+            [[m, t, f"{i:.0f}", f"{e:.2e}"] for m, t, i, e in rows],
+        ),
+    )
+    errors = {(m, t): e for m, t, _, e in rows}
+    inters = {(m, t): i for m, t, i, _ in rows}
+    for theta in (0.5, 0.8):
+        assert errors[("quadrupole", theta)] < 0.5 * errors[("monopole", theta)]
+        assert inters[("quadrupole", theta)] == inters[("monopole", theta)]
+    # Quadrupole at theta=0.8 rivals monopole at theta=0.5 while doing
+    # far fewer interactions: accuracy for free.
+    assert errors[("quadrupole", 0.8)] < 2.0 * errors[("monopole", 0.5)]
+    assert inters[("quadrupole", 0.8)] < 0.7 * inters[("monopole", 0.5)]
+
+
+def test_costzones_vs_orb_balance(benchmark, artifact):
+    particles = plummer_sphere(scaled(8192), dim=2, seed=1)
+
+    def run():
+        tree = build_tree(particles.positions, particles.masses)
+        costs = tree_forces(
+            tree, particles.positions, particles.masses, theta=0.6
+        ).interactions.astype(float)
+        rows = []
+        for nranks in (4, 8, 16, 32):
+            cz = partition_balance(costzones_partition(tree, costs, nranks), costs)
+            ob = partition_balance(
+                orb_partition(particles.positions, costs, nranks), costs
+            )
+            rows.append((nranks, cz, ob))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "ablation_nbody_partition",
+        format_table(
+            "Load balance (max/mean zone cost; 1.0 = perfect) on a "
+            "centrally concentrated cluster",
+            ["P", "costzones", "ORB"],
+            [[n, f"{c:.3f}", f"{o:.3f}"] for n, c, o in rows],
+        ),
+    )
+    # Costzones balances the previous step's measured costs well at every P
+    # (the paper: "divide the workload equally among the processors").
+    for _, cz, _ in rows:
+        assert cz < 1.35
+
+
+def test_manager_worker_vs_replicated(benchmark, artifact):
+    particles = plummer_sphere(scaled(4096), dim=2, seed=2)
+
+    def run():
+        out = {}
+        for model in ("manager_worker", "replicated"):
+            outcome = run_parallel_nbody(
+                paragon(16), particles.copy(), steps=2, model=model
+            )
+            out[model] = outcome.run
+        return out
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for model, run_result in runs.items():
+        budget = run_result.mean_budget()
+        rows.append(
+            [
+                model,
+                run_result.elapsed_s,
+                run_result.bytes_sent // 1024,
+                f"{budget.comm_s:.3f}",
+                f"{budget.redundancy_s:.3f}",
+            ]
+        )
+    artifact(
+        "ablation_nbody_model",
+        format_table(
+            "Manager-worker vs replicated worker-worker (P=16, 2 steps)",
+            ["model", "time_s", "KB_sent", "comm_s", "redund_s"],
+            rows,
+        ),
+    )
+    mw = runs["manager_worker"]
+    rep = runs["replicated"]
+    # The Section 5.3 trade: replication moves cost from wires to CPUs.
+    assert rep.bytes_sent < mw.bytes_sent
+    assert rep.mean_budget().redundancy_s > mw.mean_budget().redundancy_s

@@ -1,0 +1,115 @@
+"""Appendix B Figures 4-6 (Paragon) and 16-18 (T3D): N-body performance
+budgets at 1K, 4K, and 32K bodies.
+
+Expected shapes: communication and imbalance shares grow with processor
+count (the manager-worker focal point), the overheads amortize as the
+problem grows, redundancy stays minimal, and the T3D budgets show a
+smaller useful-work share than the Paragon's at equal size ("the ratio of
+the useful work is again small as compared to the Paragon due to the
+fast processor").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import plummer_sphere
+from repro.machines import paragon as _paragon
+from repro.machines import t3d
+from repro.nbody import run_parallel_nbody
+from repro.perf import format_budget, format_table
+
+from conftest import scaled
+
+RANK_COUNTS = (2, 8, 32)
+SIZES = (1024, 4096, 32768)
+
+
+def paragon(nranks):
+    """Appendix B ran the Paragon codes over NX, not PVM."""
+    return _paragon(nranks, protocol="nx")
+
+
+def _budgets(machine_factory, size):
+    particles = plummer_sphere(scaled(size), dim=2, seed=0)
+    out = {}
+    for nranks in RANK_COUNTS:
+        outcome = run_parallel_nbody(machine_factory(nranks), particles.copy(), steps=1)
+        out[nranks] = outcome.run
+    return out
+
+
+@pytest.mark.parametrize("machine_name", ["paragon", "t3d"])
+def test_nbody_budgets(benchmark, artifact, machine_name):
+    factory = {"paragon": paragon, "t3d": t3d}[machine_name]
+    figures = {"paragon": "figs4-6", "t3d": "figs16-18"}[machine_name]
+
+    def run():
+        return {size: _budgets(factory, size) for size in SIZES}
+
+    budgets = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    sections = []
+    for size in SIZES:
+        for nranks, run_result in budgets[size].items():
+            fractions = run_result.mean_budget().fractions()
+            rows.append(
+                [
+                    f"{size // 1024}K",
+                    nranks,
+                    f"{fractions['work']:.2f}",
+                    f"{fractions['comm']:.2f}",
+                    f"{fractions['redundancy']:.3f}",
+                    f"{fractions['imbalance']:.2f}",
+                ]
+            )
+        sections.append(
+            format_budget(
+                f"{size // 1024}K bodies, P=32", budgets[size][32]
+            )
+        )
+    artifact(
+        f"appendixB_{figures}_nbody_budget_{machine_name}",
+        format_table(
+            f"Appendix B {figures}: N-body performance budget ({machine_name})",
+            ["size", "P", "work", "comm", "redund", "imbal"],
+            rows,
+        )
+        + "\n\n" + "\n\n".join(sections),
+    )
+
+    small = budgets[SIZES[0]]
+    large = budgets[SIZES[-1]]
+    # The overhead *share* grows with P at fixed size ...
+    def overhead_share(run_result):
+        fractions = run_result.mean_budget().fractions()
+        return fractions["comm"] + fractions["imbalance"]
+
+    assert overhead_share(small[32]) > overhead_share(small[2])
+    # ... and amortizes with problem size at fixed P.
+    frac_small = small[32].mean_budget().fractions()
+    frac_large = large[32].mean_budget().fractions()
+    assert frac_large["work"] > frac_small["work"]
+    # Redundancy is minimal in all cases (the paper's repeated observation).
+    for size in SIZES:
+        for nranks in RANK_COUNTS:
+            assert budgets[size][nranks].mean_budget().fractions()["redundancy"] < 0.1
+
+
+def test_t3d_work_share_below_paragon(benchmark, artifact):
+    def run():
+        out = {}
+        particles = plummer_sphere(scaled(4096), dim=2, seed=0)
+        for name, factory in [("paragon", paragon), ("t3d", t3d)]:
+            outcome = run_parallel_nbody(factory(16), particles.copy(), steps=1)
+            out[name] = outcome.run.mean_budget().fractions()["work"]
+        return out
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "appendixB_nbody_work_share_t3d_vs_paragon",
+        f"useful-work share at 4K bodies, P=16: paragon {shares['paragon']:.2f}, "
+        f"t3d {shares['t3d']:.2f}",
+    )
+    assert shares["t3d"] < shares["paragon"]

@@ -1,0 +1,98 @@
+"""Appendix B Section 5.4 'physical effects': partition-position-dependent
+execution speed.
+
+The paper: "processors that are physically closer to the cooling system
+tend to run slower than those that are farther away ... Up to 7%
+variability in execution time was observed."  With the cooling-gradient
+model enabled, the same 4-node N-body job is timed on partitions at
+different cabinet rows, and a 32-node run shows the gradient surfacing as
+imbalance overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import plummer_sphere
+from repro.machines import Engine, Machine, cooling_gradient_factors, paragon
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork, Mesh2D
+from repro.machines.specs import paragon_cpu
+from repro.nbody import run_parallel_nbody
+from repro.perf import format_table
+
+from conftest import scaled
+
+
+def _partition_machine(first_node: int) -> Machine:
+    factors = cooling_gradient_factors(variability=0.07)
+    return Machine(
+        name=f"partition@{first_node}",
+        cpu=paragon_cpu(),
+        network=ContentionNetwork(
+            topology=Mesh2D(4, 16), latency_s=120e-6, per_hop_s=2e-6, bytes_per_s=30e6
+        ),
+        placement=[first_node + i for i in range(4)],
+        sw_send_overhead_s=50e-6,
+        sw_recv_overhead_s=50e-6,
+        copy_bytes_per_s=100e6,
+        speed_factors=factors,
+    )
+
+
+def test_partition_position_variability(benchmark, artifact):
+    particles = plummer_sphere(scaled(2048), dim=2, seed=0)
+
+    def run():
+        out = {}
+        for row, first_node in [(0, 0), (7, 28), (15, 60)]:
+            outcome = run_parallel_nbody(
+                _partition_machine(first_node), particles.copy(), steps=1
+            )
+            out[row] = outcome.run.elapsed_s
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    variability = times[0] / times[15] - 1.0
+    artifact(
+        "appendixB_sec54_physical_effects",
+        format_table(
+            "Same 4-node N-body job on partitions at different cabinet rows",
+            ["cabinet_row", "time_s", "vs_row15"],
+            [[row, t, f"{t / times[15]:.3f}x"] for row, t in times.items()],
+        )
+        + f"\nobserved variability: {variability:.1%} (paper: up to 7%)",
+    )
+
+    # Row 0 (next to the cooling system) is slowest, row 15 fastest.
+    assert times[0] > times[7] > times[15]
+    assert 0.03 < variability <= 0.08
+
+
+def test_gradient_creates_imbalance_within_one_job(benchmark, artifact):
+    """A 32-rank job spanning 8 cabinet rows picks up imbalance overhead
+    purely from the thermal gradient."""
+    particles = plummer_sphere(scaled(4096), dim=2, seed=1)
+
+    def run():
+        uniform = run_parallel_nbody(
+            paragon(32, protocol="nx"), particles.copy(), steps=1
+        )
+        graded = run_parallel_nbody(
+            paragon(32, protocol="nx", cooling_variability=0.07),
+            particles.copy(),
+            steps=1,
+        )
+        return uniform.run, graded.run
+
+    uniform, graded = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "appendixB_sec54_gradient_imbalance",
+        f"32-rank N-body imbalance share: uniform "
+        f"{uniform.mean_budget().fractions()['imbalance']:.3f}, thermally "
+        f"graded {graded.mean_budget().fractions()['imbalance']:.3f}",
+    )
+    assert (
+        graded.mean_budget().imbalance_s > uniform.mean_budget().imbalance_s
+    )
+    assert graded.elapsed_s > uniform.elapsed_s

@@ -1,0 +1,130 @@
+"""Appendix B Figures 11-14 (Paragon) and 22-25 (T3D): PIC performance
+budgets for 256K and 2M particles on the 32^3 and 64^3 grids.
+
+Expected shapes (Section 4.2.2): the communication share "grows quickly
+with increasing grid size and becomes the dominant activity when the data
+size is not large enough"; overhead amortizes from 256K to 2M particles;
+redundancy stays small; imbalance is negligibly small; and the T3D
+budgets carry smaller useful-work shares than the Paragon's (the PVM
+penalty plus the faster processor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import uniform_cube
+from repro.machines import paragon as _paragon
+from repro.machines import t3d
+from repro.perf import format_table
+from repro.pic import Grid3D, run_parallel_pic
+
+from conftest import scaled
+
+FIGS = {
+    ("paragon", 262144, 32): "fig11",
+    ("paragon", 2097152, 32): "fig12",
+    ("paragon", 262144, 64): "fig13",
+    ("paragon", 2097152, 64): "fig14",
+    ("t3d", 262144, 32): "fig22",
+    ("t3d", 2097152, 32): "fig23",
+    ("t3d", 262144, 64): "fig24",
+    ("t3d", 2097152, 64): "fig25",
+}
+RANK_COUNTS = (4, 16, 32)
+
+
+def paragon(nranks):
+    return _paragon(nranks, protocol="nx")
+
+
+@pytest.mark.parametrize("machine_name", ["paragon", "t3d"])
+def test_pic_budgets(benchmark, artifact, machine_name):
+    factory = {"paragon": paragon, "t3d": t3d}[machine_name]
+
+    def run():
+        out = {}
+        for (name, size, m), figure in FIGS.items():
+            if name != machine_name:
+                continue
+            grid = Grid3D(m)
+            particles = uniform_cube(scaled(size), thermal_speed=0.05, seed=0)
+            out[figure, size, m] = {
+                nranks: run_parallel_pic(
+                    factory(nranks), grid, particles.copy(), steps=1, collect=False
+                ).run
+                for nranks in RANK_COUNTS
+            }
+        return out
+
+    budgets = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (figure, size, m), per_rank in sorted(budgets.items()):
+        for nranks, run_result in per_rank.items():
+            fractions = run_result.mean_budget().fractions()
+            rows.append(
+                [
+                    figure,
+                    f"{size // 1024}K",
+                    m,
+                    nranks,
+                    f"{fractions['work']:.2f}",
+                    f"{fractions['comm']:.2f}",
+                    f"{fractions['redundancy']:.3f}",
+                    f"{fractions['imbalance']:.3f}",
+                ]
+            )
+    artifact(
+        f"appendixB_pic_budget_{machine_name}",
+        format_table(
+            f"Appendix B PIC performance budgets ({machine_name})",
+            ["figure", "particles", "m", "P", "work", "comm", "redund", "imbal"],
+            rows,
+        ),
+    )
+
+    def comm_seconds(size, m, nranks):
+        figure = FIGS[(machine_name, size, m)]
+        return budgets[(figure, size, m)][nranks].mean_budget().comm_s
+
+    # Bigger grid -> more communication at equal particles and P ("the
+    # large increase in communications" of the m=64 figures).
+    assert comm_seconds(262144, 64, 32) > 2.0 * comm_seconds(262144, 32, 32)
+    # More particles amortize the overhead (higher work share).
+    def work_share(size, m, nranks):
+        figure = FIGS[(machine_name, size, m)]
+        return budgets[(figure, size, m)][nranks].mean_budget().fractions()["work"]
+
+    assert work_share(2097152, 32, 32) > work_share(262144, 32, 32)
+    # Imbalance negligibly small; redundancy modest.
+    for key, per_rank in budgets.items():
+        for run_result in per_rank.values():
+            fractions = run_result.mean_budget().fractions()
+            assert fractions["imbalance"] < 0.12
+            assert fractions["redundancy"] < 0.1
+
+
+def test_t3d_work_share_below_paragon(benchmark, artifact):
+    """Figures 22-25 'include smaller portions of useful work than ones on
+    the Paragon, showing the negative effect of PVM'."""
+    grid = Grid3D(32)
+    particles = uniform_cube(scaled(262144), thermal_speed=0.05, seed=0)
+
+    def run():
+        return {
+            name: run_parallel_pic(
+                factory(16), grid, particles.copy(), steps=1, collect=False
+            )
+            .run.mean_budget()
+            .fractions()["work"]
+            for name, factory in [("paragon", paragon), ("t3d", t3d)]
+        }
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "appendixB_pic_work_share_t3d_vs_paragon",
+        f"PIC useful-work share at 256K-scale, P=16: paragon "
+        f"{shares['paragon']:.2f}, t3d {shares['t3d']:.2f}",
+    )
+    assert shares["t3d"] < shares["paragon"]

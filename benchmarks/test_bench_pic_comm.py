@@ -1,0 +1,63 @@
+"""Appendix B Figure 10 (Paragon) and Figure 21 (T3D): PIC communication
+balance — average vs maximum per-rank communication time per iteration.
+
+The paper: "there is not much difference between average and maximum
+times spent for communication during each iteration, which indicates that
+communication activities are well balanced, due to the worker-worker
+model."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import uniform_cube
+from repro.machines import paragon as _paragon
+from repro.machines import t3d
+from repro.perf import format_table
+from repro.pic import Grid3D, run_parallel_pic
+
+from conftest import scaled
+
+RANK_COUNTS = (4, 8, 16, 32)
+
+
+def paragon(nranks):
+    return _paragon(nranks, protocol="nx")
+
+
+@pytest.mark.parametrize(
+    "machine_name,figure", [("paragon", "fig10"), ("t3d", "fig21")]
+)
+def test_pic_comm_balance(benchmark, artifact, machine_name, figure):
+    factory = {"paragon": paragon, "t3d": t3d}[machine_name]
+    grid = Grid3D(32)
+    particles = uniform_cube(scaled(1048576), thermal_speed=0.05, seed=0)
+
+    def run():
+        out = {}
+        for nranks in RANK_COUNTS:
+            outcome = run_parallel_pic(
+                factory(nranks), grid, particles.copy(), steps=1, collect=False
+            )
+            out[nranks] = (outcome.run.mean_comm_s(), outcome.run.max_comm_s())
+        return out
+
+    comm = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [nranks, avg, peak, peak / avg] for nranks, (avg, peak) in comm.items()
+    ]
+    artifact(
+        f"appendixB_{figure}_pic_comm_{machine_name}",
+        format_table(
+            f"Appendix B {figure}: PIC comm avg vs max per iteration "
+            f"({machine_name}, m=32, 1M-scale particles)",
+            ["P", "avg_comm_s", "max_comm_s", "max/avg"],
+            rows,
+        ),
+    )
+    # Worker-worker balance: max within 60% of average at every P.
+    for nranks, (avg, peak) in comm.items():
+        assert peak <= 1.6 * avg, (nranks, avg, peak)
+    # Communication grows with P (the global grid exchange).
+    assert comm[32][0] > comm[4][0] * 0.5

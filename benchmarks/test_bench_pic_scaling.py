@@ -1,0 +1,101 @@
+"""Appendix B Figures 7-8 (Paragon) and 19-20 (T3D): PIC scalability.
+
+Speedup vs processor count for several particle counts on the 32^3 and
+64^3 grids.  Expected shapes: scalability improves with more particles
+(the grid-bound global communication amortizes) and degrades with the
+bigger grid ("figure 7 generally exhibits a better speedup factor than
+that of 8 ... due to the increase of global communications associated
+with the increased size of the grid").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import uniform_cube
+from repro.machines import paragon as _paragon
+from repro.machines import t3d
+from repro.perf import format_speedup_series
+from repro.pic import Grid3D, run_parallel_pic
+
+from conftest import scaled
+
+RANK_COUNTS = (1, 2, 4, 8, 16, 32)
+SIZES = (262144, 1048576, 2097152)
+
+
+def paragon(nranks):
+    """Appendix B's PIC code used the native NX layer."""
+    return _paragon(nranks, protocol="nx")
+
+
+def _sweep(machine_factory, m, sizes=SIZES):
+    grid = Grid3D(m)
+    series = {}
+    for size in sizes:
+        n = scaled(size)
+        particles = uniform_cube(n, thermal_speed=0.05, seed=0)
+        times = {}
+        for nranks in RANK_COUNTS:
+            outcome = run_parallel_pic(
+                machine_factory(nranks), grid, particles.copy(), steps=1
+            )
+            times[nranks] = outcome.run.elapsed_s
+        label = f"{size // 1024}K particles"
+        series[label] = [(p, times[1] / times[p]) for p in RANK_COUNTS]
+    return series
+
+
+@pytest.mark.parametrize(
+    "machine_name,m,figure",
+    [
+        ("paragon", 32, "fig7"),
+        ("paragon", 64, "fig8"),
+        ("t3d", 32, "fig19"),
+        ("t3d", 64, "fig20"),
+    ],
+)
+def test_pic_scaling(benchmark, artifact, machine_name, m, figure):
+    factory = {"paragon": paragon, "t3d": t3d}[machine_name]
+    series = benchmark.pedantic(
+        lambda: _sweep(factory, m), rounds=1, iterations=1
+    )
+    artifact(
+        f"appendixB_{figure}_pic_{machine_name}_m{m}",
+        format_speedup_series(
+            f"Appendix B {figure}: PIC speedup ({machine_name}, {m}^3 grid)", series
+        ),
+    )
+    small = dict(series[f"{SIZES[0] // 1024}K particles"])
+    large = dict(series[f"{SIZES[-1] // 1024}K particles"])
+    # Speedup grows with P, and bigger simulations amortize comm better.
+    assert large[32] > large[8] > large[2] > 1.0
+    assert large[32] >= small[32]
+
+
+@pytest.mark.parametrize("machine_name", ["paragon", "t3d"])
+def test_bigger_grid_scales_worse(benchmark, artifact, machine_name):
+    """The Figure 7-vs-8 (and 19-vs-20) comparison at fixed particles."""
+    factory = {"paragon": paragon, "t3d": t3d}[machine_name]
+    n = scaled(1048576)
+
+    def run():
+        out = {}
+        particles = uniform_cube(n, thermal_speed=0.05, seed=0)
+        for m in (32, 64):
+            t1 = run_parallel_pic(
+                factory(1), Grid3D(m), particles.copy(), steps=1
+            ).run.elapsed_s
+            t32 = run_parallel_pic(
+                factory(32), Grid3D(m), particles.copy(), steps=1
+            ).run.elapsed_s
+            out[m] = t1 / t32
+        return out
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        f"appendixB_grid_effect_{machine_name}",
+        f"PIC speedup at 32 procs, 1M particles ({machine_name}): "
+        f"m=32 -> {speedups[32]:.2f}, m=64 -> {speedups[64]:.2f}",
+    )
+    assert speedups[32] > speedups[64]

@@ -1,0 +1,129 @@
+"""Appendix B Tables 1-2: serial per-iteration times on the Paragon and
+T3D specs for PIC (with the 1M-particle paging blow-up) and N-body.
+
+The PIC rows always run at paper-exact particle counts because the paging
+effect depends on absolute memory footprints; the N-body rows scale with
+REPRO_BENCH_SCALE (interaction counts are what matters there and the
+tables' O(N log N) trend is asserted on measured sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import plummer_sphere, uniform_cube
+from repro.machines import paragon, t3d
+from repro.nbody import run_parallel_nbody
+from repro.perf import format_table, linear_extrapolate
+from repro.pic import Grid3D, run_parallel_pic
+
+from conftest import scaled
+
+PIC_SIZES = [262144, 524288]
+PAPER_PARAGON_PIC_M32 = {262144: 13.35, 524288: 24.41, 1048576: 45.93}
+PAPER_PARAGON_PIC_M32_REAL_1M = 249.20
+PAPER_T3D_PIC_M32 = {262144: 5.53, 524288: 9.74, 1048576: 18.34}
+
+
+def _pic_serial(machine_factory, n, m):
+    grid = Grid3D(m)
+    particles = uniform_cube(n, thermal_speed=0.05, seed=0)
+    outcome = run_parallel_pic(machine_factory(1), grid, particles, steps=1)
+    return outcome.run.elapsed_s
+
+
+def test_table1_paragon_pic(benchmark, artifact):
+    def run():
+        measured = {n: _pic_serial(paragon, n, 32) for n in PIC_SIZES}
+        measured[1048576] = _pic_serial(paragon, 1048576, 32)  # pages!
+        extrapolated = linear_extrapolate(
+            PIC_SIZES, [measured[n] for n in PIC_SIZES], 1048576
+        )
+        return measured, extrapolated
+
+    measured, extrapolated = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [f"{n // 1024}K", measured[n], PAPER_PARAGON_PIC_M32[n]] for n in PIC_SIZES
+    ]
+    rows.append(["1M (extrapolated)", extrapolated, PAPER_PARAGON_PIC_M32[1048576]])
+    rows.append(["1M (real, paging)", measured[1048576], PAPER_PARAGON_PIC_M32_REAL_1M])
+    artifact(
+        "appendixB_table1_paragon_pic",
+        format_table(
+            "Appendix B Table 1 (PIC, m=32, Paragon): seconds/iteration "
+            "[measured, paper]",
+            ["size", "measured_s", "paper_s"],
+            rows,
+        ),
+    )
+
+    for n in PIC_SIZES:
+        assert measured[n] == pytest.approx(PAPER_PARAGON_PIC_M32[n], rel=0.25)
+    assert extrapolated == pytest.approx(PAPER_PARAGON_PIC_M32[1048576], rel=0.25)
+    # Paging blow-up: the real 1M run is several times the extrapolation.
+    assert measured[1048576] > 3.0 * extrapolated
+    assert measured[1048576] == pytest.approx(PAPER_PARAGON_PIC_M32_REAL_1M, rel=0.5)
+
+
+def test_table2_t3d_pic(benchmark, artifact):
+    def run():
+        return {n: _pic_serial(t3d, n, 32) for n in PIC_SIZES + [1048576]}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{n // 1024}K", measured[n], PAPER_T3D_PIC_M32[n]]
+        for n in PIC_SIZES + [1048576]
+    ]
+    artifact(
+        "appendixB_table2_t3d_pic",
+        format_table(
+            "Appendix B Table 2 (PIC, m=32, T3D): seconds/iteration "
+            "[measured, paper]",
+            ["size", "measured_s", "paper_s"],
+            rows,
+        ),
+    )
+    for n in PIC_SIZES:
+        assert measured[n] == pytest.approx(PAPER_T3D_PIC_M32[n], rel=0.3)
+    # No paging regime on the T3D spec: 1M follows the linear trend.
+    assert measured[1048576] < 3.0 * measured[524288]
+
+
+def test_tables_nbody_serial(benchmark, artifact):
+    sizes = [scaled(1024), scaled(8192)]
+    paper = {1024: (5.77, 0.53), 8192: (53.27, 6.31)}
+
+    def run():
+        out = {}
+        for n in sizes:
+            particles = plummer_sphere(n, dim=2, seed=0)
+            out[n] = (
+                run_parallel_nbody(paragon(1), particles.copy(), steps=1).run.elapsed_s,
+                run_parallel_nbody(t3d(1), particles.copy(), steps=1).run.elapsed_s,
+            )
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[n, p, t, round(p / t, 1)] for n, (p, t) in measured.items()]
+    artifact(
+        "appendixB_tables_nbody_serial",
+        format_table(
+            "Appendix B Tables 1-2 (N-body): seconds/iteration at bench scale",
+            ["bodies", "paragon_s", "t3d_s", "ratio"],
+            rows,
+        ),
+    )
+
+    small, large = sizes
+    # O(N log N): the 8x size costs more than 8x but less than ~14x.
+    growth = measured[large][0] / measured[small][0]
+    assert 6.0 < growth < 16.0
+    # Alpha advantage on the integer-heavy N-body approaches an order of
+    # magnitude (Tables 1-2 show 5.77 -> 0.53 at 1K).
+    for n in sizes:
+        ratio = measured[n][0] / measured[n][1]
+        assert 5.0 < ratio < 15.0
+    # At paper-exact sizes the calibration matches the table directly.
+    if small == 1024:
+        assert measured[1024][0] == pytest.approx(paper[1024][0], rel=0.3)

@@ -1,0 +1,87 @@
+"""Appendix A Table 1: comparative wavelet decomposition times.
+
+Rows: MasPar MP-2 (16K PEs), Intel Paragon (1 and 32 processors), and the
+DEC 5000 workstation; columns F8/L1, F4/L2, F2/L4.  The machine specs are
+calibrated so this table lands on the paper's measurements; the benchmark
+asserts the calibration and the qualitative ordering (MasPar about two
+orders of magnitude over the workstation, Paragon about one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import landsat_like_scene
+from repro.machines import paragon, workstation
+from repro.machines.simd import MasParMachine, maspar_mp2
+from repro.perf import format_table
+from repro.wavelet import filter_bank_for_length
+from repro.wavelet.parallel import run_spmd_wavelet, simd_mallat_decompose
+
+CONFIGS = [(8, 1), (4, 2), (2, 4)]
+PAPER = {
+    "maspar": [0.0169, 0.0138, 0.0123],
+    "paragon1": [4.227, 3.45, 2.78],
+    "paragon32": [0.613, 0.632, 0.6623],
+    "dec5000": [5.47, 4.54, 4.11],
+}
+
+
+def test_table1_comparative(benchmark, artifact):
+    image = landsat_like_scene((512, 512))
+
+    def run():
+        rows = {"maspar": [], "paragon1": [], "paragon32": [], "dec5000": []}
+        for filter_length, levels in CONFIGS:
+            bank = filter_bank_for_length(filter_length)
+            simd = simd_mallat_decompose(
+                MasParMachine(maspar_mp2(), "hierarchical"), image, bank, levels
+            )
+            rows["maspar"].append(simd.elapsed_s)
+            rows["paragon1"].append(
+                run_spmd_wavelet(paragon(1), image, bank, levels).run.elapsed_s
+            )
+            rows["paragon32"].append(
+                run_spmd_wavelet(paragon(32), image, bank, levels).run.elapsed_s
+            )
+            rows["dec5000"].append(
+                run_spmd_wavelet(workstation(), image, bank, levels).run.elapsed_s
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    for key, label in [
+        ("maspar", "MasPar MP-2 (16K)"),
+        ("paragon1", "Paragon 1 proc"),
+        ("paragon32", "Paragon 32 proc"),
+        ("dec5000", "DEC 5000"),
+    ]:
+        measured = rows[key]
+        paper = PAPER[key]
+        table_rows.append(
+            [label]
+            + [f"{m:.4f} ({p})" for m, p in zip(measured, paper)]
+        )
+    artifact(
+        "appendixA_table1_comparative",
+        format_table(
+            "Appendix A Table 1: decomposition time, measured (paper), seconds",
+            ["machine", "F8/L1", "F4/L2", "F2/L4"],
+            table_rows,
+        ),
+    )
+
+    # Calibration within 25% of every paper cell.
+    for key in PAPER:
+        for measured, paper in zip(rows[key], PAPER[key]):
+            assert measured == pytest.approx(paper, rel=0.25), (key, measured, paper)
+
+    # Qualitative claims of Section 5.3 / the conclusion.
+    for i in range(3):
+        workstation_time = rows["dec5000"][i]
+        assert 50 <= workstation_time / rows["maspar"][i] <= 1000  # ~2 orders
+        assert 4 <= workstation_time / rows["paragon32"][i] <= 40  # ~1 order
+    # 30+ images per second on the MasPar.
+    assert 1.0 / rows["maspar"][0] > 30

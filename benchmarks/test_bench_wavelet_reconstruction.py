@@ -1,0 +1,85 @@
+"""Extension bench: parallel wavelet *reconstruction* (Figure 2's reverse
+process) on both machine families, and the end-to-end
+decompose-plus-reconstruct pipeline the paper's multimedia discussion
+implies (real-time processing needs both directions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import landsat_like_scene
+from repro.machines import paragon
+from repro.machines.simd import MasParMachine, maspar_mp2
+from repro.perf import format_table
+from repro.wavelet import daubechies_filter, mallat_decompose_2d
+from repro.wavelet.parallel import (
+    run_spmd_reconstruct,
+    run_spmd_wavelet,
+    simd_mallat_decompose,
+    simd_mallat_reconstruct,
+)
+
+
+def test_reconstruction_scaling(benchmark, artifact):
+    image = landsat_like_scene((512, 512))
+    bank = daubechies_filter(8)
+    pyramid = mallat_decompose_2d(image, bank, levels=2)
+
+    def run():
+        times = {}
+        for nranks in (1, 4, 16, 32):
+            outcome = run_spmd_reconstruct(paragon(nranks), pyramid, bank)
+            assert np.allclose(outcome.image, image, atol=1e-8)
+            times[nranks] = outcome.run.elapsed_s
+        machine = MasParMachine(maspar_mp2(), "hierarchical")
+        _, _, simd_time = simd_mallat_reconstruct(machine, pyramid, bank)
+        return times, simd_time
+
+    times, simd_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"paragon-{n}", t, times[1] / t] for n, t in times.items()]
+    rows.append(["maspar-mp2", simd_time, times[1] / simd_time])
+    artifact(
+        "extension_reconstruction_scaling",
+        format_table(
+            "Parallel reconstruction, 512x512 daub8 2 levels (verified exact)",
+            ["machine", "time_s", "speedup_vs_P1"],
+            rows,
+        ),
+    )
+    assert times[32] < times[4] < times[1]
+    assert simd_time < times[32]  # the SIMD array still dominates
+
+
+def test_end_to_end_pipeline(benchmark, artifact):
+    """Round trip entirely on the simulated Paragon: decompose (keeping
+    data distributed) then reconstruct."""
+    image = landsat_like_scene((512, 512))
+    bank = daubechies_filter(4)
+
+    def run():
+        out = {}
+        for nranks in (4, 16):
+            forward = run_spmd_wavelet(paragon(nranks), image, bank, 2)
+            backward = run_spmd_reconstruct(paragon(nranks), forward.pyramid, bank)
+            assert np.allclose(backward.image, image, atol=1e-8)
+            out[nranks] = (forward.run.elapsed_s, backward.run.elapsed_s)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, fwd, bwd, fwd + bwd] for n, (fwd, bwd) in results.items()
+    ]
+    artifact(
+        "extension_roundtrip_pipeline",
+        format_table(
+            "Decompose + reconstruct round trip on the Paragon (daub4, 2 levels)",
+            ["P", "decompose_s", "reconstruct_s", "total_s"],
+            rows,
+        ),
+    )
+    for fwd, bwd in results.values():
+        # Analysis and synthesis cost the same arithmetic; total times are
+        # within 2x of each other.
+        assert 0.5 < bwd / fwd < 2.0

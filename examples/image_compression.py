@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Wavelet image compression — the application the paper's introduction
+motivates (EOSDIS-scale remote-sensing archives).
+
+Decomposes a Landsat-like scene, keeps only the largest detail
+coefficients, and reports reconstruction quality (PSNR) at several
+compression ratios, for each of the paper's three filter banks.
+
+Run:  python examples/image_compression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import landsat_like_scene
+from repro.wavelet import (
+    filter_bank_for_length,
+    mallat_decompose_2d,
+    mallat_reconstruct_2d,
+    max_decomposition_levels,
+)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB."""
+    mse = float(((original - reconstructed) ** 2).mean())
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak**2 / mse)
+
+
+def main() -> None:
+    image = landsat_like_scene((256, 256))
+    keep_fractions = (0.50, 0.10, 0.02)
+
+    print(f"{'filter':>8} {'levels':>6} " + "".join(f"{f:>14.0%}" for f in keep_fractions))
+    for filter_length in (2, 4, 8):
+        bank = filter_bank_for_length(filter_length)
+        levels = min(4, max_decomposition_levels(image.shape, bank.length))
+        pyramid = mallat_decompose_2d(image, bank, levels=levels)
+        cells = []
+        for keep in keep_fractions:
+            compressed = pyramid.compression_candidates(keep)
+            reconstructed = mallat_reconstruct_2d(compressed, bank)
+            cells.append(f"{psnr(image, reconstructed):10.1f} dB")
+        print(f"{bank.name:>8} {levels:>6} " + "".join(f"{c:>14}" for c in cells))
+
+    print(
+        "\nLonger filters concentrate energy better: at a fixed kept "
+        "fraction, daub8 should beat haar on PSNR."
+    )
+    bank_h = filter_bank_for_length(2)
+    bank_8 = filter_bank_for_length(8)
+    rec_h = mallat_reconstruct_2d(
+        mallat_decompose_2d(image, bank_h, 4).compression_candidates(0.02), bank_h
+    )
+    rec_8 = mallat_reconstruct_2d(
+        mallat_decompose_2d(image, bank_8, 4).compression_candidates(0.02), bank_8
+    )
+    print(f"haar @2%: {psnr(image, rec_h):.1f} dB   daub8 @2%: {psnr(image, rec_8):.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Wavelet-based image registration — the [Lem94] application from the
+paper's introduction (registering remotely sensed scenes).
+
+Registers misaligned Landsat-like scenes via coarse-to-fine pyramid
+search, showing the estimate refine level by level, and compares the
+pyramid search's cost against brute-force full-resolution correlation.
+
+Run:  python examples/image_registration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data import landsat_like_scene
+from repro.wavelet import register_translation
+from repro.wavelet.registration import _correlation_score
+
+
+def brute_force(reference: np.ndarray, target: np.ndarray, radius: int = 64):
+    """Exhaustive correlation over a +-radius window (the baseline the
+    pyramid search avoids)."""
+    best, best_score = (0, 0), -np.inf
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            score = _correlation_score(reference, target, (dy, dx))
+            if score > best_score:
+                best_score, best = score, (dy, dx)
+    return best, best_score
+
+
+def main() -> None:
+    scene = landsat_like_scene((256, 256))
+    rng = np.random.default_rng(9)
+
+    print("registering noisy, shifted copies of a 256x256 scene:\n")
+    print(f"{'true shift':>14} {'estimated':>12} {'score':>7}   refinement path")
+    for true_shift in [(5, -3), (31, 17), (-52, 44)]:
+        target = np.roll(scene, (-true_shift[0], -true_shift[1]), axis=(0, 1))
+        target = target + rng.standard_normal(target.shape) * 0.03 * scene.std()
+        result = register_translation(scene, target)
+        print(
+            f"{str(true_shift):>14} {str(result.shift):>12} {result.score:7.3f}   "
+            + " -> ".join(str(p) for p in result.path)
+        )
+
+    # Cost comparison on a smaller window problem.
+    small = landsat_like_scene((128, 128), seed=4)
+    target = np.roll(small, (-20, 13), axis=(0, 1))
+    start = time.perf_counter()
+    pyramid_result = register_translation(small, target)
+    pyramid_time = time.perf_counter() - start
+    start = time.perf_counter()
+    brute_result, _ = brute_force(small, target, radius=24)
+    brute_time = time.perf_counter() - start
+    print(
+        f"\npyramid search: {pyramid_result.shift} in {pyramid_time * 1e3:.1f} ms;  "
+        f"brute force (+-24 window): {brute_result} in {brute_time * 1e3:.0f} ms"
+    )
+    print("the pyramid's coarse phase correlation covers the whole image at a")
+    print("fraction of the pixels — the speed the paper's EOSDIS motivation demands.")
+
+
+if __name__ == "__main__":
+    main()

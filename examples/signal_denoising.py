@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""1-D signal processing: denoising a noisy waveform by wavelet
+shrinkage, with the decomposition optionally running on a simulated
+parallel machine (the paper's "speech analysis" motivation).
+
+Run:  python examples/signal_denoising.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines import paragon
+from repro.wavelet import daubechies_filter, denoise_1d, dwt_1d, idwt_1d, soft_threshold
+from repro.wavelet.parallel import run_spmd_dwt_1d, run_spmd_idwt_1d
+
+
+def test_signal(n: int = 2048, noise: float = 0.35, seed: int = 2):
+    """A blocky-plus-tonal waveform under Gaussian noise."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, n, endpoint=False)
+    clean = (
+        np.sin(2 * np.pi * 4 * t)
+        + 0.6 * np.sign(np.sin(2 * np.pi * 2 * t + 0.4))
+        + 0.3 * np.sin(2 * np.pi * 17 * t)
+    )
+    return clean, clean + rng.standard_normal(n) * noise
+
+
+def snr_db(reference: np.ndarray, estimate: np.ndarray) -> float:
+    noise_power = float(((estimate - reference) ** 2).mean())
+    signal_power = float((reference**2).mean())
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def main() -> None:
+    clean, noisy = test_signal()
+    print(f"input SNR: {snr_db(clean, noisy):5.1f} dB")
+
+    for length in (2, 4, 8):
+        bank = daubechies_filter(length)
+        denoised = denoise_1d(noisy, bank=bank)
+        print(f"  {bank.name:>6} shrinkage -> {snr_db(clean, denoised):5.1f} dB")
+
+    # The same shrinkage with the transform distributed over a simulated
+    # 8-processor Paragon: numerically identical, plus a machine budget.
+    bank = daubechies_filter(8)
+    levels = 4
+    forward = run_spmd_dwt_1d(paragon(8, protocol="nx"), noisy, bank, levels)
+    reference_approx, reference_details = dwt_1d(noisy, bank, levels)
+    assert np.allclose(forward.approximation, reference_approx)
+
+    sigma = np.median(np.abs(forward.details[0])) / 0.6745
+    threshold = sigma * np.sqrt(2 * np.log(noisy.size))
+    shrunk = [soft_threshold(d, threshold) for d in forward.details]
+    _, denoised_parallel = run_spmd_idwt_1d(
+        paragon(8, protocol="nx"), forward.approximation, shrunk, bank
+    )
+    sequential = idwt_1d(reference_approx, shrunk, bank)
+    assert np.allclose(denoised_parallel, sequential, atol=1e-10)
+
+    budget = forward.run.mean_budget().fractions()
+    print(
+        f"\nparallel path (P=8): {snr_db(clean, denoised_parallel):5.1f} dB, "
+        f"identical to sequential; decomposition budget: "
+        f"work {budget['work']:.0%}, comm {budget['comm']:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Benchmark-suite design with the workload vector-space model —
+Appendix C's stated purpose ("informed decisions on the composition of
+parallel benchmark suites").
+
+Characterizes the NAS-like kernels, flags redundant pairs, selects a
+4-member representative subset, and quantifies how well the subset
+covers the full suite.
+
+Run:  python examples/suite_design.py
+"""
+
+from __future__ import annotations
+
+from repro.workload import (
+    coverage_radius,
+    nas_suite,
+    oracle_schedule,
+    redundant_pairs,
+    required_units,
+    select_representatives,
+    similarity_matrix,
+)
+
+
+def main() -> None:
+    suite = nas_suite(0.5)
+    names = [trace.name for trace in suite]
+    workloads = [oracle_schedule(trace).workload for trace in suite]
+
+    print("pairwise similarity (0 = identical machine exercise):\n")
+    header = "        " + "".join(f"{n:>8}" for n in names)
+    print(header)
+    matrix = similarity_matrix(workloads)
+    for i, name in enumerate(names):
+        row = "".join(f"{matrix[i, j]:8.2f}" for j in range(i + 1))
+        print(f"{name:>8}{row}")
+
+    print("\nredundant pairs (distance < 0.45):")
+    for i, j, distance in redundant_pairs(workloads, threshold=0.45):
+        print(f"  {names[i]} ~ {names[j]}  ({distance:.3f})")
+
+    chosen = select_representatives(workloads, 4)
+    subset = [workloads[i] for i in chosen]
+    radius = coverage_radius(subset, workloads)
+    print(f"\n4-member representative suite: {[names[i] for i in chosen]}")
+    print(f"coverage radius over the full suite: {radius:.3f} "
+          "(max distance from any kernel to its nearest representative)")
+
+    print("\nfunctional units a machine needs to feed each representative "
+          "(centroid-derived):")
+    for index in chosen:
+        units = required_units(workloads[index])
+        compact = ", ".join(f"{k[:-3]}={v}" for k, v in units.items())
+        print(f"  {names[index]:>8}: {compact}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (environments without the wheel pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of *Wavelet Decomposition on High-Performance
+Computing Systems* (El-Ghazawi & Le Moigne, ICPP 1996) and its companion
+JNNIE studies.
+
+The package is organized as a set of substrates plus the paper's
+contributions layered on top:
+
+``repro.machines``
+    Deterministic discrete-event simulators of the parallel machines the
+    paper evaluated on: an Intel-Paragon-like message-passing MIMD mesh,
+    a Cray-T3D-like torus, and a MasPar-like SIMD processor array.
+``repro.wavelet``
+    Mallat multi-resolution wavelet decomposition/reconstruction, plus the
+    paper's coarse-grain (striped, snake-placed SPMD) and fine-grain
+    (systolic / dilution SIMD) parallel algorithms.
+``repro.nbody``
+    Barnes-Hut N-body simulation with costzones partitioning and the
+    manager-worker parallel formulation of Appendix B.
+``repro.pic``
+    3-D electrostatic Particle-In-Cell simulation with a slab-decomposed
+    parallel FFT Poisson solver (Appendix B).
+``repro.workload``
+    Architecture-invariant workload characterization: oracle-model parallel
+    instructions, centroids, similarity, smoothability (Appendix C).
+``repro.perf``
+    The "performance budget" instrumentation model (useful work,
+    communication, redundancy, load-imbalance overheads).
+``repro.data``
+    Synthetic stand-ins for the paper's inputs (Landsat-TM-like imagery,
+    particle distributions).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.wavelet import mallat_decompose_2d, daubechies_filter
+>>> image = np.random.default_rng(0).random((64, 64))
+>>> pyramid = mallat_decompose_2d(image, daubechies_filter(8), levels=2)
+>>> pyramid.approximation.shape
+(16, 16)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

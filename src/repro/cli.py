@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin drivers over the library for running the paper's experiments without
+writing code:
+
+``wavelet``
+    Decompose a synthetic scene on a chosen machine and report timing and
+    the performance budget (optionally a timeline).
+``nbody``
+    Run the manager-worker Barnes-Hut simulation.
+``pic``
+    Run the worker-worker PIC simulation.
+``workload``
+    Characterize the NAS-like suite (centroids, similarity, smoothability).
+``table1``
+    Regenerate Appendix A Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Wavelet Decomposition on High-Performance "
+        "Computing Systems' (ICPP 1996) and companion JNNIE studies.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    wavelet = sub.add_parser("wavelet", help="parallel wavelet decomposition")
+    wavelet.add_argument("--size", type=int, default=512, help="image side (default 512)")
+    wavelet.add_argument("--filter", type=int, default=8, choices=(2, 4, 8), dest="filter_length")
+    wavelet.add_argument("--levels", type=int, default=1)
+    wavelet.add_argument("--procs", type=int, default=32)
+    wavelet.add_argument(
+        "--machine", default="paragon", choices=("paragon", "t3d", "workstation", "maspar")
+    )
+    wavelet.add_argument("--placement", default="snake", choices=("snake", "naive"))
+    wavelet.add_argument("--timeline", action="store_true", help="render an ASCII Gantt chart")
+
+    nbody = sub.add_parser("nbody", help="Barnes-Hut N-body on a simulated machine")
+    nbody.add_argument("--bodies", type=int, default=4096)
+    nbody.add_argument("--steps", type=int, default=2)
+    nbody.add_argument("--procs", type=int, default=16)
+    nbody.add_argument("--machine", default="paragon", choices=("paragon", "t3d"))
+    nbody.add_argument("--theta", type=float, default=0.6)
+    nbody.add_argument("--model", default="manager_worker", choices=("manager_worker", "replicated"))
+
+    pic = sub.add_parser("pic", help="3-D electrostatic PIC on a simulated machine")
+    pic.add_argument("--particles", type=int, default=65536)
+    pic.add_argument("--grid", type=int, default=32, dest="grid_m")
+    pic.add_argument("--steps", type=int, default=2)
+    pic.add_argument("--procs", type=int, default=16)
+    pic.add_argument("--machine", default="paragon", choices=("paragon", "t3d"))
+    pic.add_argument("--global-sum", default="prefix", choices=("prefix", "gssum"))
+
+    workload = sub.add_parser("workload", help="characterize the NAS-like suite")
+    workload.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("table1", help="regenerate Appendix A Table 1")
+    return parser
+
+
+def _mimd_machine(name: str, procs: int, placement: str = "snake"):
+    from repro.machines import paragon, t3d, workstation
+
+    if name == "paragon":
+        return paragon(procs, placement, protocol="nx")
+    if name == "t3d":
+        return t3d(procs)
+    return workstation()
+
+
+def _cmd_wavelet(args) -> int:
+    from repro.data import landsat_like_scene
+    from repro.machines.engine import Engine
+    from repro.machines.simd import MasParMachine, maspar_mp2
+    from repro.perf import format_budget, format_timeline
+    from repro.wavelet import filter_bank_for_length
+    from repro.wavelet.parallel import run_spmd_wavelet, simd_mallat_decompose
+
+    image = landsat_like_scene((args.size, args.size))
+    bank = filter_bank_for_length(args.filter_length)
+    print(
+        f"decomposing {args.size}x{args.size}, {bank.name}, "
+        f"{args.levels} level(s) on {args.machine}"
+    )
+    if args.machine == "maspar":
+        machine = MasParMachine(maspar_mp2(), "hierarchical")
+        outcome = simd_mallat_decompose(machine, image, bank, args.levels)
+        print(f"virtual time: {outcome.elapsed_s:.4f} s "
+              f"({1 / outcome.elapsed_s:.0f} images/second)")
+        for kind, share in outcome.stats.fractions().items():
+            print(f"  {kind:<10}{share:.0%}")
+        return 0
+
+    machine = _mimd_machine(args.machine, args.procs, args.placement)
+    if args.timeline:
+        from repro.wavelet.parallel.decomposition import StripeDecomposition
+        from repro.wavelet.parallel.spmd import striped_wavelet_program
+
+        decomp = StripeDecomposition(args.size, args.size, args.procs, args.levels)
+        run = Engine(machine, record_trace=True).run(
+            striped_wavelet_program, image, bank, args.levels, decomp
+        )
+        print(format_timeline("decomposition timeline", run))
+        print(f"virtual time: {run.elapsed_s:.4f} s")
+        return 0
+    outcome = run_spmd_wavelet(machine, image, bank, args.levels)
+    print(f"virtual time: {outcome.run.elapsed_s:.4f} s")
+    print(format_budget("performance budget", outcome.run))
+    return 0
+
+
+def _cmd_nbody(args) -> int:
+    from repro.data import plummer_sphere
+    from repro.nbody import run_parallel_nbody
+    from repro.perf import format_budget
+
+    particles = plummer_sphere(args.bodies, dim=2, seed=0)
+    machine = _mimd_machine(args.machine, args.procs)
+    outcome = run_parallel_nbody(
+        machine, particles, steps=args.steps, theta=args.theta, model=args.model
+    )
+    print(
+        f"{args.bodies} bodies, {args.steps} steps on {machine.name}: "
+        f"{outcome.run.elapsed_s:.3f} virtual s"
+    )
+    print(
+        "interactions/step:",
+        ", ".join(f"{i:,}" for i in outcome.interactions_per_step),
+    )
+    print(format_budget("performance budget", outcome.run))
+    return 0
+
+
+def _cmd_pic(args) -> int:
+    from repro.data import uniform_cube
+    from repro.perf import format_budget
+    from repro.pic import Grid3D, run_parallel_pic
+
+    particles = uniform_cube(args.particles, thermal_speed=0.05, seed=0)
+    machine = _mimd_machine(args.machine, args.procs)
+    outcome = run_parallel_pic(
+        machine,
+        Grid3D(args.grid_m),
+        particles,
+        steps=args.steps,
+        global_sum=args.global_sum,
+        collect=False,
+    )
+    print(
+        f"{args.particles} particles, {args.grid_m}^3 grid, {args.steps} steps "
+        f"on {machine.name}: {outcome.run.elapsed_s:.3f} virtual s"
+    )
+    print("adaptive dt per step:", ", ".join(f"{dt:.4g}" for dt in outcome.dts))
+    print(format_budget("performance budget", outcome.run))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.perf import format_table
+    from repro.workload import (
+        INSTRUCTION_TYPES,
+        nas_suite,
+        oracle_schedule,
+        similarity_matrix,
+        smoothability,
+    )
+
+    suite = nas_suite(args.scale)
+    workloads = [oracle_schedule(t).workload for t in suite]
+    names = [t.name for t in suite]
+    rows = []
+    for trace, workload in zip(suite, workloads):
+        smooth = smoothability(trace)
+        rows.append(
+            [trace.name, f"{workload.average_parallelism:.1f}", f"{smooth.smoothability:.3f}"]
+            + [f"{v:.1f}" for v in workload.centroid()]
+        )
+    print(
+        format_table(
+            "NAS-like suite characterization",
+            ["kernel", "avg_par", "smooth"] + list(INSTRUCTION_TYPES),
+            rows,
+        )
+    )
+    matrix = similarity_matrix(workloads)
+    sim_rows = [
+        [names[i]] + [f"{matrix[i, j]:.2f}" for j in range(i + 1)]
+        for i in range(len(names))
+    ]
+    print()
+    print(format_table("pairwise similarity (0=identical)", ["kernel"] + names, sim_rows))
+    print()
+    from repro.perf import format_profile
+
+    for trace, workload in zip(suite, workloads):
+        print(format_profile(f"{trace.name} parallelism profile", workload.parallelism_profile()))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.data import landsat_like_scene
+    from repro.machines import paragon, workstation
+    from repro.machines.simd import MasParMachine, maspar_mp2
+    from repro.perf import format_table
+    from repro.wavelet import filter_bank_for_length
+    from repro.wavelet.parallel import run_spmd_wavelet, simd_mallat_decompose
+
+    image = landsat_like_scene((512, 512))
+    rows = []
+    machines = [
+        ("MasPar MP-2 (16K)", None),
+        ("Paragon 1 proc", paragon(1)),
+        ("Paragon 32 proc", paragon(32)),
+        ("DEC 5000", workstation()),
+    ]
+    for label, machine in machines:
+        cells = []
+        for filter_length, levels in ((8, 1), (4, 2), (2, 4)):
+            bank = filter_bank_for_length(filter_length)
+            if machine is None:
+                simd = simd_mallat_decompose(
+                    MasParMachine(maspar_mp2(), "hierarchical"), image, bank, levels
+                )
+                cells.append(f"{simd.elapsed_s:.4f}")
+            else:
+                outcome = run_spmd_wavelet(machine, image, bank, levels)
+                cells.append(f"{outcome.run.elapsed_s:.4f}")
+        rows.append([label] + cells)
+    print(
+        format_table(
+            "Appendix A Table 1 (virtual seconds)",
+            ["machine", "F8/L1", "F4/L2", "F2/L4"],
+            rows,
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "wavelet": _cmd_wavelet,
+    "nbody": _cmd_nbody,
+    "pic": _cmd_pic,
+    "workload": _cmd_workload,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

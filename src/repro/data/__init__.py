@@ -1,0 +1,32 @@
+"""Synthetic stand-ins for the paper's input data.
+
+The original study processed a 512x512 Landsat-Thematic-Mapper scene of the
+Pacific Northwest and astrophysical particle sets; neither is distributable
+here, so this package generates statistically comparable substitutes:
+
+* :func:`landsat_like_scene` — spatially correlated 8-bit imagery whose
+  band-to-band statistics resemble remotely sensed data.  Wavelet cost is
+  data-independent, so any correlated texture exercises the same code path.
+* :func:`uniform_cube`, :func:`plummer_sphere`, :func:`two_galaxies` —
+  particle initial conditions for the N-body and PIC studies.
+"""
+
+from repro.data.landsat import landsat_like_scene, checkerboard, impulse_image
+from repro.data.particles import (
+    ParticleSet,
+    plummer_sphere,
+    two_galaxies,
+    uniform_cube,
+    uniform_disk,
+)
+
+__all__ = [
+    "landsat_like_scene",
+    "checkerboard",
+    "impulse_image",
+    "ParticleSet",
+    "uniform_cube",
+    "uniform_disk",
+    "plummer_sphere",
+    "two_galaxies",
+]

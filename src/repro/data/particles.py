@@ -1,0 +1,229 @@
+"""Particle initial conditions for the N-body and PIC studies.
+
+Appendix B simulates interacting galaxies (Barnes-Hut N-body) and plasma
+(Particle-In-Cell).  These generators produce the corresponding initial
+conditions:
+
+* :func:`uniform_cube` / :func:`uniform_disk` — uniform density, the regime
+  where particle-mesh methods shine (per Appendix B's discussion).
+* :func:`plummer_sphere` — the standard centrally concentrated stellar
+  model, giving the density contrast where tree codes are favoured.
+* :func:`two_galaxies` — a pair of Plummer spheres on an encounter orbit,
+  matching the "interacting galaxies" problem in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ParticleSet", "uniform_cube", "uniform_disk", "plummer_sphere", "two_galaxies"]
+
+
+@dataclass
+class ParticleSet:
+    """Positions, velocities, and masses of an N-particle system.
+
+    Attributes
+    ----------
+    positions:
+        ``(n, dim)`` float array.
+    velocities:
+        ``(n, dim)`` float array.
+    masses:
+        ``(n,)`` float array.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    masses: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        self.velocities = np.ascontiguousarray(self.velocities, dtype=np.float64)
+        self.masses = np.ascontiguousarray(self.masses, dtype=np.float64)
+        if self.positions.ndim != 2:
+            raise ConfigurationError("positions must be an (n, dim) array")
+        if self.velocities.shape != self.positions.shape:
+            raise ConfigurationError(
+                f"velocities shape {self.velocities.shape} does not match "
+                f"positions shape {self.positions.shape}"
+            )
+        if self.masses.shape != (self.positions.shape[0],):
+            raise ConfigurationError(
+                f"masses shape {self.masses.shape} does not match particle count "
+                f"{self.positions.shape[0]}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self.positions.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality (2 or 3)."""
+        return self.positions.shape[1]
+
+    @property
+    def total_mass(self) -> float:
+        """Sum of all particle masses."""
+        return float(self.masses.sum())
+
+    def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted mean position."""
+        return (self.masses[:, None] * self.positions).sum(axis=0) / self.total_mass
+
+    def momentum(self) -> np.ndarray:
+        """Total linear momentum (conserved by symmetric force laws)."""
+        return (self.masses[:, None] * self.velocities).sum(axis=0)
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy ``sum(m v^2 / 2)``."""
+        return float(0.5 * (self.masses * (self.velocities**2).sum(axis=1)).sum())
+
+    def subset(self, index: np.ndarray) -> "ParticleSet":
+        """Return a new :class:`ParticleSet` containing the indexed particles."""
+        return ParticleSet(
+            positions=self.positions[index].copy(),
+            velocities=self.velocities[index].copy(),
+            masses=self.masses[index].copy(),
+        )
+
+    def copy(self) -> "ParticleSet":
+        """Deep copy."""
+        return ParticleSet(
+            self.positions.copy(), self.velocities.copy(), self.masses.copy()
+        )
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"particle count must be >= 1, got {n}")
+
+
+def uniform_cube(
+    n: int, *, dim: int = 3, extent: float = 1.0, thermal_speed: float = 0.0, seed: int = 0
+) -> ParticleSet:
+    """Uniformly distributed unit-mass particles in ``[0, extent)^dim``.
+
+    ``thermal_speed`` draws Maxwellian velocities; zero gives a cold start.
+    """
+    _check_n(n)
+    if dim not in (2, 3):
+        raise ConfigurationError(f"dim must be 2 or 3, got {dim}")
+    rng = np.random.default_rng(seed)
+    pos = rng.random((n, dim)) * extent
+    vel = (
+        rng.standard_normal((n, dim)) * thermal_speed
+        if thermal_speed > 0
+        else np.zeros((n, dim))
+    )
+    return ParticleSet(pos, vel, np.full(n, 1.0 / n))
+
+
+def uniform_disk(n: int, *, radius: float = 1.0, seed: int = 0) -> ParticleSet:
+    """Uniform-density 2-D disk of unit total mass centred at the origin."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    r = radius * np.sqrt(rng.random(n))
+    theta = rng.random(n) * 2 * np.pi
+    pos = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+    return ParticleSet(pos, np.zeros((n, 2)), np.full(n, 1.0 / n))
+
+
+def plummer_sphere(
+    n: int,
+    *,
+    dim: int = 3,
+    scale_radius: float = 1.0,
+    total_mass: float = 1.0,
+    virial: bool = True,
+    max_radius_factor: float = 10.0,
+    seed: int = 0,
+) -> ParticleSet:
+    """Plummer-model stellar cluster (Aarseth, Henon & Wielen sampling).
+
+    The cumulative-mass inversion ``r = a (m^{-2/3} - 1)^{-1/2}`` samples the
+    density profile exactly; velocities are drawn from the isotropic
+    distribution function by von Neumann rejection when ``virial`` is set,
+    giving a cluster in dynamical equilibrium.
+    """
+    _check_n(n)
+    if dim not in (2, 3):
+        raise ConfigurationError(f"dim must be 2 or 3, got {dim}")
+    rng = np.random.default_rng(seed)
+
+    m_frac = rng.random(n)
+    # Clip the mass fraction so the sampled radius stays finite.
+    r_max = max_radius_factor * scale_radius
+    m_cap = (1.0 + (scale_radius / r_max) ** 2) ** -1.5
+    m_frac = np.minimum(m_frac, m_cap)
+    radii = scale_radius / np.sqrt(m_frac ** (-2.0 / 3.0) - 1.0)
+
+    directions = rng.standard_normal((n, dim))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    pos = radii[:, None] * directions
+
+    vel = np.zeros((n, dim))
+    if virial:
+        # Rejection-sample q = v / v_esc from g(q) = q^2 (1 - q^2)^{7/2}.
+        q = np.empty(n)
+        remaining = np.arange(n)
+        while remaining.size:
+            trial_q = rng.random(remaining.size)
+            trial_y = rng.random(remaining.size) * 0.1
+            accepted = trial_y < trial_q**2 * (1.0 - trial_q**2) ** 3.5
+            q[remaining[accepted]] = trial_q[accepted]
+            remaining = remaining[~accepted]
+        v_esc = np.sqrt(2.0 * total_mass) * (radii**2 + scale_radius**2) ** -0.25
+        vdirs = rng.standard_normal((n, dim))
+        vdirs /= np.linalg.norm(vdirs, axis=1, keepdims=True)
+        vel = (q * v_esc)[:, None] * vdirs
+
+    masses = np.full(n, total_mass / n)
+    return ParticleSet(pos, vel, masses)
+
+
+def two_galaxies(
+    n: int,
+    *,
+    dim: int = 2,
+    separation: float = 4.0,
+    impact_parameter: float = 1.0,
+    approach_speed: float = 0.5,
+    mass_ratio: float = 1.0,
+    seed: int = 0,
+) -> ParticleSet:
+    """Two Plummer spheres on an encounter orbit (the paper's galaxy problem).
+
+    ``n`` is the total particle count, split between the two galaxies in
+    proportion to ``mass_ratio`` (primary / secondary).
+    """
+    _check_n(n)
+    if n < 2:
+        raise ConfigurationError("two_galaxies needs at least 2 particles")
+    if mass_ratio <= 0:
+        raise ConfigurationError(f"mass_ratio must be positive, got {mass_ratio}")
+
+    n1 = max(1, min(n - 1, int(round(n * mass_ratio / (1.0 + mass_ratio)))))
+    n2 = n - n1
+    mass1 = mass_ratio / (1.0 + mass_ratio)
+    mass2 = 1.0 - mass1
+
+    g1 = plummer_sphere(n1, dim=dim, total_mass=mass1, seed=seed)
+    g2 = plummer_sphere(n2, dim=dim, total_mass=mass2, seed=seed + 1)
+
+    offset = np.zeros(dim)
+    offset[0] = separation / 2.0
+    offset[1] = impact_parameter / 2.0
+    kick = np.zeros(dim)
+    kick[0] = approach_speed / 2.0
+
+    pos = np.vstack([g1.positions - offset, g2.positions + offset])
+    vel = np.vstack([g1.velocities + kick, g2.velocities - kick])
+    masses = np.concatenate([g1.masses, g2.masses])
+    return ParticleSet(pos, vel, masses)

@@ -1,0 +1,43 @@
+"""Exception hierarchy shared across the :mod:`repro` subsystems.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A machine spec, topology, or algorithm parameter is invalid."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine detected an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All live ranks are blocked on receives that can never be satisfied."""
+
+    def __init__(self, waiting: dict) -> None:
+        self.waiting = dict(waiting)
+        detail = ", ".join(
+            f"rank {rank} waiting on {want}" for rank, want in sorted(self.waiting.items())
+        )
+        super().__init__(f"deadlock: {detail}")
+
+
+class CommunicationError(SimulationError):
+    """A message-passing call was used incorrectly (bad rank, tag, size)."""
+
+
+class DecompositionError(ReproError, ValueError):
+    """A domain decomposition cannot be constructed for the given shape."""
+
+
+class TraceError(ReproError, ValueError):
+    """A workload trace is malformed (unknown opcode, bad operands)."""

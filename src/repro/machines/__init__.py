@@ -1,0 +1,101 @@
+"""Simulated parallel machines.
+
+Two machine families back the reproduction:
+
+* A deterministic discrete-event **MIMD message-passing simulator**
+  (:mod:`~repro.machines.engine`, :mod:`~repro.machines.network`) with
+  calibrated specs for the Intel Paragon, Cray T3D, and a workstation
+  baseline (:mod:`~repro.machines.specs`), plus NX/PVM-style collectives
+  (:mod:`~repro.machines.api`).
+* A cycle-counting **SIMD processor-array model** of the MasPar MP-1/MP-2
+  (:mod:`~repro.machines.simd`).
+
+Rank programs run real NumPy computations through the MIMD engine; only
+*time* is simulated, so parallel outputs validate against sequential
+references exactly.
+"""
+
+from repro.machines.api import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    gssum_naive,
+    reduce,
+    scatter,
+    sendrecv,
+)
+from repro.machines.cpu import CpuModel
+from repro.machines.engine import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Engine,
+    Machine,
+    RankBudget,
+    RankContext,
+    RunResult,
+    payload_nbytes,
+)
+from repro.machines.microbench import (
+    AlphaBeta,
+    bisection_exchange,
+    ping_pong,
+    ring_bandwidth,
+)
+from repro.machines.partition import Partition, PartitionManager
+from repro.machines.network import (
+    ContentionNetwork,
+    FullyConnected,
+    Mesh2D,
+    Topology,
+    Torus3D,
+)
+from repro.machines.specs import (
+    cooling_gradient_factors,
+    paragon,
+    row_major_placement,
+    snake_placement,
+    t3d,
+    workstation,
+)
+
+__all__ = [
+    "Engine",
+    "Machine",
+    "RankContext",
+    "RankBudget",
+    "RunResult",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "payload_nbytes",
+    "CpuModel",
+    "Topology",
+    "Mesh2D",
+    "Torus3D",
+    "FullyConnected",
+    "ContentionNetwork",
+    "paragon",
+    "t3d",
+    "workstation",
+    "snake_placement",
+    "row_major_placement",
+    "cooling_gradient_factors",
+    "AlphaBeta",
+    "ping_pong",
+    "ring_bandwidth",
+    "bisection_exchange",
+    "Partition",
+    "PartitionManager",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gssum_naive",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "sendrecv",
+]

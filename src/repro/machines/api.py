@@ -1,0 +1,257 @@
+"""NX/PVM-style collective operations built from point-to-point messages.
+
+Every collective is a generator subroutine used with ``yield from`` inside
+a rank program::
+
+    total = yield from allreduce(ctx, local_array)
+
+All ranks must call the same collectives in the same order (SPMD
+discipline).  Tags at and above :data:`COLLECTIVE_TAG_BASE` are reserved
+for these routines; user point-to-point traffic should stay below it.
+
+Two global-sum implementations are provided because their difference is an
+Appendix B finding: the vendor ``gssum`` (modelled by
+:func:`gssum_naive`, a many-to-many exchange) "does not scale well with
+the number of processors", while the authors' replacement based on a
+parallel-prefix / recursive-doubling pattern (:func:`allreduce`) restored
+scalability.  ``benchmarks/test_bench_allreduce.py`` regenerates the
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.machines.engine import RankContext
+
+__all__ = [
+    "COLLECTIVE_TAG_BASE",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gssum_naive",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "sendrecv",
+]
+
+COLLECTIVE_TAG_BASE = 900_000
+
+_TAG_BCAST = COLLECTIVE_TAG_BASE + 1
+_TAG_REDUCE = COLLECTIVE_TAG_BASE + 2
+_TAG_ALLREDUCE = COLLECTIVE_TAG_BASE + 3
+_TAG_GSSUM = COLLECTIVE_TAG_BASE + 4
+_TAG_GATHER = COLLECTIVE_TAG_BASE + 5
+_TAG_SCATTER = COLLECTIVE_TAG_BASE + 6
+_TAG_BARRIER = COLLECTIVE_TAG_BASE + 7
+_TAG_ALLGATHER = COLLECTIVE_TAG_BASE + 8
+_TAG_ALLTOALL = COLLECTIVE_TAG_BASE + 9
+_TAG_SENDRECV = COLLECTIVE_TAG_BASE + 10
+
+
+def _add(a, b):
+    return a + b
+
+
+def _shifted(rank: int, root: int, n: int) -> int:
+    """Rank relabeled so the root is 0 (binomial trees assume root 0)."""
+    return (rank - root) % n
+
+
+def _unshifted(vrank: int, root: int, n: int) -> int:
+    return (vrank + root) % n
+
+
+def bcast(ctx: RankContext, data=None, root: int = 0, *, tag: int = _TAG_BCAST):
+    """Binomial-tree broadcast from ``root``; returns the data on every rank."""
+    n = ctx.nranks
+    if not 0 <= root < n:
+        raise CommunicationError(f"bcast root {root} out of range")
+    vrank = _shifted(ctx.rank, root, n)
+    mask = 1
+    # Find the bit at which this rank receives, then forward to higher bits.
+    if vrank != 0:
+        while mask <= vrank:
+            mask <<= 1
+        mask >>= 1
+        src = _unshifted(vrank - mask, root, n)
+        data = yield ctx.recv(src, tag=tag)
+        mask <<= 1
+    while mask < n:
+        if vrank + mask < n and vrank < mask:
+            dst = _unshifted(vrank + mask, root, n)
+            yield ctx.send(dst, data, tag=tag)
+        mask <<= 1
+    return data
+
+
+def reduce(ctx: RankContext, value, op=_add, root: int = 0, *, tag: int = _TAG_REDUCE):
+    """Binomial-tree reduction to ``root``; non-roots return ``None``."""
+    n = ctx.nranks
+    if not 0 <= root < n:
+        raise CommunicationError(f"reduce root {root} out of range")
+    vrank = _shifted(ctx.rank, root, n)
+    acc = value
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            dst = _unshifted(vrank & ~mask, root, n)
+            yield ctx.send(dst, acc, tag=tag)
+            return None
+        partner = vrank | mask
+        if partner < n:
+            other = yield ctx.recv(_unshifted(partner, root, n), tag=tag)
+            acc = op(acc, other)
+        mask <<= 1
+    return acc if vrank == 0 else None
+
+
+def allreduce(ctx: RankContext, value, op=_add, *, tag: int = _TAG_ALLREDUCE):
+    """Recursive-doubling all-reduce (the authors' parallel-prefix global
+    sum): O(log P) rounds of pairwise one-to-one exchanges.
+
+    Handles non-power-of-two rank counts by folding the excess ranks into
+    the largest power-of-two subset first.
+    """
+    n = ctx.nranks
+    rank = ctx.rank
+    acc = value
+    pow2 = 1
+    while pow2 * 2 <= n:
+        pow2 *= 2
+    rem = n - pow2
+
+    # Fold phase: ranks >= pow2 hand their value to rank - pow2.
+    if rank >= pow2:
+        yield ctx.send(rank - pow2, acc, tag=tag)
+    elif rank < rem:
+        other = yield ctx.recv(rank + pow2, tag=tag)
+        acc = op(acc, other)
+
+    if rank < pow2:
+        mask = 1
+        while mask < pow2:
+            partner = rank ^ mask
+            yield ctx.send(partner, acc, tag=tag)
+            other = yield ctx.recv(partner, tag=tag)
+            acc = op(acc, other)
+            mask <<= 1
+
+    # Unfold phase: send the result back to the folded ranks.
+    if rank < rem:
+        yield ctx.send(rank + pow2, acc, tag=tag)
+    elif rank >= pow2:
+        acc = yield ctx.recv(rank - pow2, tag=tag)
+    return acc
+
+
+def gssum_naive(ctx: RankContext, value, op=_add, *, tag: int = _TAG_GSSUM):
+    """The vendor-library-style global sum: every rank sends its value to
+    every other rank and reduces locally.
+
+    This is the "many many-to-many communications" implementation whose
+    collapse beyond 8 processors Appendix B reports; kept as the baseline
+    for the allreduce ablation.
+    """
+    n = ctx.nranks
+    rank = ctx.rank
+    for dst in range(n):
+        if dst != rank:
+            yield ctx.send(dst, value, tag=tag)
+    acc = value
+    for src in range(n):
+        if src != rank:
+            other = yield ctx.recv(src, tag=tag)
+            acc = op(acc, other)
+    return acc
+
+
+def gather(ctx: RankContext, value, root: int = 0, *, tag: int = _TAG_GATHER):
+    """Gather one value per rank to ``root`` (returns the ordered list
+    there, ``None`` elsewhere)."""
+    n = ctx.nranks
+    if not 0 <= root < n:
+        raise CommunicationError(f"gather root {root} out of range")
+    if ctx.rank == root:
+        out = [None] * n
+        out[root] = value
+        for src in range(n):
+            if src != root:
+                out[src] = yield ctx.recv(src, tag=tag)
+        return out
+    yield ctx.send(root, value, tag=tag)
+    return None
+
+
+def allgather(ctx: RankContext, value, *, tag: int = _TAG_ALLGATHER):
+    """Gather one value per rank onto every rank (ring algorithm)."""
+    n = ctx.nranks
+    rank = ctx.rank
+    out = [None] * n
+    out[rank] = value
+    current = value
+    current_src = rank
+    right = (rank + 1) % n
+    left = (rank - 1) % n
+    for _ in range(n - 1):
+        yield ctx.send(right, current, tag=tag)
+        current = yield ctx.recv(left, tag=tag)
+        current_src = (current_src - 1) % n
+        out[current_src] = current
+    return out
+
+
+def scatter(ctx: RankContext, values=None, root: int = 0, *, tag: int = _TAG_SCATTER):
+    """Scatter ``values[i]`` from ``root`` to rank ``i``."""
+    n = ctx.nranks
+    if not 0 <= root < n:
+        raise CommunicationError(f"scatter root {root} out of range")
+    if ctx.rank == root:
+        if values is None or len(values) != n:
+            raise CommunicationError(
+                f"scatter root needs one value per rank ({n}), got "
+                f"{None if values is None else len(values)}"
+            )
+        for dst in range(n):
+            if dst != root:
+                yield ctx.send(dst, values[dst], tag=tag)
+        return values[root]
+    return (yield ctx.recv(root, tag=tag))
+
+
+def alltoall(ctx: RankContext, values, *, tag: int = _TAG_ALLTOALL):
+    """Personalized all-to-all: rank ``i`` delivers ``values[j]`` to rank
+    ``j`` and returns the list of items addressed to it."""
+    n = ctx.nranks
+    rank = ctx.rank
+    if len(values) != n:
+        raise CommunicationError(f"alltoall needs one value per rank ({n}), got {len(values)}")
+    out = [None] * n
+    out[rank] = values[rank]
+    # Stagger destinations so the exchange doesn't hot-spot one node.
+    for offset in range(1, n):
+        dst = (rank + offset) % n
+        src = (rank - offset) % n
+        yield ctx.send(dst, values[dst], tag=tag)
+        out[src] = yield ctx.recv(src, tag=tag)
+    return out
+
+
+def barrier(ctx: RankContext):
+    """Tree barrier: reduce a token to rank 0, broadcast it back."""
+    token = yield from reduce(ctx, 1, root=0, tag=_TAG_BARRIER)
+    yield from bcast(ctx, token, root=0, tag=_TAG_BARRIER)
+    return None
+
+
+def sendrecv(
+    ctx: RankContext, dst: int, senddata, src: int, *, tag: int = _TAG_SENDRECV
+):
+    """Simultaneous exchange: send to ``dst`` while receiving from ``src``."""
+    yield ctx.send(dst, senddata, tag=tag)
+    received = yield ctx.recv(src, tag=tag)
+    return received

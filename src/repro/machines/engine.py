@@ -1,0 +1,590 @@
+"""Deterministic discrete-event engine for SPMD message-passing programs.
+
+Rank programs are plain Python *generator functions*: they do their real
+numerical work with NumPy and ``yield`` operation records whenever they
+consume virtual time (compute) or interact with other ranks (send/recv).
+The engine advances whichever runnable rank has the smallest virtual clock,
+so execution order is deterministic and approximately global-time ordered,
+which keeps the network contention model honest.
+
+A minimal rank program::
+
+    def program(ctx):
+        data = np.arange(4.0) * ctx.rank
+        yield ctx.compute(flops=1000)          # charge useful work
+        if ctx.rank == 0:
+            yield ctx.send(1, data)
+        elif ctx.rank == 1:
+            data = yield ctx.recv(0)
+        return data.sum()
+
+    result = Engine(machine).run(program)
+
+Real payloads travel through the simulator (arrays are copied at the send
+boundary), so a parallel algorithm's output can be validated against its
+sequential reference — the machine model affects *time*, never *values*.
+
+Accounting follows Appendix B's performance-budget definitions:
+
+* ``comm``  — time from initiating a communication call until it returns
+  (including time blocked in a receive).
+* ``work``  — useful computation.
+* ``redundancy`` — duplicated or parallelization-only computation, charged
+  via :meth:`RankContext.compute` with ``redundant=True``.
+* ``imbalance`` — finish-time skew, assigned post-run as
+  ``elapsed - rank_finish_time``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CommunicationError, ConfigurationError, DeadlockError, SimulationError
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork
+from repro.wavelet.cost import OpCount
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Machine",
+    "RankContext",
+    "Engine",
+    "RankBudget",
+    "RunResult",
+    "TraceEvent",
+    "payload_nbytes",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def payload_nbytes(payload) -> int:
+    """Estimate the wire size of a payload.
+
+    NumPy arrays report their buffer size; scalars are 8 bytes; containers
+    sum their items plus a small per-item header; anything else falls back
+    to its pickle length.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(item) + 8 for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) + 16 for k, v in payload.items()
+        )
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _copy_payload(payload):
+    """Copy mutable payloads at the send boundary (message-passing has
+    value semantics; without the copy a sender could mutate in-flight
+    data, which no real machine allows)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, (tuple, list)):
+        return type(payload)(_copy_payload(item) for item in payload)
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Operation records yielded by rank programs
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SendOp:
+    dst: int
+    payload: object
+    tag: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class _RecvOp:
+    src: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class _ComputeOp:
+    ops: OpCount
+    redundant: bool
+
+
+@dataclass(frozen=True)
+class _MemoryOp:
+    resident_bytes: float
+
+
+@dataclass(frozen=True)
+class _ElapseOp:
+    seconds: float
+    kind: str
+
+
+class Machine:
+    """A concrete machine instance: CPU model + network + rank placement.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    cpu:
+        Per-node :class:`~repro.machines.cpu.CpuModel`.
+    network:
+        :class:`~repro.machines.network.ContentionNetwork` over the node
+        topology.
+    placement:
+        ``placement[rank]`` is the node index hosting that rank.  Ranks
+        must map to distinct nodes.
+    sw_send_overhead_s / sw_recv_overhead_s:
+        Software cost of posting a send / completing a receive.
+    copy_bytes_per_s:
+        CPU-side message-copy bandwidth (charged to the caller on both
+        ends, on top of network time).
+    speed_factors:
+        Optional per-node speed factors modelling the report's Section 5.4
+        observation that physically identical Paragon nodes ran at
+        different speeds depending on their distance from the cooling
+        system (up to 7% variability): a node with factor ``f`` executes
+        compute ``1/f`` slower.  Dict (node -> factor) or per-node list.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cpu: CpuModel,
+        network: ContentionNetwork,
+        placement,
+        *,
+        sw_send_overhead_s: float = 30e-6,
+        sw_recv_overhead_s: float = 30e-6,
+        copy_bytes_per_s: float = 200e6,
+        speed_factors=None,
+    ) -> None:
+        self.name = name
+        self.cpu = cpu
+        self.network = network
+        self.placement = list(placement)
+        if len(set(self.placement)) != len(self.placement):
+            raise ConfigurationError("placement maps two ranks to the same node")
+        for node in self.placement:
+            if not 0 <= node < network.topology.num_nodes:
+                raise ConfigurationError(
+                    f"placement node {node} outside the "
+                    f"{network.topology.num_nodes}-node topology"
+                )
+        self.sw_send_overhead_s = sw_send_overhead_s
+        self.sw_recv_overhead_s = sw_recv_overhead_s
+        self.copy_bytes_per_s = copy_bytes_per_s
+        if speed_factors is None:
+            self.rank_speed = [1.0] * len(self.placement)
+        else:
+            factors = dict(speed_factors) if isinstance(speed_factors, dict) else None
+            if factors is not None:
+                self.rank_speed = [float(factors.get(node, 1.0)) for node in self.placement]
+            else:
+                speed_list = list(speed_factors)
+                if len(speed_list) < network.topology.num_nodes:
+                    raise ConfigurationError(
+                        "speed_factors list must cover every topology node"
+                    )
+                self.rank_speed = [float(speed_list[node]) for node in self.placement]
+        for factor in self.rank_speed:
+            if factor <= 0:
+                raise ConfigurationError("node speed factors must be positive")
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks this machine instance hosts."""
+        return len(self.placement)
+
+
+class RankContext:
+    """Per-rank handle passed to SPMD programs.
+
+    Provides the operation constructors (``send``/``recv``/``compute``...)
+    whose results the program must ``yield``, plus the rank's identity.
+    """
+
+    def __init__(self, rank: int, nranks: int, machine: Machine) -> None:
+        self.rank = rank
+        self.nranks = nranks
+        self.machine = machine
+
+    def send(self, dst: int, payload, *, tag: int = 0, nbytes: int | None = None):
+        """Post a message to ``dst``.  Yield the returned op."""
+        if not 0 <= dst < self.nranks:
+            raise CommunicationError(f"send destination {dst} out of range")
+        if tag < 0:
+            raise CommunicationError(f"send tag must be >= 0, got {tag}")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        return _SendOp(dst=dst, payload=payload, tag=tag, nbytes=size)
+
+    def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG):
+        """Receive a message.  ``yield`` evaluates to the payload."""
+        if src != ANY_SOURCE and not 0 <= src < self.nranks:
+            raise CommunicationError(f"recv source {src} out of range")
+        return _RecvOp(src=src, tag=tag)
+
+    def compute(
+        self,
+        *,
+        flops: float = 0.0,
+        intops: float = 0.0,
+        memops: float = 0.0,
+        redundant: bool = False,
+    ):
+        """Charge computation time.  ``redundant=True`` books it as
+        parallelization redundancy instead of useful work."""
+        return _ComputeOp(
+            ops=OpCount(flops=flops, intops=intops, memops=memops), redundant=redundant
+        )
+
+    def charge(self, ops: OpCount, *, redundant: bool = False):
+        """Charge a pre-built :class:`OpCount` (cost-model output)."""
+        return _ComputeOp(ops=ops, redundant=redundant)
+
+    def elapse(self, seconds: float, *, kind: str = "work"):
+        """Charge raw virtual seconds to a budget category directly."""
+        if kind not in ("work", "redundancy", "comm"):
+            raise ConfigurationError(f"unknown budget kind {kind!r}")
+        return _ElapseOp(seconds=float(seconds), kind=kind)
+
+    def set_resident_memory(self, nbytes: float):
+        """Declare the rank's resident-set size (drives the paging model)."""
+        return _MemoryOp(resident_bytes=float(nbytes))
+
+
+@dataclass
+class RankBudget:
+    """Per-rank virtual-time breakdown (Appendix B's performance budget)."""
+
+    work_s: float = 0.0
+    comm_s: float = 0.0
+    redundancy_s: float = 0.0
+    imbalance_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Total accounted time including imbalance."""
+        return self.work_s + self.comm_s + self.redundancy_s + self.imbalance_s
+
+    def fractions(self) -> dict:
+        """Budget shares in [0, 1], keyed like the paper's figures."""
+        total = self.total_s
+        if total <= 0.0:
+            return {"work": 0.0, "comm": 0.0, "redundancy": 0.0, "imbalance": 0.0}
+        return {
+            "work": self.work_s / total,
+            "comm": self.comm_s / total,
+            "redundancy": self.redundancy_s / total,
+            "imbalance": self.imbalance_s / total,
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded engine event (when tracing is enabled).
+
+    ``kind`` is one of ``compute``, ``redundancy``, ``send``, ``recv``;
+    the interval ``[start_s, end_s)`` is in virtual time; ``peer`` is the
+    other rank for messaging events (-1 otherwise), ``nbytes`` the message
+    size (0 for compute).
+    """
+
+    rank: int
+    kind: str
+    start_s: float
+    end_s: float
+    peer: int = -1
+    nbytes: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one SPMD execution."""
+
+    elapsed_s: float
+    results: list
+    budgets: list
+    finish_times: list
+    messages_sent: int
+    bytes_sent: int
+    contention_s: float
+    trace: list = None
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks in the run."""
+        return len(self.results)
+
+    def mean_budget(self) -> RankBudget:
+        """Budget averaged over ranks (the paper reports per-machine
+        averages)."""
+        n = max(1, len(self.budgets))
+        return RankBudget(
+            work_s=sum(b.work_s for b in self.budgets) / n,
+            comm_s=sum(b.comm_s for b in self.budgets) / n,
+            redundancy_s=sum(b.redundancy_s for b in self.budgets) / n,
+            imbalance_s=sum(b.imbalance_s for b in self.budgets) / n,
+        )
+
+    def max_comm_s(self) -> float:
+        """Maximum per-rank communication time (Appendix B Figure 10)."""
+        return max((b.comm_s for b in self.budgets), default=0.0)
+
+    def mean_comm_s(self) -> float:
+        """Average per-rank communication time."""
+        if not self.budgets:
+            return 0.0
+        return sum(b.comm_s for b in self.budgets) / len(self.budgets)
+
+
+class _RankState:
+    __slots__ = (
+        "rank",
+        "gen",
+        "clock",
+        "budget",
+        "resident",
+        "mailbox",
+        "waiting",
+        "finished",
+        "result",
+        "pending_value",
+    )
+
+    def __init__(self, rank: int, gen) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.budget = RankBudget()
+        self.resident = 0.0
+        self.mailbox: dict = {}
+        self.waiting = None
+        self.finished = False
+        self.result = None
+        self.pending_value = None
+
+
+class Engine:
+    """Runs SPMD generator programs on a :class:`Machine` in virtual time.
+
+    Pass ``record_trace=True`` to collect a :class:`TraceEvent` list on
+    the :class:`RunResult` (compute/send/recv intervals per rank), which
+    :func:`repro.perf.format_timeline` renders as an ASCII Gantt chart.
+    """
+
+    def __init__(self, machine: Machine, *, record_trace: bool = False) -> None:
+        self.machine = machine
+        self.record_trace = record_trace
+        self._trace: list = []
+
+    def _record(self, rank, kind, start, end, peer=-1, nbytes=0) -> None:
+        if self.record_trace:
+            self._trace.append(
+                TraceEvent(
+                    rank=rank, kind=kind, start_s=start, end_s=end, peer=peer, nbytes=nbytes
+                )
+            )
+
+    def run(self, program, *args, **kwargs) -> RunResult:
+        """Instantiate ``program(ctx, *args, **kwargs)`` on every rank and
+        drive the system to completion.
+
+        Returns
+        -------
+        RunResult
+            Elapsed virtual time, per-rank return values and budgets, and
+            network counters.
+
+        Raises
+        ------
+        DeadlockError
+            If every unfinished rank is blocked in a receive that no
+            in-flight or future message can satisfy.
+        """
+        machine = self.machine
+        machine.network.reset()
+        self._trace = []
+        nranks = machine.nranks
+        states = []
+        for rank in range(nranks):
+            ctx = RankContext(rank, nranks, machine)
+            gen = program(ctx, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise ConfigurationError(
+                    "rank program must be a generator function (use 'yield')"
+                )
+            states.append(_RankState(rank, gen))
+
+        heap: list = []
+        seq = 0
+        for st in states:
+            heapq.heappush(heap, (st.clock, st.rank, seq))
+            seq += 1
+        in_heap = [True] * nranks
+
+        while heap:
+            _, rank, _ = heapq.heappop(heap)
+            st = states[rank]
+            in_heap[rank] = False
+            if st.finished:
+                continue
+            self._advance(st, states, heap, in_heap)
+
+        unfinished = {st.rank: st.waiting for st in states if not st.finished}
+        if unfinished:
+            raise DeadlockError(unfinished)
+
+        finish_times = [st.clock for st in states]
+        elapsed = max(finish_times)
+        for st in states:
+            st.budget.imbalance_s = elapsed - st.clock
+
+        return RunResult(
+            elapsed_s=elapsed,
+            results=[st.result for st in states],
+            budgets=[st.budget for st in states],
+            finish_times=finish_times,
+            messages_sent=machine.network.messages_sent,
+            bytes_sent=machine.network.bytes_sent,
+            contention_s=machine.network.total_contention_s,
+            trace=self._trace if self.record_trace else None,
+        )
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _push(self, st: _RankState, heap: list, in_heap: list) -> None:
+        if not in_heap[st.rank] and not st.finished:
+            heapq.heappush(heap, (st.clock, st.rank, id(st)))
+            in_heap[st.rank] = True
+
+    def _advance(self, st: _RankState, states, heap, in_heap) -> None:
+        """Advance one rank until it blocks, finishes, or completes one op."""
+        machine = self.machine
+        while True:
+            if st.waiting is not None:
+                # Parked on a recv: try to complete it now.
+                matched = self._match(st, st.waiting)
+                if matched is None:
+                    return  # stay parked; a future send will wake us
+                self._complete_recv(st, matched)
+                st.waiting = None
+                # fall through to resume the generator with the payload
+
+            try:
+                value, st.pending_value = st.pending_value, None
+                op = st.gen.send(value)
+            except StopIteration as stop:
+                st.finished = True
+                st.result = stop.value
+                return
+
+            if isinstance(op, _ComputeOp):
+                dt = machine.cpu.seconds_for(op.ops, st.resident) / machine.rank_speed[
+                    st.rank
+                ]
+                start = st.clock
+                st.clock += dt
+                if op.redundant:
+                    st.budget.redundancy_s += dt
+                    self._record(st.rank, "redundancy", start, st.clock)
+                else:
+                    st.budget.work_s += dt
+                    self._record(st.rank, "compute", start, st.clock)
+            elif isinstance(op, _ElapseOp):
+                start = st.clock
+                st.clock += op.seconds
+                if op.kind == "work":
+                    st.budget.work_s += op.seconds
+                    self._record(st.rank, "compute", start, st.clock)
+                elif op.kind == "redundancy":
+                    st.budget.redundancy_s += op.seconds
+                    self._record(st.rank, "redundancy", start, st.clock)
+                else:
+                    st.budget.comm_s += op.seconds
+                    self._record(st.rank, "send", start, st.clock)
+            elif isinstance(op, _MemoryOp):
+                st.resident = op.resident_bytes
+            elif isinstance(op, _SendOp):
+                self._do_send(st, op, states, heap, in_heap)
+            elif isinstance(op, _RecvOp):
+                matched = self._match(st, op)
+                if matched is None:
+                    st.waiting = op
+                    return
+                self._complete_recv(st, matched)
+            else:
+                raise SimulationError(f"rank {st.rank} yielded unknown op {op!r}")
+
+            # After a state change our clock may no longer be minimal;
+            # requeue and let the scheduler pick the next rank.
+            self._push(st, heap, in_heap)
+            return
+
+    def _do_send(self, st: _RankState, op: _SendOp, states, heap, in_heap) -> None:
+        machine = self.machine
+        overhead = machine.sw_send_overhead_s + op.nbytes / machine.copy_bytes_per_s
+        self._record(st.rank, "send", st.clock, st.clock + overhead, op.dst, op.nbytes)
+        st.clock += overhead
+        st.budget.comm_s += overhead
+        src_node = machine.placement[st.rank]
+        dst_node = machine.placement[op.dst]
+        deliver = machine.network.transfer(src_node, dst_node, op.nbytes, st.clock)
+        dst = states[op.dst]
+        key = (st.rank, op.tag)
+        dst.mailbox.setdefault(key, []).append((deliver, _copy_payload(op.payload)))
+        if dst.waiting is not None:
+            self._push(dst, heap, in_heap)
+
+    def _match(self, st: _RankState, op: _RecvOp):
+        """Find the earliest-arriving mailbox entry matching a recv."""
+        best_key = None
+        best_arrive = None
+        for (src, tag), queue in st.mailbox.items():
+            if not queue:
+                continue
+            if op.src != ANY_SOURCE and src != op.src:
+                continue
+            if op.tag != ANY_TAG and tag != op.tag:
+                continue
+            arrive = queue[0][0]
+            if (
+                best_arrive is None
+                or arrive < best_arrive
+                or (arrive == best_arrive and (src, tag) < best_key)
+            ):
+                best_arrive, best_key = arrive, (src, tag)
+        if best_key is None:
+            return None
+        return best_key, st.mailbox[best_key].pop(0)
+
+    def _complete_recv(self, st: _RankState, matched) -> None:
+        machine = self.machine
+        (src, _tag), (arrive, payload) = matched
+        nbytes = payload_nbytes(payload)
+        copy_time = nbytes / machine.copy_bytes_per_s
+        done = max(st.clock, arrive) + machine.sw_recv_overhead_s + copy_time
+        self._record(st.rank, "recv", st.clock, done, src, nbytes)
+        st.budget.comm_s += done - st.clock
+        st.clock = done
+        st.pending_value = payload

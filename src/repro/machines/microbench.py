@@ -1,0 +1,136 @@
+"""Communication microbenchmarks for simulated machines.
+
+The JNNIE effort leaned on micro-performance measurement ("metrics and
+structured evaluation methods to discover the sources of performance
+degradation in the basic observable behavior of a machine"); these are
+the standard micro-kernels, runnable against any :class:`Machine`:
+
+* :func:`ping_pong` — round-trip time vs message size between two ranks;
+  fits the alpha-beta model (per-message latency, per-byte cost).
+* :func:`ring_bandwidth` — simultaneous neighbor exchange throughput.
+* :func:`bisection_exchange` — all pairs across the machine's bisection
+  exchanging at once (stresses shared channels; contention shows up as a
+  lower effective rate than the ping-pong beta).
+
+All results are virtual-time, so they characterize the *model* — the
+test suite uses them to verify the calibrated specs behave like their
+parameters claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machines.engine import Engine, Machine
+
+__all__ = ["AlphaBeta", "ping_pong", "ring_bandwidth", "bisection_exchange"]
+
+_TAG = 400
+
+
+@dataclass(frozen=True)
+class AlphaBeta:
+    """Fitted alpha-beta communication model.
+
+    ``time(n) = alpha + n / beta`` with ``alpha`` in seconds and ``beta``
+    in bytes/second, fitted by least squares over the sampled sizes.
+    """
+
+    alpha_s: float
+    beta_bytes_per_s: float
+    samples: tuple  # ((nbytes, one_way_seconds), ...)
+
+    def predict(self, nbytes: float) -> float:
+        """Model one-way time for a message of ``nbytes``."""
+        return self.alpha_s + nbytes / self.beta_bytes_per_s
+
+
+def ping_pong(
+    machine: Machine,
+    sizes=(64, 1024, 16384, 262144),
+    *,
+    src: int = 0,
+    dst: int | None = None,
+    repeats: int = 4,
+) -> AlphaBeta:
+    """Round-trip timing between two ranks, alpha-beta fitted.
+
+    ``dst`` defaults to the last rank (the machine's far corner under the
+    default placements).
+    """
+    if machine.nranks < 2:
+        raise ConfigurationError("ping_pong needs at least 2 ranks")
+    dst = machine.nranks - 1 if dst is None else dst
+    if src == dst:
+        raise ConfigurationError("ping_pong endpoints must differ")
+
+    samples = []
+    for nbytes in sizes:
+        payload = np.zeros(max(1, nbytes // 8))
+
+        def program(ctx):
+            if ctx.rank == src:
+                for _ in range(repeats):
+                    yield ctx.send(dst, payload, tag=_TAG)
+                    _ = yield ctx.recv(dst, tag=_TAG)
+            elif ctx.rank == dst:
+                for _ in range(repeats):
+                    received = yield ctx.recv(src, tag=_TAG)
+                    yield ctx.send(src, received, tag=_TAG)
+            return None
+
+        run = Engine(machine).run(program)
+        one_way = run.elapsed_s / (2 * repeats)
+        samples.append((payload.nbytes, one_way))
+
+    nbytes = np.array([s[0] for s in samples], dtype=np.float64)
+    times = np.array([s[1] for s in samples])
+    slope, alpha = np.polyfit(nbytes, times, 1)
+    if slope <= 0:
+        raise ConfigurationError("degenerate fit: non-positive per-byte cost")
+    return AlphaBeta(
+        alpha_s=float(max(alpha, 0.0)),
+        beta_bytes_per_s=float(1.0 / slope),
+        samples=tuple(samples),
+    )
+
+
+def ring_bandwidth(machine: Machine, nbytes: int = 262144) -> float:
+    """Aggregate bytes/second when every rank sends ``nbytes`` to its
+    right neighbor simultaneously (neighbor exchanges are the wavelet
+    guard-zone pattern)."""
+    if machine.nranks < 2:
+        raise ConfigurationError("ring_bandwidth needs at least 2 ranks")
+    payload = np.zeros(max(1, nbytes // 8))
+
+    def program(ctx):
+        right = (ctx.rank + 1) % ctx.nranks
+        left = (ctx.rank - 1) % ctx.nranks
+        yield ctx.send(right, payload, tag=_TAG)
+        _ = yield ctx.recv(left, tag=_TAG)
+        return None
+
+    run = Engine(machine).run(program)
+    return machine.nranks * payload.nbytes / run.elapsed_s
+
+
+def bisection_exchange(machine: Machine, nbytes: int = 262144) -> float:
+    """Aggregate bytes/second when the lower half of the ranks exchanges
+    with the upper half pairwise (rank i <-> rank i + P/2) — the classic
+    bisection-bandwidth stress."""
+    if machine.nranks < 2 or machine.nranks % 2 != 0:
+        raise ConfigurationError("bisection_exchange needs an even rank count >= 2")
+    payload = np.zeros(max(1, nbytes // 8))
+    half = machine.nranks // 2
+
+    def program(ctx):
+        partner = ctx.rank + half if ctx.rank < half else ctx.rank - half
+        yield ctx.send(partner, payload, tag=_TAG)
+        _ = yield ctx.recv(partner, tag=_TAG)
+        return None
+
+    run = Engine(machine).run(program)
+    return machine.nranks * payload.nbytes / run.elapsed_s

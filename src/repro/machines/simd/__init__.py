@@ -1,0 +1,17 @@
+"""MasPar MP-1/MP-2 SIMD array model (cycle-accurate at the primitive
+level: MAC, X-net shift, ACU broadcast, global-router transaction)."""
+
+from repro.machines.simd.machine import MasParMachine, SimdStats
+from repro.machines.simd.spec import MasParSpec, maspar_mp1, maspar_mp2
+from repro.machines.simd.virtualization import CutAndStack, Hierarchical, Virtualization
+
+__all__ = [
+    "MasParMachine",
+    "SimdStats",
+    "MasParSpec",
+    "maspar_mp1",
+    "maspar_mp2",
+    "Virtualization",
+    "Hierarchical",
+    "CutAndStack",
+]

@@ -1,0 +1,118 @@
+"""The MasPar-style SIMD array machine.
+
+Operations execute the real computation on NumPy arrays representing the
+*logical* PE grid (one logical PE per pixel) while charging cycles
+according to the physical spec and the active virtualization scheme.
+Because the array marches in lockstep, cost depends only on geometry
+(active element count, shift distance, router traffic) — never on data
+values — so charging costs alongside exact NumPy arithmetic is faithful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machines.simd.spec import MasParSpec
+from repro.machines.simd.virtualization import CutAndStack, Hierarchical, Virtualization
+
+__all__ = ["MasParMachine", "SimdStats"]
+
+
+class SimdStats:
+    """Cycle breakdown of one SIMD run."""
+
+    def __init__(self) -> None:
+        self.mac_cycles = 0.0
+        self.shift_cycles = 0.0
+        self.broadcast_cycles = 0.0
+        self.router_cycles = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """All cycles charged."""
+        return (
+            self.mac_cycles
+            + self.shift_cycles
+            + self.broadcast_cycles
+            + self.router_cycles
+        )
+
+    def fractions(self) -> dict:
+        """Share of cycles per primitive category."""
+        total = self.total_cycles
+        if total <= 0:
+            return {"mac": 0.0, "shift": 0.0, "broadcast": 0.0, "router": 0.0}
+        return {
+            "mac": self.mac_cycles / total,
+            "shift": self.shift_cycles / total,
+            "broadcast": self.broadcast_cycles / total,
+            "router": self.router_cycles / total,
+        }
+
+
+class MasParMachine:
+    """A MasPar array executing logical-grid operations with cycle costs.
+
+    Parameters
+    ----------
+    spec:
+        Physical array spec (:func:`~repro.machines.simd.spec.maspar_mp2`
+        etc.).
+    virtualization:
+        ``"hierarchical"`` or ``"cut_and_stack"``.
+    """
+
+    def __init__(self, spec: MasParSpec, virtualization: str = "hierarchical") -> None:
+        self.spec = spec
+        if virtualization == "hierarchical":
+            self.virt: Virtualization = Hierarchical(spec)
+        elif virtualization == "cut_and_stack":
+            self.virt = CutAndStack(spec)
+        else:
+            raise ConfigurationError(
+                f"unknown virtualization {virtualization!r}; "
+                "use 'hierarchical' or 'cut_and_stack'"
+            )
+        self.virtualization = virtualization
+        self.stats = SimdStats()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Virtual seconds consumed so far."""
+        return self.spec.seconds(self.stats.total_cycles)
+
+    def reset(self) -> None:
+        """Zero the cycle counters."""
+        self.stats = SimdStats()
+
+    # -- primitives ---------------------------------------------------------
+
+    def broadcast(self, scalar: float) -> float:
+        """ACU scalar broadcast to every PE."""
+        self.stats.broadcast_cycles += self.virt.broadcast_cycles()
+        return float(scalar)
+
+    def mac(self, acc: np.ndarray, data: np.ndarray, coeff: float) -> None:
+        """In-place multiply-accumulate ``acc += coeff * data`` on all PEs."""
+        if acc.shape != data.shape:
+            raise ConfigurationError(
+                f"mac operand shapes differ: {acc.shape} vs {data.shape}"
+            )
+        self.stats.mac_cycles += self.virt.mac_cycles(acc.size)
+        acc += coeff * data
+
+    def shift(self, data: np.ndarray, distance: int, axis: int) -> np.ndarray:
+        """Logical toroidal shift moving each element ``distance`` positions
+        toward lower indices along ``axis`` (the systolic 'shift left')."""
+        self.stats.shift_cycles += self.virt.shift_cycles(data.size, abs(distance))
+        return np.roll(data, -distance, axis=axis)
+
+    def router_decimate(self, data: np.ndarray, axis: int) -> np.ndarray:
+        """Keep every second element along ``axis``, compacting through the
+        global router (the systolic algorithm's decimation step)."""
+        moved = data.size // 2
+        self.stats.router_cycles += self.virt.router_cycles(moved)
+        slicer = [slice(None)] * data.ndim
+        slicer[axis] = slice(0, None, 2)
+        return np.ascontiguousarray(data[tuple(slicer)])

@@ -1,0 +1,94 @@
+"""MasPar MP-1 / MP-2 cycle-cost specifications.
+
+The MasPar is a lockstep SIMD array: up to 16,384 PEs in a 128x128 grid,
+an X-net mesh (with diagonal/toroidal links), a circuit-switched global
+router shared one port per 4x4 PE cluster, and an ACU that broadcasts
+instructions and scalars.  The model charges *cycles per primitive*:
+
+* ``c_mac`` — one multiply-accumulate on every active PE,
+* ``c_mem`` — one PE-local memory move (virtualized shifts that stay
+  inside a PE's subimage are memory traffic, not X-net traffic),
+* ``c_xnet_hop`` — one X-net hop for one element,
+* ``c_bcast`` — ACU scalar broadcast,
+* ``c_router_elem`` — per-element router transaction time (serialized
+  ``cluster_size`` PEs to a port), plus ``c_router_setup`` per operation.
+
+MP-1 PEs are 4-bit slices, so each 32-bit float op is microcoded over many
+cycles; MP-2's 32-bit RISC PEs cut arithmetic cost by roughly an order of
+magnitude while the network costs stay put — which is why the MP-2 spec
+mostly scales ``c_mac``/``c_mem`` down.  Constants are calibrated so the
+MP-2 16K row of Appendix A Table 1 lands at its measured 0.017 / 0.014 /
+0.012 s for F8L1 / F4L2 / F2L4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MasParSpec", "maspar_mp1", "maspar_mp2"]
+
+
+@dataclass(frozen=True)
+class MasParSpec:
+    """Cycle costs and geometry of a MasPar-style SIMD array."""
+
+    name: str
+    pe_side: int = 128
+    clock_hz: float = 12.5e6
+    c_mac: float = 64.0
+    c_mem: float = 32.0
+    c_xnet_hop: float = 48.0
+    c_bcast: float = 40.0
+    c_router_elem: float = 16.0
+    c_router_setup: float = 200.0
+    cluster_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.pe_side < 1:
+            raise ConfigurationError(f"pe_side must be >= 1, got {self.pe_side}")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """Total processing elements."""
+        return self.pe_side * self.pe_side
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to virtual seconds."""
+        return cycles / self.clock_hz
+
+
+def maspar_mp2(pe_side: int = 128) -> MasParSpec:
+    """MP-2 (32-bit RISC PEs).  Constants calibrated to Appendix A Table 1."""
+    return MasParSpec(
+        name=f"maspar-mp2-{pe_side * pe_side // 1024}k",
+        pe_side=pe_side,
+        clock_hz=12.5e6,
+        c_mac=170.0,
+        c_mem=90.0,
+        c_xnet_hop=160.0,
+        c_bcast=260.0,
+        c_router_elem=69.0,
+        c_router_setup=1670.0,
+        cluster_size=16,
+    )
+
+
+def maspar_mp1(pe_side: int = 128) -> MasParSpec:
+    """MP-1 (4-bit PEs): arithmetic ~8x slower, network unchanged."""
+    base = maspar_mp2(pe_side)
+    return MasParSpec(
+        name=f"maspar-mp1-{pe_side * pe_side // 1024}k",
+        pe_side=pe_side,
+        clock_hz=base.clock_hz,
+        c_mac=base.c_mac * 8.0,
+        c_mem=base.c_mem * 3.0,
+        c_xnet_hop=base.c_xnet_hop,
+        c_bcast=base.c_bcast,
+        c_router_elem=base.c_router_elem,
+        c_router_setup=base.c_router_setup,
+        cluster_size=base.cluster_size,
+    )

@@ -1,0 +1,91 @@
+"""PE-array virtualization schemes.
+
+A 512x512 image on a 128x128 PE array needs each physical PE to stand in
+for 16 logical PEs.  Section 4.1 evaluates two ways to fold the image:
+
+* **Cut-and-stack** — the image is cut into PE-array-sized tiles and
+  stacked as layers; logical neighbors in different layers sit in the
+  *same relative position* of different tiles, so every logical shift by
+  ``d`` pixels is a physical X-net shift by ``d`` applied to every layer.
+* **Hierarchical** — each PE owns a contiguous ``s x s`` subimage; a
+  logical shift by ``d < s`` keeps most elements inside their PE (a local
+  memory move) and only a ``d/s`` fraction crosses to the neighbor PE.
+
+The paper reports the hierarchical scheme "gave the best results since it
+improves data locality" — the cost methods below are exactly that effect.
+
+Costs are computed from the number of *active logical elements* of the
+operand (idle PEs still march in lockstep, so the layer count never drops
+below one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machines.simd.spec import MasParSpec
+
+__all__ = ["Virtualization", "Hierarchical", "CutAndStack"]
+
+
+@dataclass(frozen=True)
+class Virtualization:
+    """Base: maps logical operand geometry onto the physical PE array."""
+
+    spec: MasParSpec
+
+    def layers(self, active_elements: int) -> int:
+        """Logical elements per PE (>= 1: the array runs lockstep even when
+        most PEs are idle)."""
+        return max(1, math.ceil(active_elements / self.spec.num_pes))
+
+    def mac_cycles(self, active_elements: int) -> float:
+        """One multiply-accumulate across the active logical elements."""
+        return self.layers(active_elements) * self.spec.c_mac
+
+    def shift_cycles(self, active_elements: int, distance: int) -> float:
+        """One logical shift of the active elements by ``distance`` pixels."""
+        raise NotImplementedError
+
+    def broadcast_cycles(self) -> float:
+        """ACU scalar broadcast (virtualization-independent)."""
+        return self.spec.c_bcast
+
+    def router_cycles(self, moved_elements: int) -> float:
+        """Global-router permutation of ``moved_elements`` logical elements.
+
+        Each 4x4 cluster shares a serial router port, so per-PE traffic is
+        serialized ``cluster_size``-fold.
+        """
+        per_pe = moved_elements / self.spec.num_pes
+        serialized = per_pe * self.spec.cluster_size
+        return self.spec.c_router_setup + serialized * self.spec.c_router_elem
+
+
+@dataclass(frozen=True)
+class Hierarchical(Virtualization):
+    """Each PE owns a contiguous subimage (the locality-preserving scheme)."""
+
+    def shift_cycles(self, active_elements: int, distance: int) -> float:
+        if distance == 0:
+            return 0.0
+        v = self.layers(active_elements)
+        subimage_side = max(1, int(math.isqrt(v)))
+        crossing_fraction = min(1.0, distance / subimage_side)
+        hops = max(1, distance // subimage_side)
+        local = v * self.spec.c_mem
+        xnet = v * crossing_fraction * hops * self.spec.c_xnet_hop
+        return local + xnet
+
+
+@dataclass(frozen=True)
+class CutAndStack(Virtualization):
+    """Tile-stacking scheme: every logical shift is a physical X-net shift
+    of every layer (no locality)."""
+
+    def shift_cycles(self, active_elements: int, distance: int) -> float:
+        if distance == 0:
+            return 0.0
+        v = self.layers(active_elements)
+        return v * (self.spec.c_mem + distance * self.spec.c_xnet_hop)

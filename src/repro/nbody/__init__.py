@@ -1,0 +1,60 @@
+"""Barnes-Hut N-body simulation (Appendix B's astrophysical application).
+
+Sequential API: :func:`build_tree` -> :func:`tree_forces` (or
+:func:`direct_forces`), wrapped by :class:`NBodySimulation`.
+Partitioning: :func:`costzones_partition` / :func:`orb_partition`.
+Parallel API: :func:`run_parallel_nbody` with the manager-worker or
+replicated worker-worker model on a simulated machine.
+"""
+
+from repro.nbody.diagnostics import (
+    TreeStats,
+    interaction_histogram,
+    radial_profile,
+    tree_statistics,
+    virial_ratio,
+)
+from repro.nbody.force import (
+    ForceResult,
+    direct_forces,
+    force_op_cost,
+    tree_build_op_cost,
+    tree_forces,
+)
+from repro.nbody.integrator import drift, kick, leapfrog_step
+from repro.nbody.parallel import (
+    ParallelNBodyOutcome,
+    manager_worker_program,
+    replicated_program,
+    run_parallel_nbody,
+)
+from repro.nbody.partition import costzones_partition, orb_partition, partition_balance
+from repro.nbody.simulation import NBodySimulation, StepStats
+from repro.nbody.tree import BarnesHutTree, build_tree
+
+__all__ = [
+    "BarnesHutTree",
+    "build_tree",
+    "ForceResult",
+    "tree_forces",
+    "direct_forces",
+    "force_op_cost",
+    "tree_build_op_cost",
+    "leapfrog_step",
+    "kick",
+    "drift",
+    "costzones_partition",
+    "orb_partition",
+    "partition_balance",
+    "NBodySimulation",
+    "StepStats",
+    "ParallelNBodyOutcome",
+    "manager_worker_program",
+    "replicated_program",
+    "run_parallel_nbody",
+    "TreeStats",
+    "tree_statistics",
+    "interaction_histogram",
+    "radial_profile",
+    "virial_ratio",
+]

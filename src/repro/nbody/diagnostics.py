@@ -1,0 +1,107 @@
+"""Diagnostics for Barnes-Hut simulations.
+
+Utilities downstream users need to understand a run: tree shape
+statistics (what the manager builds and broadcasts each step), the
+interaction-count distribution (what costzones balances on), radial
+density profiles (cluster structure), and the virial ratio (equilibrium
+check for Plummer-type initial conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.particles import ParticleSet
+from repro.errors import ConfigurationError
+from repro.nbody.force import direct_forces
+from repro.nbody.tree import BarnesHutTree
+
+__all__ = ["TreeStats", "tree_statistics", "interaction_histogram", "radial_profile", "virial_ratio"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Structural summary of a Barnes-Hut tree."""
+
+    cells: int
+    leaves: int
+    internal: int
+    depth: int
+    max_leaf_occupancy: int
+    mean_leaf_occupancy: float
+    cells_per_body: float
+    broadcast_bytes: int
+
+
+def tree_statistics(tree: BarnesHutTree) -> TreeStats:
+    """Summarize a tree's shape (the per-step payload of the
+    manager-worker code)."""
+    leaf_mask = tree.leaf_start >= 0
+    leaves = int(leaf_mask.sum())
+    occupied = tree.leaf_count[leaf_mask]
+    nonempty = occupied[occupied > 0]
+    return TreeStats(
+        cells=tree.ncells,
+        leaves=leaves,
+        internal=tree.ncells - leaves,
+        depth=tree.depth(),
+        max_leaf_occupancy=int(occupied.max()) if occupied.size else 0,
+        mean_leaf_occupancy=float(nonempty.mean()) if nonempty.size else 0.0,
+        cells_per_body=tree.ncells / max(1, tree.n),
+        broadcast_bytes=tree.serialized_nbytes(),
+    )
+
+
+def interaction_histogram(interactions: np.ndarray, bins: int = 10) -> tuple:
+    """Histogram of per-particle interaction counts.
+
+    Returns ``(edges, counts)``; a long upper tail is what makes naive
+    equal-count partitioning unbalanced and costzones necessary.
+    """
+    interactions = np.asarray(interactions, dtype=np.float64)
+    if interactions.size == 0:
+        raise ConfigurationError("no interactions to histogram")
+    counts, edges = np.histogram(interactions, bins=bins)
+    return edges, counts
+
+
+def radial_profile(particles: ParticleSet, bins: int = 20, center=None) -> tuple:
+    """Mass density vs radius about ``center`` (default: center of mass).
+
+    Returns ``(radii, density)`` with ``radii`` the bin centers and
+    ``density`` the enclosed mass per shell volume (area in 2-D).
+    """
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    center = particles.center_of_mass() if center is None else np.asarray(center)
+    offsets = particles.positions - center
+    radii = np.linalg.norm(offsets, axis=1)
+    edges = np.linspace(0.0, float(radii.max()) * 1.0001 + 1e-12, bins + 1)
+    density = np.zeros(bins)
+    dim = particles.dim
+    for i in range(bins):
+        mask = (radii >= edges[i]) & (radii < edges[i + 1])
+        mass = particles.masses[mask].sum()
+        if dim == 2:
+            volume = np.pi * (edges[i + 1] ** 2 - edges[i] ** 2)
+        else:
+            volume = 4.0 / 3.0 * np.pi * (edges[i + 1] ** 3 - edges[i] ** 3)
+        density[i] = mass / volume if volume > 0 else 0.0
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density
+
+
+def virial_ratio(particles: ParticleSet, softening: float = 1e-3) -> float:
+    """``-2 T / U``: 1.0 for a system in virial equilibrium.
+
+    Uses exact direct summation for the potential, so it is an O(N^2)
+    diagnostic intended for moderate N.
+    """
+    potential = direct_forces(
+        particles.positions, particles.masses, softening=softening
+    ).potential
+    if potential >= 0:
+        raise ConfigurationError("potential energy must be negative for a bound system")
+    return -2.0 * particles.kinetic_energy() / potential

@@ -1,0 +1,218 @@
+"""Gravitational force evaluation: Barnes-Hut walk and direct summation.
+
+The tree walk implements the paper's recursive acceptance test — "if the
+cell's center of mass is far enough away from the particle, the entire
+subtree is approximated by a single particle at the cell's center of
+mass; otherwise the cell is opened" — with the standard Barnes-Hut
+opening criterion ``s / d < theta`` (``s`` cell side, ``d`` particle-COM
+distance).
+
+The walk is *batched*: instead of one particle at a time, whole index
+batches descend the tree together, splitting at each cell into the
+accepted subset (monopole applied vectorized) and the rest (pushed to the
+cell's children).  The arithmetic is identical to the per-particle
+recursion; only the loop structure differs, which keeps Python overhead
+at O(cells) instead of O(N log N).
+
+Every evaluation returns per-particle *interaction counts* — the quantity
+costzones partitioning balances on, and the basis of the machine-model
+cost charging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nbody.tree import BarnesHutTree
+from repro.wavelet.cost import OpCount
+
+__all__ = [
+    "ForceResult",
+    "tree_forces",
+    "direct_forces",
+    "force_op_cost",
+    "tree_build_op_cost",
+]
+
+# Effective operation charges per interaction, calibrated (together with the
+# Paragon CPU rates) against Appendix B Table 1's serial N-body times.  The
+# mix is deliberately integer-dominated: the paper measured ~60% integer
+# operations in N-body (tree construction and traversal), and it is that
+# dominance that produces the order-of-magnitude i860 -> Alpha speedup of
+# Tables 1-2.
+_FLOPS_PER_INTERACTION = 6.0
+_INTOPS_PER_INTERACTION = 95.0
+_MEMOPS_PER_INTERACTION = 5.0
+_BUILD_INTOPS_PER_BODY_LEVEL = 12.0
+
+
+@dataclass
+class ForceResult:
+    """Accelerations plus the work statistics of the evaluation."""
+
+    accelerations: np.ndarray
+    interactions: np.ndarray  # per-particle interaction counts
+    potential: float  # total potential energy (pairwise, direct only if exact)
+
+    @property
+    def total_interactions(self) -> int:
+        """Sum of all particle-cell and particle-particle interactions."""
+        return int(self.interactions.sum())
+
+
+def _monopole(dpos: np.ndarray, mass, softening: float) -> np.ndarray:
+    """Acceleration contributions ``G=1``: ``m * r / (|r|^2 + eps^2)^{3/2}``.
+
+    ``dpos`` is (k, dim) displacement source-minus-target; ``mass`` scalar
+    or (k,) array.
+    """
+    r2 = (dpos**2).sum(axis=1) + softening**2
+    inv = r2**-1.5
+    return (np.asarray(mass) * inv)[:, None] * dpos
+
+
+def _quadrupole_acceleration(
+    dpos: np.ndarray, quadrupole: np.ndarray, softening: float
+) -> np.ndarray:
+    """Quadrupole correction to the monopole acceleration.
+
+    With ``r`` the field-point-to-source vector (``dpos = -r``) and the
+    traceless tensor ``Q`` about the source's center of mass, the
+    potential term ``-(r^T Q r)/(2 r^5)`` contributes
+
+        ``a = Q r / r^5 - (5/2) (r^T Q r) r / r^7``
+
+    expressed below in terms of ``dpos``.
+    """
+    r2 = (dpos**2).sum(axis=1) + softening**2
+    inv5 = r2**-2.5
+    inv7 = r2**-3.5
+    q_d = dpos @ quadrupole  # = -Q r
+    dqd = (dpos * q_d).sum(axis=1)  # = r^T Q r
+    return -q_d * inv5[:, None] + 2.5 * dqd[:, None] * dpos * inv7[:, None]
+
+
+def tree_forces(
+    tree: BarnesHutTree,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    theta: float = 0.6,
+    softening: float = 1e-3,
+    targets: np.ndarray | None = None,
+) -> ForceResult:
+    """Barnes-Hut accelerations for ``targets`` (default: all particles).
+
+    Parameters
+    ----------
+    tree:
+        Tree built over the *same* particle set (positions/masses).
+    theta:
+        Opening angle; smaller is more accurate and more expensive.
+    softening:
+        Plummer softening length.
+    targets:
+        Optional index array restricting evaluation (what a worker's
+        costzone owns in the parallel code).
+    """
+    if theta <= 0:
+        raise ConfigurationError(f"theta must be positive, got {theta}")
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if targets is None:
+        targets = np.arange(n)
+    else:
+        targets = np.asarray(targets, dtype=np.int64)
+
+    acc = np.zeros((n, tree.dim))
+    interactions = np.zeros(n, dtype=np.int64)
+
+    stack = [(0, targets)]
+    while stack:
+        cell, idx = stack.pop()
+        if idx.size == 0:
+            continue
+        if tree.is_leaf(cell):
+            start = tree.leaf_start[cell]
+            bodies = tree.order[start : start + tree.leaf_count[cell]]
+            if bodies.size == 0:
+                continue
+            # Direct particle-particle within the leaf, excluding self.
+            dpos = positions[bodies][None, :, :] - positions[idx][:, None, :]
+            r2 = (dpos**2).sum(axis=2) + softening**2
+            self_pair = idx[:, None] == bodies[None, :]
+            inv = np.where(self_pair, 0.0, r2**-1.5)
+            contrib = (masses[bodies][None, :] * inv)[:, :, None] * dpos
+            np.add.at(acc, idx, contrib.sum(axis=1))
+            np.add.at(interactions, idx, (~self_pair).sum(axis=1))
+            continue
+
+        dpos = tree.com[cell][None, :] - positions[idx]
+        dist = np.sqrt((dpos**2).sum(axis=1))
+        size = 2.0 * tree.half_width[cell]
+        accept = size < theta * dist
+        far = idx[accept]
+        if far.size:
+            contribution = _monopole(dpos[accept], tree.mass[cell], softening)
+            if tree.quadrupole is not None:
+                contribution = contribution + _quadrupole_acceleration(
+                    dpos[accept], tree.quadrupole[cell], softening
+                )
+            np.add.at(acc, far, contribution)
+            np.add.at(interactions, far, 1)
+        near = idx[~accept]
+        if near.size:
+            for child in tree.children[cell]:
+                if child >= 0:
+                    stack.append((int(child), near))
+
+    return ForceResult(
+        accelerations=acc[targets],
+        interactions=interactions[targets],
+        potential=float("nan"),  # tree walk does not produce an exact potential
+    )
+
+
+def direct_forces(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    softening: float = 1e-3,
+) -> ForceResult:
+    """Exact O(N^2) pairwise accelerations (the naive baseline Appendix B
+    notes is only viable below ~10,000 particles) plus the exact softened
+    potential energy."""
+    positions = np.asarray(positions, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    n = positions.shape[0]
+    dpos = positions[None, :, :] - positions[:, None, :]
+    r2 = (dpos**2).sum(axis=2) + softening**2
+    np.fill_diagonal(r2, np.inf)
+    inv = r2**-1.5
+    acc = ((masses[None, :] * inv)[:, :, None] * dpos).sum(axis=1)
+    inv_r = 1.0 / np.sqrt(r2)
+    potential = -0.5 * float((masses[:, None] * masses[None, :] * inv_r).sum())
+    return ForceResult(
+        accelerations=acc,
+        interactions=np.full(n, n - 1, dtype=np.int64),
+        potential=potential,
+    )
+
+
+def force_op_cost(total_interactions: int) -> OpCount:
+    """Machine-model cost of evaluating ``total_interactions`` interactions."""
+    return OpCount(
+        flops=total_interactions * _FLOPS_PER_INTERACTION,
+        intops=total_interactions * _INTOPS_PER_INTERACTION,
+        memops=total_interactions * _MEMOPS_PER_INTERACTION,
+    )
+
+
+def tree_build_op_cost(n: int, depth: int) -> OpCount:
+    """Machine-model cost of building a tree over ``n`` bodies of the given
+    depth (integer-dominated, per the paper's instruction-mix data)."""
+    per_body = _BUILD_INTOPS_PER_BODY_LEVEL * max(1, depth)
+    return OpCount(flops=0.0, intops=n * per_body, memops=n * per_body * 0.4)

@@ -1,0 +1,382 @@
+"""Parallel Barnes-Hut N-body: the manager-worker formulation of Appendix B.
+
+Per time step (exactly the paper's structure):
+
+1. The **manager** (rank 0) builds the Barnes-Hut tree sequentially and
+   broadcasts it — with positions, masses, and the previous step's
+   per-particle costs — to every node.
+2. Every node determines its own **costzone** from the broadcast tree
+   (this is the paper's "unique redundancy": domain-decomposition work
+   each processor performs to find its share).
+3. Each node walks the replicated tree for only its zone's particles
+   ("the original serial code for force evaluation may be used completely
+   unchanged"), advances them, and sends the updates back to the manager.
+4. The manager merges the updates and the next step begins.
+
+A **replicated worker-worker** variant is also provided: every rank
+builds the tree itself (duplication redundancy) so the broadcast
+disappears — the §5.3 trade of communication for redundancy.
+
+The manager participates as a worker for its own zone, and the body
+payload matches the paper's 56-byte 2-D body struct in spirit (positions,
+velocities, mass, cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.particles import ParticleSet
+from repro.errors import ConfigurationError
+from repro.machines.api import bcast
+from repro.machines.engine import Engine, Machine, RunResult
+from repro.nbody.force import force_op_cost, tree_build_op_cost, tree_forces
+from repro.nbody.partition import costzones_partition, orb_partition
+from repro.nbody.tree import BarnesHutTree, build_tree
+
+__all__ = ["ParallelNBodyOutcome", "manager_worker_program", "replicated_program", "run_parallel_nbody"]
+
+_TAG_UPDATE = 11
+
+_BYTES_PER_BODY = 56  # the paper's 2-D body struct size
+
+
+@dataclass
+class ParallelNBodyOutcome:
+    """Result of a parallel N-body run."""
+
+    run: RunResult
+    particles: ParticleSet
+    interactions_per_step: list
+
+
+def _partition(tree, positions, costs, nranks, method):
+    if method == "costzones":
+        return costzones_partition(tree, costs, nranks)
+    if method == "orb":
+        return orb_partition(positions, costs, nranks)
+    raise ConfigurationError(f"unknown partition method {method!r}")
+
+
+def _zone_step(ctx, tree, positions, velocities, masses, zone, costs, dt, theta, softening):
+    """Worker-side force evaluation and update for one costzone.
+
+    Returns the updated (positions, velocities, interactions) for the zone
+    after charging the machine-model cost of the real work performed.
+    """
+    result = tree_forces(
+        tree, positions, masses, theta=theta, softening=softening, targets=zone
+    )
+    yield ctx.charge(force_op_cost(result.total_interactions))
+    # Symplectic (semi-implicit) Euler keeps the per-step state exchange to
+    # positions and velocities only.
+    new_vel = velocities[zone] + result.accelerations * dt
+    new_pos = positions[zone] + new_vel * dt
+    yield ctx.compute(flops=4 * zone.size * positions.shape[1])
+    return new_pos, new_vel, result.interactions
+
+
+def _force_round(
+    ctx, positions, masses, costs, *, leaf_capacity, partition, theta, softening,
+    multipole="monopole",
+):
+    """One manager-coordinated force evaluation over all particles.
+
+    The manager builds and broadcasts the tree; every rank derives its
+    costzone and evaluates its share; the manager assembles the full
+    acceleration array.  Returns ``(accelerations, new_costs)`` on rank 0
+    and ``(None, None)`` elsewhere.
+    """
+    nranks = ctx.nranks
+    rank = ctx.rank
+    n = masses.shape[0]
+
+    if rank == 0:
+        tree = build_tree(positions, masses, leaf_capacity=leaf_capacity, multipole=multipole)
+        yield ctx.charge(tree_build_op_cost(n, tree.depth()))
+        payload = (tree.arrays(), positions, costs, tree.dim)
+    else:
+        payload = None
+    payload = yield from bcast(ctx, payload, root=0)
+    tree_arrays, positions, costs, dim = payload
+    tree = BarnesHutTree.from_arrays(dim, tree_arrays)
+
+    zones = _partition(tree, positions, costs, nranks, partition)
+    yield ctx.compute(intops=2 * n, redundant=True)
+    zone = zones[rank]
+
+    result = tree_forces(
+        tree, positions, masses, theta=theta, softening=softening, targets=zone
+    )
+    yield ctx.charge(force_op_cost(result.total_interactions))
+
+    if rank == 0:
+        accelerations = np.zeros_like(positions)
+        new_costs = np.ones(n)
+        accelerations[zone] = result.accelerations
+        new_costs[zone] = np.maximum(result.interactions, 1)
+        for src in range(1, nranks):
+            upd_zone, upd_acc, upd_int = yield ctx.recv(src, tag=_TAG_UPDATE)
+            accelerations[upd_zone] = upd_acc
+            new_costs[upd_zone] = np.maximum(upd_int, 1)
+        return accelerations, new_costs
+    yield ctx.send(0, (zone, result.accelerations, result.interactions), tag=_TAG_UPDATE)
+    return None, None
+
+
+def manager_worker_program(
+    ctx,
+    particles: ParticleSet,
+    steps: int,
+    *,
+    dt: float = 0.01,
+    theta: float = 0.6,
+    softening: float = 1e-3,
+    leaf_capacity: int = 1,
+    partition: str = "costzones",
+    integrator: str = "euler",
+    multipole: str = "monopole",
+):
+    """Rank program for the manager-worker N-body code.
+
+    ``integrator`` selects ``"euler"`` (semi-implicit, the paper's
+    worker-updates-its-particles flow) or ``"leapfrog"`` (kick-drift-kick;
+    matches :class:`~repro.nbody.simulation.NBodySimulation` exactly, at
+    the price of manager-side kick bookkeeping).
+    """
+    if integrator == "leapfrog":
+        result = yield from _leapfrog_manager_worker(
+            ctx,
+            particles,
+            steps,
+            dt=dt,
+            theta=theta,
+            softening=softening,
+            leaf_capacity=leaf_capacity,
+            partition=partition,
+            multipole=multipole,
+        )
+        return result
+    if integrator != "euler":
+        raise ConfigurationError(
+            f"unknown integrator {integrator!r}; use 'euler' or 'leapfrog'"
+        )
+    nranks = ctx.nranks
+    rank = ctx.rank
+    masses = particles.masses.copy()
+    n = masses.shape[0]
+    dim = particles.positions.shape[1]
+    yield ctx.set_resident_memory(n * _BYTES_PER_BODY if rank == 0 else 0)
+
+    positions = particles.positions.copy() if rank == 0 else None
+    velocities = particles.velocities.copy() if rank == 0 else None
+    costs = np.ones(n)
+    interactions_per_step = []
+
+    for _step in range(steps):
+        # Phase 1: sequential tree build at the manager.
+        if rank == 0:
+            tree = build_tree(
+                positions, masses, leaf_capacity=leaf_capacity, multipole=multipole
+            )
+            yield ctx.charge(tree_build_op_cost(n, tree.depth()))
+            payload = (tree.arrays(), positions, velocities, costs)
+        else:
+            payload = None
+        # Phase 2: broadcast the tree and particle state.
+        payload = yield from bcast(ctx, payload, root=0)
+        tree_arrays, positions, velocities, costs = payload
+        tree = BarnesHutTree.from_arrays(dim, tree_arrays)
+        if rank != 0:
+            yield ctx.set_resident_memory(tree.serialized_nbytes() + n * _BYTES_PER_BODY)
+
+        # Phase 3: every node derives its own zone (unique redundancy).
+        zones = _partition(tree, positions, costs, nranks, partition)
+        yield ctx.compute(intops=2 * n, redundant=True)
+        zone = zones[rank]
+
+        # Phase 4: local force evaluation and update.
+        new_pos, new_vel, zone_inter = yield from _zone_step(
+            ctx, tree, positions, velocities, masses, zone, costs, dt, theta, softening
+        )
+
+        # Phase 5: workers return updates; the manager merges.
+        if rank == 0:
+            positions = positions.copy()
+            velocities = velocities.copy()
+            new_costs = np.ones(n)
+            positions[zone] = new_pos
+            velocities[zone] = new_vel
+            new_costs[zone] = np.maximum(zone_inter, 1)
+            for src in range(1, nranks):
+                upd_zone, upd_pos, upd_vel, upd_int = yield ctx.recv(src, tag=_TAG_UPDATE)
+                positions[upd_zone] = upd_pos
+                velocities[upd_zone] = upd_vel
+                new_costs[upd_zone] = np.maximum(upd_int, 1)
+            costs = new_costs
+            interactions_per_step.append(int(costs.sum()))
+        else:
+            yield ctx.send(0, (zone, new_pos, new_vel, zone_inter), tag=_TAG_UPDATE)
+
+    if rank == 0:
+        return {
+            "positions": positions,
+            "velocities": velocities,
+            "interactions_per_step": interactions_per_step,
+        }
+    return None
+
+
+def _leapfrog_manager_worker(
+    ctx,
+    particles: ParticleSet,
+    steps: int,
+    *,
+    dt: float,
+    theta: float,
+    softening: float,
+    leaf_capacity: int,
+    partition: str,
+    multipole: str = "monopole",
+):
+    """Kick-drift-kick variant: force rounds at the drifted positions,
+    manager-side kicks.  Matches the sequential leapfrog simulation
+    bit-for-bit."""
+    rank = ctx.rank
+    masses = particles.masses.copy()
+    n = masses.shape[0]
+    yield ctx.set_resident_memory(n * _BYTES_PER_BODY if rank == 0 else 0)
+
+    positions = particles.positions.copy() if rank == 0 else None
+    velocities = particles.velocities.copy() if rank == 0 else None
+    costs = np.ones(n) if rank == 0 else None
+    interactions_per_step = []
+
+    kwargs = dict(
+        leaf_capacity=leaf_capacity,
+        partition=partition,
+        theta=theta,
+        softening=softening,
+        multipole=multipole,
+    )
+    accelerations, costs = yield from _force_round(ctx, positions, masses, costs, **kwargs)
+    for _step in range(steps):
+        if rank == 0:
+            half_kicked = velocities + accelerations * (dt / 2.0)
+            positions = positions + half_kicked * dt
+            yield ctx.compute(flops=4 * n * positions.shape[1])
+        accelerations, costs = yield from _force_round(
+            ctx, positions, masses, costs, **kwargs
+        )
+        if rank == 0:
+            velocities = half_kicked + accelerations * (dt / 2.0)
+            yield ctx.compute(flops=2 * n * positions.shape[1])
+            interactions_per_step.append(int(costs.sum()))
+
+    if rank == 0:
+        return {
+            "positions": positions,
+            "velocities": velocities,
+            "interactions_per_step": interactions_per_step,
+        }
+    return None
+
+
+def replicated_program(
+    ctx,
+    particles: ParticleSet,
+    steps: int,
+    *,
+    dt: float = 0.01,
+    theta: float = 0.6,
+    softening: float = 1e-3,
+    leaf_capacity: int = 1,
+    partition: str = "costzones",
+    multipole: str = "monopole",
+):
+    """Worker-worker variant: every rank rebuilds the tree (duplication
+    redundancy) and the per-step exchange is an all-gather of zone updates
+    — communication traded for redundancy, per §5.3."""
+    from repro.machines.api import allgather
+
+    nranks = ctx.nranks
+    rank = ctx.rank
+    masses = particles.masses.copy()
+    n = masses.shape[0]
+    positions = particles.positions.copy()
+    velocities = particles.velocities.copy()
+    costs = np.ones(n)
+    yield ctx.set_resident_memory(n * _BYTES_PER_BODY)
+    interactions_per_step = []
+
+    for _step in range(steps):
+        # Duplicated tree build on every rank: redundancy, not useful work.
+        tree = build_tree(
+            positions, masses, leaf_capacity=leaf_capacity, multipole=multipole
+        )
+        yield ctx.charge(tree_build_op_cost(n, tree.depth()), redundant=rank != 0)
+        zones = _partition(tree, positions, costs, nranks, partition)
+        yield ctx.compute(intops=2 * n, redundant=True)
+        zone = zones[rank]
+
+        new_pos, new_vel, zone_inter = yield from _zone_step(
+            ctx, tree, positions, velocities, masses, zone, costs, dt, theta, softening
+        )
+
+        updates = yield from allgather(ctx, (zone, new_pos, new_vel, zone_inter))
+        new_costs = np.ones(n)
+        for upd_zone, upd_pos, upd_vel, upd_int in updates:
+            positions[upd_zone] = upd_pos
+            velocities[upd_zone] = upd_vel
+            new_costs[upd_zone] = np.maximum(upd_int, 1)
+        costs = new_costs
+        interactions_per_step.append(int(costs.sum()))
+
+    if rank == 0:
+        return {
+            "positions": positions,
+            "velocities": velocities,
+            "interactions_per_step": interactions_per_step,
+        }
+    return None
+
+
+def run_parallel_nbody(
+    machine: Machine,
+    particles: ParticleSet,
+    steps: int,
+    *,
+    model: str = "manager_worker",
+    **kwargs,
+) -> ParallelNBodyOutcome:
+    """Run the parallel N-body simulation on a simulated machine.
+
+    ``model`` selects ``"manager_worker"`` (the paper's) or
+    ``"replicated"``.  Remaining keyword arguments are forwarded to the
+    rank program (``dt``, ``theta``, ``softening``, ``leaf_capacity``,
+    ``partition``).
+    """
+    programs = {
+        "manager_worker": manager_worker_program,
+        "replicated": replicated_program,
+    }
+    try:
+        program = programs[model]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {model!r}; use 'manager_worker' or 'replicated'"
+        ) from None
+    run = Engine(machine).run(program, particles, steps, **kwargs)
+    final = run.results[0]
+    out_particles = ParticleSet(
+        positions=final["positions"],
+        velocities=final["velocities"],
+        masses=particles.masses.copy(),
+    )
+    return ParallelNBodyOutcome(
+        run=run,
+        particles=out_particles,
+        interactions_per_step=final["interactions_per_step"],
+    )

@@ -1,0 +1,121 @@
+"""Sequential Barnes-Hut simulation driver.
+
+Runs the paper's per-time-step phase structure — build tree, upward pass
+(inside :func:`build_tree`), compute forces, update particles — and keeps
+the per-step statistics (interaction counts, tree shape, energies) that
+the parallel code and machine cost models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.particles import ParticleSet
+from repro.errors import ConfigurationError
+from repro.nbody.force import direct_forces, tree_forces
+from repro.nbody.integrator import leapfrog_step
+from repro.nbody.tree import BarnesHutTree, build_tree
+
+__all__ = ["StepStats", "NBodySimulation"]
+
+
+@dataclass
+class StepStats:
+    """Per-step bookkeeping used by partitioning and cost charging."""
+
+    step: int
+    total_interactions: int
+    interactions: np.ndarray
+    tree_cells: int
+    tree_depth: int
+    kinetic_energy: float
+
+
+@dataclass
+class NBodySimulation:
+    """Sequential Barnes-Hut N-body integrator.
+
+    Parameters
+    ----------
+    particles:
+        Initial conditions (mutated in place as the simulation advances).
+    dt:
+        Leapfrog step size.
+    theta:
+        Opening angle.
+    softening:
+        Plummer softening.
+    leaf_capacity:
+        Tree terminal-cell capacity.
+    """
+
+    particles: ParticleSet
+    dt: float = 0.01
+    theta: float = 0.6
+    softening: float = 1e-3
+    leaf_capacity: int = 1
+    multipole: str = "monopole"
+    history: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+        self._accelerations = None
+        self._step = 0
+        self.last_tree: BarnesHutTree | None = None
+        self.last_interactions = np.ones(self.particles.n)
+
+    def _forces(self, positions: np.ndarray):
+        tree = build_tree(
+            positions,
+            self.particles.masses,
+            leaf_capacity=self.leaf_capacity,
+            multipole=self.multipole,
+        )
+        result = tree_forces(
+            tree,
+            positions,
+            self.particles.masses,
+            theta=self.theta,
+            softening=self.softening,
+        )
+        self.last_tree = tree
+        self.last_interactions = result.interactions
+        return result
+
+    def step(self) -> StepStats:
+        """Advance one leapfrog step; returns the step's statistics."""
+        ps = self.particles
+        if self._accelerations is None:
+            self._accelerations = self._forces(ps.positions).accelerations
+
+        def evaluate(positions):
+            return self._forces(positions).accelerations
+
+        ps.positions, ps.velocities, self._accelerations = leapfrog_step(
+            ps.positions, ps.velocities, self._accelerations, self.dt, evaluate
+        )
+        self._step += 1
+        stats = StepStats(
+            step=self._step,
+            total_interactions=int(self.last_interactions.sum()),
+            interactions=self.last_interactions,
+            tree_cells=self.last_tree.ncells,
+            tree_depth=self.last_tree.depth(),
+            kinetic_energy=ps.kinetic_energy(),
+        )
+        self.history.append(stats)
+        return stats
+
+    def run(self, steps: int) -> list:
+        """Advance ``steps`` steps, returning their statistics."""
+        return [self.step() for _ in range(steps)]
+
+    def energy(self) -> float:
+        """Exact total energy via direct summation (O(N^2); diagnostics)."""
+        result = direct_forces(
+            self.particles.positions, self.particles.masses, softening=self.softening
+        )
+        return self.particles.kinetic_energy() + result.potential

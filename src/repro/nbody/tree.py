@@ -1,0 +1,293 @@
+"""Barnes-Hut tree construction (Appendix B, Section 2.2).
+
+The tree follows the paper's three construction properties:
+
+1. the root cell encloses all of the bodies,
+2. no terminal cell contains more than ``leaf_capacity`` bodies,
+3. any cell with ``leaf_capacity`` or fewer bodies is a terminal cell.
+
+The implementation is array-based (the paper likewise flattens the tree
+into body and cell arrays): cells are stored in struct-of-arrays form so
+the force walk can run vectorized acceptance tests over whole particle
+batches per cell, and centers of mass are computed by the standard upward
+pass.
+
+Works in 2-D (quadtree — the paper's galaxy simulations are 2-D with a
+56-byte body struct) and 3-D (octree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BarnesHutTree", "build_tree"]
+
+
+@dataclass
+class BarnesHutTree:
+    """Flattened Barnes-Hut tree.
+
+    Cell ``0`` is the root.  ``children[c, q]`` is the child cell id in
+    quadrant/octant ``q`` or ``-1``.  Leaves own the contiguous slice
+    ``order[leaf_start[c]:leaf_start[c]+leaf_count[c]]`` of particle
+    indices (``order`` is the tree's in-order particle permutation, which
+    is exactly what costzones partitioning traverses).
+    """
+
+    dim: int
+    center: np.ndarray  # (ncells, dim) geometric centers
+    half_width: np.ndarray  # (ncells,)
+    mass: np.ndarray  # (ncells,) total mass
+    com: np.ndarray  # (ncells, dim) center of mass
+    children: np.ndarray  # (ncells, 2**dim) child ids or -1
+    leaf_start: np.ndarray  # (ncells,) slice start into `order` (-1 internal)
+    leaf_count: np.ndarray  # (ncells,) bodies in leaf (0 for internal)
+    order: np.ndarray  # (n,) in-order particle permutation
+    body_count: np.ndarray  # (ncells,) bodies under each cell
+    quadrupole: np.ndarray = None  # (ncells, dim, dim) traceless tensors, optional
+
+    @property
+    def ncells(self) -> int:
+        """Number of cells (internal + leaf)."""
+        return self.center.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of bodies in the tree."""
+        return self.order.shape[0]
+
+    def is_leaf(self, cell: int) -> bool:
+        """True if ``cell`` is terminal."""
+        return self.leaf_start[cell] >= 0
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth (root = 0)."""
+        depths = np.zeros(self.ncells, dtype=np.int64)
+        best = 0
+        for cell in range(self.ncells):
+            for child in self.children[cell]:
+                if child >= 0:
+                    depths[child] = depths[cell] + 1
+                    best = max(best, int(depths[child]))
+        return best
+
+    def serialized_nbytes(self) -> int:
+        """Wire size of the tree (what the manager broadcasts each step)."""
+        total = (
+            self.center.nbytes
+            + self.half_width.nbytes
+            + self.mass.nbytes
+            + self.com.nbytes
+            + self.children.nbytes
+            + self.leaf_start.nbytes
+            + self.leaf_count.nbytes
+            + self.order.nbytes
+            + self.body_count.nbytes
+        )
+        if self.quadrupole is not None:
+            total += self.quadrupole.nbytes
+        return total
+
+    def arrays(self) -> tuple:
+        """The payload tuple shipped over the simulated network."""
+        return (
+            self.center,
+            self.half_width,
+            self.mass,
+            self.com,
+            self.children,
+            self.leaf_start,
+            self.leaf_count,
+            self.order,
+            self.body_count,
+            self.quadrupole,
+        )
+
+    @classmethod
+    def from_arrays(cls, dim: int, arrays: tuple) -> "BarnesHutTree":
+        """Rebuild a tree from :meth:`arrays` output (receiver side)."""
+        return cls(dim, *arrays)
+
+
+class _Builder:
+    def __init__(self, positions: np.ndarray, masses: np.ndarray, leaf_capacity: int):
+        self.pos = positions
+        self.masses = masses
+        self.leaf_capacity = leaf_capacity
+        self.dim = positions.shape[1]
+        self.nquad = 2**self.dim
+        self.center: list = []
+        self.half: list = []
+        self.children: list = []
+        self.leaf_start: list = []
+        self.leaf_count: list = []
+        self.body_count: list = []
+        self.order = np.empty(positions.shape[0], dtype=np.int64)
+        self.order_fill = 0
+
+    def new_cell(self, center: np.ndarray, half: float, nbodies: int) -> int:
+        cell = len(self.center)
+        self.center.append(center)
+        self.half.append(half)
+        self.children.append([-1] * self.nquad)
+        self.leaf_start.append(-1)
+        self.leaf_count.append(0)
+        self.body_count.append(nbodies)
+        return cell
+
+    def build(self, indices: np.ndarray, center: np.ndarray, half: float) -> int:
+        cell = self.new_cell(center, half, indices.size)
+        if indices.size <= self.leaf_capacity:
+            self.leaf_start[cell] = self.order_fill
+            self.leaf_count[cell] = indices.size
+            self.order[self.order_fill : self.order_fill + indices.size] = indices
+            self.order_fill += indices.size
+            return cell
+        pos = self.pos[indices]
+        # Quadrant code: bit d set when coordinate d >= center[d].
+        codes = np.zeros(indices.size, dtype=np.int64)
+        for d in range(self.dim):
+            codes |= (pos[:, d] >= center[d]).astype(np.int64) << d
+        for quadrant in range(self.nquad):
+            selected = indices[codes == quadrant]
+            if selected.size == 0:
+                continue
+            offset = np.array(
+                [half / 2 if (quadrant >> d) & 1 else -half / 2 for d in range(self.dim)]
+            )
+            child = self.build(selected, center + offset, half / 2)
+            self.children[cell][quadrant] = child
+        return cell
+
+
+def build_tree(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    leaf_capacity: int = 1,
+    padding: float = 1e-9,
+    multipole: str = "monopole",
+) -> BarnesHutTree:
+    """Build the Barnes-Hut tree over a particle set.
+
+    Parameters
+    ----------
+    positions, masses:
+        ``(n, dim)`` and ``(n,)`` arrays (dim 2 or 3).
+    leaf_capacity:
+        Maximum bodies per terminal cell (the paper's ``m``; its example
+        tree uses ``m = 1``).
+    padding:
+        Relative enlargement of the root cell so boundary particles fall
+        strictly inside.
+    multipole:
+        ``"monopole"`` (the paper's baseline) or ``"quadrupole"`` — the
+        "(perhaps with quadrupole and higher moments)" refinement: cells
+        additionally carry traceless quadrupole tensors about their
+        centers of mass (the dipole vanishes there), which
+        :func:`~repro.nbody.force.tree_forces` then uses for a more
+        accurate far-field at the same opening angle.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] not in (2, 3):
+        raise ConfigurationError("positions must be (n, 2) or (n, 3)")
+    if masses.shape != (positions.shape[0],):
+        raise ConfigurationError("masses must be (n,)")
+    if positions.shape[0] < 1:
+        raise ConfigurationError("tree needs at least one body")
+    if leaf_capacity < 1:
+        raise ConfigurationError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    span = float((hi - lo).max())
+    half = span / 2 * (1 + padding) + padding
+    root_center = (lo + hi) / 2.0
+
+    builder = _Builder(positions, masses, leaf_capacity)
+    builder.build(np.arange(positions.shape[0]), root_center, half)
+
+    ncells = len(builder.center)
+    children = np.array(builder.children, dtype=np.int64)
+    tree = BarnesHutTree(
+        dim=positions.shape[1],
+        center=np.array(builder.center),
+        half_width=np.array(builder.half, dtype=np.float64),
+        mass=np.zeros(ncells),
+        com=np.zeros((ncells, positions.shape[1])),
+        children=children,
+        leaf_start=np.array(builder.leaf_start, dtype=np.int64),
+        leaf_count=np.array(builder.leaf_count, dtype=np.int64),
+        order=builder.order,
+        body_count=np.array(builder.body_count, dtype=np.int64),
+    )
+    if multipole not in ("monopole", "quadrupole"):
+        raise ConfigurationError(
+            f"unknown multipole order {multipole!r}; use 'monopole' or 'quadrupole'"
+        )
+    _upward_pass(tree, positions, masses)
+    if multipole == "quadrupole":
+        _quadrupole_pass(tree, positions, masses)
+    return tree
+
+
+def _point_quadrupole(offsets: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Traceless quadrupole ``sum_i w_i (3 d_i d_i^T - |d_i|^2 I)``."""
+    dim = offsets.shape[1]
+    outer = np.einsum("i,ij,ik->jk", weights, offsets, offsets)
+    trace = float((weights * (offsets**2).sum(axis=1)).sum())
+    return 3.0 * outer - trace * np.eye(dim)
+
+
+def _quadrupole_pass(tree: BarnesHutTree, positions: np.ndarray, masses: np.ndarray) -> None:
+    """Accumulate traceless quadrupole tensors about each cell's center of
+    mass, children before parents (parallel-axis recombination)."""
+    dim = tree.dim
+    quadrupole = np.zeros((tree.ncells, dim, dim))
+    for cell in range(tree.ncells - 1, -1, -1):
+        if tree.is_leaf(cell):
+            start = tree.leaf_start[cell]
+            idx = tree.order[start : start + tree.leaf_count[cell]]
+            if idx.size:
+                offsets = positions[idx] - tree.com[cell]
+                quadrupole[cell] = _point_quadrupole(offsets, masses[idx])
+        else:
+            for child in tree.children[cell]:
+                if child >= 0:
+                    shift = (tree.com[child] - tree.com[cell])[None, :]
+                    quadrupole[cell] = (
+                        quadrupole[cell]
+                        + quadrupole[child]
+                        + _point_quadrupole(shift, np.array([tree.mass[child]]))
+                    )
+    tree.quadrupole = quadrupole
+
+
+def _upward_pass(tree: BarnesHutTree, positions: np.ndarray, masses: np.ndarray) -> None:
+    """Compute cell masses and centers of mass, children before parents.
+
+    Cells are created parent-before-child, so a reverse index sweep visits
+    every child before its parent.
+    """
+    weighted = np.zeros_like(tree.com)
+    for cell in range(tree.ncells - 1, -1, -1):
+        if tree.is_leaf(cell):
+            start = tree.leaf_start[cell]
+            count = tree.leaf_count[cell]
+            idx = tree.order[start : start + count]
+            tree.mass[cell] = masses[idx].sum()
+            weighted[cell] = (masses[idx, None] * positions[idx]).sum(axis=0)
+        else:
+            for child in tree.children[cell]:
+                if child >= 0:
+                    tree.mass[cell] += tree.mass[child]
+                    weighted[cell] += weighted[child]
+        if tree.mass[cell] > 0:
+            tree.com[cell] = weighted[cell] / tree.mass[cell]
+        else:
+            tree.com[cell] = tree.center[cell]

@@ -1,0 +1,85 @@
+"""Scalability metrics: speedup, efficiency, and extrapolation.
+
+Appendix B's figures report speedup relative to uniprocessor runs; for
+problem sizes whose uniprocessor run pages ("excessive paging was
+observed"), the paper extrapolates the uniprocessor time from smaller
+sizes to keep speedup curves honest — Figure 9 then shows what happens
+when the *measured* (paging) uniprocessor time is used instead:
+superlinear speedup.  Both paths are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ScalingPoint", "ScalingCurve", "linear_extrapolate"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (processor count, time) measurement."""
+
+    nranks: int
+    elapsed_s: float
+
+
+@dataclass
+class ScalingCurve:
+    """A family of measurements sharing one workload.
+
+    Parameters
+    ----------
+    label:
+        Curve name for reports.
+    points:
+        The measurements.
+    serial_s:
+        Reference uniprocessor time; defaults to the P=1 point.
+    """
+
+    label: str
+    points: list
+    serial_s: float | None = None
+
+    def __post_init__(self) -> None:
+        self.points = sorted(self.points, key=lambda p: p.nranks)
+        if not self.points:
+            raise ConfigurationError("a scaling curve needs at least one point")
+        if self.serial_s is None:
+            for p in self.points:
+                if p.nranks == 1:
+                    self.serial_s = p.elapsed_s
+                    break
+        if self.serial_s is None:
+            raise ConfigurationError(
+                "no P=1 point and no explicit serial_s reference"
+            )
+
+    def speedup(self) -> list:
+        """(nranks, speedup) pairs."""
+        return [(p.nranks, self.serial_s / p.elapsed_s) for p in self.points]
+
+    def efficiency(self) -> list:
+        """(nranks, efficiency) pairs (speedup / nranks)."""
+        return [
+            (p.nranks, self.serial_s / p.elapsed_s / p.nranks) for p in self.points
+        ]
+
+
+def linear_extrapolate(sizes, times, target_size: float) -> float:
+    """Least-squares linear extrapolation of time vs problem size.
+
+    This is the paper's device for projecting non-paging uniprocessor
+    times at sizes that no longer fit in one node's memory (Appendix B
+    Tables 1-2's "extrapolated" rows).
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.size < 2 or sizes.size != times.size:
+        raise ConfigurationError("extrapolation needs >= 2 (size, time) pairs")
+    slope, intercept = np.polyfit(sizes, times, 1)
+    return float(slope * target_size + intercept)

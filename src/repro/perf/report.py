@@ -1,0 +1,126 @@
+"""Plain-text rendering of the evaluation artifacts.
+
+Every benchmark prints its table or figure series through these helpers so
+``pytest benchmarks/ --benchmark-only`` output reads like the paper's
+artifacts: rows of numbers with headers, plus ASCII bar profiles for the
+performance-budget figures.
+"""
+
+from __future__ import annotations
+
+from repro.machines.engine import RunResult
+
+__all__ = [
+    "format_table",
+    "format_budget",
+    "format_speedup_series",
+    "format_timeline",
+    "format_profile",
+]
+
+
+def format_table(title: str, headers: list, rows: list) -> str:
+    """Fixed-width table with a title rule.
+
+    Rows shorter than the header (e.g. triangular matrices) are padded
+    with empty cells.
+    """
+    width = len(headers)
+    rows = [list(row) + [""] * (width - len(row)) for row in rows]
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = [title, "-" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in columns[1:]:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.4g}"
+        return f"{cell:.3e}"
+    return str(cell)
+
+
+def format_budget(title: str, run: RunResult) -> str:
+    """Render a run's mean performance budget as the paper's stacked-bar
+    figures, in ASCII."""
+    budget = run.mean_budget()
+    fractions = budget.fractions()
+    lines = [title]
+    for key in ("work", "comm", "redundancy", "imbalance"):
+        bar = "#" * int(round(fractions[key] * 50))
+        lines.append(f"  {key:<11}{fractions[key] * 100:6.1f}% |{bar}")
+    lines.append(f"  elapsed {run.elapsed_s:.4f}s over {run.nranks} ranks")
+    return "\n".join(lines)
+
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def format_profile(title: str, values, *, width: int = 64) -> str:
+    """ASCII sparkline of a non-negative series (e.g. a workload's
+    parallelism profile over cycles), resampled to ``width`` columns by
+    bucket means."""
+    series = [float(v) for v in values]
+    if not series:
+        raise ValueError("cannot render an empty profile")
+    if len(series) > width:
+        bucket = len(series) / width
+        series = [
+            sum(series[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, int((i + 1) * bucket) - int(i * bucket))
+            for i in range(width)
+        ]
+    peak = max(series) or 1.0
+    glyphs = "".join(
+        _SPARK_GLYPHS[min(len(_SPARK_GLYPHS) - 1, int(v / peak * (len(_SPARK_GLYPHS) - 1)))]
+        for v in series
+    )
+    return f"{title}\n  |{glyphs}|  peak={peak:g}"
+
+
+_TIMELINE_GLYPHS = {"compute": "#", "redundancy": "~", "send": ">", "recv": "<"}
+
+
+def format_timeline(title: str, run: RunResult, *, width: int = 72) -> str:
+    """ASCII Gantt chart of a traced run (requires ``record_trace=True``).
+
+    Each rank gets a row; ``#`` = useful compute, ``~`` = redundancy,
+    ``>`` = send-side communication, ``<`` = receive/blocked, ``.`` =
+    idle.  Later events overwrite earlier ones within a character cell.
+    """
+    if run.trace is None:
+        raise ValueError(
+            "run has no trace; construct the Engine with record_trace=True"
+        )
+    span = max(run.elapsed_s, 1e-30)
+    rows = {rank: ["."] * width for rank in range(run.nranks)}
+    for event in run.trace:
+        start = int(event.start_s / span * width)
+        end = max(start + 1, int(event.end_s / span * width))
+        glyph = _TIMELINE_GLYPHS.get(event.kind, "?")
+        row = rows[event.rank]
+        for i in range(start, min(end, width)):
+            row[i] = glyph
+    lines = [title, f"0 {'-' * (width - 4)} {span:.4g}s"]
+    for rank in range(run.nranks):
+        lines.append(f"r{rank:<3}|{''.join(rows[rank])}|")
+    lines.append("legend: # work  ~ redundancy  > send  < recv/wait  . idle")
+    return "\n".join(lines)
+
+
+def format_speedup_series(title: str, series: dict) -> str:
+    """Render {label: [(nranks, speedup), ...]} like the paper's scaling
+    figures."""
+    lines = [title]
+    for label, points in series.items():
+        rendered = "  ".join(f"P={n}:{s:5.2f}" for n, s in points)
+        lines.append(f"  {label:<18}{rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""3-D electrostatic Particle-In-Cell simulation (Appendix B's plasma
+application).
+
+Sequential API: :class:`Grid3D`, :func:`deposit_cic`,
+:func:`solve_poisson`, :func:`electric_field`, :func:`gather_field`,
+:func:`push_particles`, wrapped by :class:`PicSimulation`.
+Parallel API: :func:`run_parallel_pic` (worker-worker SPMD with slab FFT
+and selectable global-sum implementation).
+"""
+
+from repro.pic.cost import (
+    deposit_cost,
+    fft_1d_cost,
+    fft_3d_cost,
+    field_cost,
+    gather_cost,
+    particle_step_cost,
+    push_cost,
+)
+from repro.pic.deposit import cic_weights, deposit_cic
+from repro.pic.diagnostics import (
+    EnergyHistory,
+    density_mode_spectrum,
+    energy_history,
+    estimate_plasma_frequency,
+    velocity_moments,
+)
+from repro.pic.grid import Grid3D
+from repro.pic.interpolate import gather_field
+from repro.pic.parallel import (
+    ParallelPicOutcome,
+    particle_share,
+    pic_program,
+    run_parallel_pic,
+)
+from repro.pic.parallel_fft import parallel_poisson, slab_bounds
+from repro.pic.poisson import electric_field, poisson_spectrum_multiplier, solve_poisson
+from repro.pic.push import adaptive_dt, push_particles
+from repro.pic.simulation import PicSimulation, PicStepStats
+
+__all__ = [
+    "Grid3D",
+    "deposit_cic",
+    "cic_weights",
+    "solve_poisson",
+    "electric_field",
+    "poisson_spectrum_multiplier",
+    "gather_field",
+    "adaptive_dt",
+    "push_particles",
+    "PicSimulation",
+    "PicStepStats",
+    "parallel_poisson",
+    "slab_bounds",
+    "ParallelPicOutcome",
+    "pic_program",
+    "run_parallel_pic",
+    "particle_share",
+    "deposit_cost",
+    "gather_cost",
+    "push_cost",
+    "particle_step_cost",
+    "fft_1d_cost",
+    "fft_3d_cost",
+    "field_cost",
+    "EnergyHistory",
+    "energy_history",
+    "estimate_plasma_frequency",
+    "velocity_moments",
+    "density_mode_spectrum",
+]

@@ -1,0 +1,70 @@
+"""Machine-model operation counts for the PIC phases.
+
+Per-particle constants are calibrated (with the Paragon/T3D CPU rates in
+:mod:`repro.machines.specs`) against Appendix B Table 1/2's serial PIC
+rows: ~43 us/particle/iteration on the i860, ~16 us on the Alpha, with
+the memory-heavy mix the paper measured (~40% load/store, 23% FP).
+FFT work is the textbook ``5 N log2 N`` real-op count per 1-D transform.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.wavelet.cost import OpCount
+
+__all__ = [
+    "deposit_cost",
+    "gather_cost",
+    "push_cost",
+    "fft_1d_cost",
+    "fft_3d_cost",
+    "field_cost",
+    "particle_step_cost",
+]
+
+# Per-particle op charges per phase (deposit + gather + push together give
+# the calibrated ~43 us/particle on the Paragon spec).
+_DEPOSIT = OpCount(flops=24.0, intops=9.0, memops=50.0)
+_GATHER = OpCount(flops=28.0, intops=8.0, memops=55.0)
+_PUSH = OpCount(flops=8.0, intops=3.0, memops=15.0)
+
+
+def deposit_cost(num_particles: int) -> OpCount:
+    """Cloud-in-cell deposition over ``num_particles``."""
+    return _DEPOSIT * num_particles
+
+
+def gather_cost(num_particles: int) -> OpCount:
+    """Field interpolation to ``num_particles``."""
+    return _GATHER * num_particles
+
+
+def push_cost(num_particles: int) -> OpCount:
+    """Velocity/position update for ``num_particles``."""
+    return _PUSH * num_particles
+
+
+def particle_step_cost(num_particles: int) -> OpCount:
+    """All particle-bound phases of one step."""
+    return deposit_cost(num_particles) + gather_cost(num_particles) + push_cost(
+        num_particles
+    )
+
+
+def fft_1d_cost(length: int) -> OpCount:
+    """One complex 1-D FFT of ``length`` points."""
+    stages = max(1, int(math.log2(max(2, length))))
+    flops = 5.0 * length * stages
+    return OpCount(flops=flops, intops=flops * 0.3, memops=flops * 0.6)
+
+
+def fft_3d_cost(m: int) -> OpCount:
+    """Full 3-D FFT of an ``m^3`` grid (three sweeps of ``m^2`` 1-D FFTs)."""
+    return fft_1d_cost(m) * (3 * m * m)
+
+
+def field_cost(m: int) -> OpCount:
+    """k-space multiply plus central-difference gradient on an ``m^3`` grid."""
+    cells = m**3
+    return OpCount(flops=10.0 * cells, intops=3.0 * cells, memops=14.0 * cells)

@@ -1,0 +1,59 @@
+"""Cloud-In-Cell charge deposition (step 1 of the paper's PIC scheme).
+
+Each finite-size charge cloud is shared among the 2^3 grid points of the
+cell containing it with trilinear weights — the 3-D generalization of the
+paper's 1-D formula ``rho_g = q_i (x_i - x_{g-1}) / dx``.  Deposition is
+fully vectorized via ``np.add.at`` scatter-adds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pic.grid import Grid3D
+
+__all__ = ["deposit_cic", "cic_weights"]
+
+
+def cic_weights(grid: Grid3D, positions: np.ndarray) -> tuple:
+    """Lower-corner cell indices and per-axis weights of each particle.
+
+    Returns ``(base, frac)``: ``base[p, d]`` the index of the grid point at
+    or below the particle along axis ``d``, ``frac[p, d]`` the fractional
+    distance to it in cell units (weight of the *upper* neighbor).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ConfigurationError("positions must be (n, 3)")
+    scaled = grid.wrap_positions(positions) / grid.spacing
+    base = np.floor(scaled).astype(np.int64)
+    frac = scaled - base
+    base %= grid.m  # guard the exact-upper-boundary case
+    return base, frac
+
+
+def deposit_cic(
+    grid: Grid3D, positions: np.ndarray, charges: np.ndarray
+) -> np.ndarray:
+    """Deposit particle charges onto the grid, returning the charge-density
+    field (charge per cell volume).
+
+    The deposition conserves total charge exactly:
+    ``rho.sum() * cell_volume == charges.sum()``.
+    """
+    charges = np.asarray(charges, dtype=np.float64)
+    base, frac = cic_weights(grid, positions)
+    if charges.shape != (base.shape[0],):
+        raise ConfigurationError("charges must have one entry per particle")
+
+    rho = grid.zeros()
+    m = grid.m
+    for corner in range(8):
+        offsets = np.array([(corner >> d) & 1 for d in range(3)])
+        weight = np.ones(base.shape[0])
+        for d in range(3):
+            weight *= frac[:, d] if offsets[d] else (1.0 - frac[:, d])
+        idx = (base + offsets) % m
+        np.add.at(rho, (idx[:, 0], idx[:, 1], idx[:, 2]), charges * weight)
+    return rho / grid.cell_volume()

@@ -1,0 +1,112 @@
+"""Diagnostics for PIC simulations.
+
+Analysis tools over :class:`~repro.pic.simulation.PicStepStats` histories
+and particle states: total-energy bookkeeping, plasma-frequency
+estimation from the field-energy oscillation, velocity-distribution
+moments, and the charge-density mode spectrum (which the two-stream
+instability pumps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.particles import ParticleSet
+from repro.errors import ConfigurationError
+from repro.pic.deposit import deposit_cic
+from repro.pic.grid import Grid3D
+
+__all__ = [
+    "EnergyHistory",
+    "energy_history",
+    "estimate_plasma_frequency",
+    "velocity_moments",
+    "density_mode_spectrum",
+]
+
+
+@dataclass(frozen=True)
+class EnergyHistory:
+    """Field/kinetic/total energy series extracted from step stats."""
+
+    times: np.ndarray
+    field: np.ndarray
+    kinetic: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        """Field plus kinetic energy per step."""
+        return self.field + self.kinetic
+
+    def max_drift(self) -> float:
+        """Largest relative departure of the total energy from its start."""
+        total = self.total
+        reference = max(abs(total[0]), 1e-30)
+        return float(np.abs(total - total[0]).max() / reference)
+
+
+def energy_history(stats: list) -> EnergyHistory:
+    """Build an :class:`EnergyHistory` from a ``PicSimulation`` history."""
+    if not stats:
+        raise ConfigurationError("empty step history")
+    dts = np.array([s.dt for s in stats])
+    return EnergyHistory(
+        times=np.cumsum(dts),
+        field=np.array([s.field_energy for s in stats]),
+        kinetic=np.array([s.kinetic_energy for s in stats]),
+    )
+
+
+def estimate_plasma_frequency(history: EnergyHistory) -> float:
+    """Estimate ``omega_p`` from the field-energy oscillation.
+
+    The field energy of a Langmuir oscillation varies as
+    ``cos^2(omega_p t)`` — i.e. at ``2 omega_p`` — so the dominant
+    nonzero frequency of the (uniformly resampled) field series is twice
+    the plasma frequency.
+    """
+    if history.times.size < 8:
+        raise ConfigurationError("need at least 8 samples to estimate a frequency")
+    # Resample onto a uniform clock (adaptive stepping may vary dt).
+    uniform_t = np.linspace(history.times[0], history.times[-1], history.times.size)
+    field = np.interp(uniform_t, history.times, history.field)
+    field = field - field.mean()
+    spectrum = np.abs(np.fft.rfft(field))
+    freqs = np.fft.rfftfreq(field.size, d=uniform_t[1] - uniform_t[0])
+    peak = int(np.argmax(spectrum[1:])) + 1
+    return float(np.pi * freqs[peak])  # omega = 2*pi*f / 2
+
+
+def velocity_moments(particles: ParticleSet) -> dict:
+    """Mean drift and thermal spread per axis plus total rms speed."""
+    velocities = particles.velocities
+    return {
+        "drift": velocities.mean(axis=0),
+        "thermal": velocities.std(axis=0),
+        "rms_speed": float(np.sqrt((velocities**2).sum(axis=1).mean())),
+    }
+
+
+def density_mode_spectrum(
+    grid: Grid3D, particles: ParticleSet, axis: int = 0, modes: int = 8
+) -> np.ndarray:
+    """Amplitudes of the first ``modes`` density Fourier modes along an
+    axis (mode 1 is the one the two-stream instability amplifies).
+
+    Returns ``|rho_k| / |rho_0|`` for ``k = 1..modes``.
+    """
+    if not 0 <= axis < 3:
+        raise ConfigurationError(f"axis must be 0..2, got {axis}")
+    if modes < 1 or modes >= grid.m // 2:
+        raise ConfigurationError(
+            f"modes must be in [1, {grid.m // 2}), got {modes}"
+        )
+    rho = deposit_cic(grid, particles.positions, particles.masses)
+    other_axes = tuple(a for a in range(3) if a != axis)
+    line = rho.mean(axis=other_axes)
+    spectrum = np.abs(np.fft.rfft(line))
+    if spectrum[0] == 0:
+        raise ConfigurationError("zero mean density")
+    return spectrum[1 : modes + 1] / spectrum[0]

@@ -1,0 +1,171 @@
+"""Parallel 3-D electrostatic PIC: the worker-worker SPMD code of
+Appendix B.
+
+Particles are divided uniformly among the processors; each rank deposits
+its particles on a *full local grid copy*, the copies are combined with a
+global sum, the Poisson solve runs on the slab-decomposed parallel FFT,
+and every rank ends up with the global field to gather forces for its own
+particles.  The time step is the all-reduce minimum of the per-rank
+adaptive steps.
+
+Two ablations from the paper are selectable:
+
+* ``global_sum`` — ``"prefix"`` (the authors' recursive-doubling
+  replacement) vs ``"gssum"`` (the vendor-style many-to-many exchange
+  whose collapse beyond 8 processors Section 4.2.2 reports).
+* ``poisson`` — ``"slab"`` (parallel FFT) vs ``"replicated"`` (every rank
+  solves the full grid locally: communication traded for duplication
+  redundancy, the §5.3 observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.particles import ParticleSet
+from repro.errors import ConfigurationError
+from repro.machines.api import allreduce, gather, gssum_naive
+from repro.machines.engine import Engine, Machine, RunResult
+from repro.pic.cost import (
+    deposit_cost,
+    fft_3d_cost,
+    field_cost,
+    gather_cost,
+    push_cost,
+)
+from repro.pic.deposit import deposit_cic
+from repro.pic.grid import Grid3D
+from repro.pic.interpolate import gather_field
+from repro.pic.parallel_fft import parallel_electric_field, parallel_poisson
+from repro.pic.poisson import electric_field, solve_poisson
+from repro.pic.push import adaptive_dt, push_particles
+
+__all__ = ["ParallelPicOutcome", "pic_program", "run_parallel_pic", "particle_share"]
+
+_TAG_FINAL = 21
+
+_BYTES_PER_PARTICLE = 48  # 3 positions + 3 velocities, double precision
+
+
+@dataclass
+class ParallelPicOutcome:
+    """Result of a parallel PIC run."""
+
+    run: RunResult
+    particles: ParticleSet
+    dts: list
+
+
+def particle_share(n: int, nranks: int, rank: int) -> slice:
+    """Uniform contiguous particle slice owned by ``rank``."""
+    base = n // nranks
+    extra = n % nranks
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return slice(start, stop)
+
+
+def pic_program(
+    ctx,
+    grid: Grid3D,
+    particles: ParticleSet,
+    steps: int,
+    *,
+    dt_max: float = 0.05,
+    charge_sign: float = -1.0,
+    global_sum: str = "prefix",
+    poisson: str = "slab",
+    collect: bool = True,
+):
+    """Rank program for the worker-worker PIC code.
+
+    ``collect=False`` skips the final particle gather to rank 0, leaving
+    only per-iteration traffic in the communication budget (what the
+    paper's per-iteration comm figures measure).
+    """
+    if global_sum not in ("prefix", "gssum"):
+        raise ConfigurationError(f"unknown global_sum {global_sum!r}")
+    if poisson not in ("slab", "replicated"):
+        raise ConfigurationError(f"unknown poisson {poisson!r}")
+    nranks = ctx.nranks
+    rank = ctx.rank
+    share = particle_share(particles.n, nranks, rank)
+    positions = grid.wrap_positions(particles.positions[share].copy())
+    velocities = particles.velocities[share].copy()
+    masses = particles.masses[share].copy()
+    charges = charge_sign * masses
+    my_n = positions.shape[0]
+
+    grid_bytes = 6 * grid.num_cells * 8  # rho, phi, 3 E components, scratch
+    yield ctx.set_resident_memory(my_n * _BYTES_PER_PARTICLE + grid_bytes)
+
+    dts = []
+    for _step in range(steps):
+        # Phase 1: local deposition on a full grid copy.
+        rho_local = deposit_cic(grid, positions, charges)
+        yield ctx.charge(deposit_cost(my_n))
+
+        # Global charge combine: the paper's gssum vs parallel-prefix story.
+        if global_sum == "gssum":
+            rho = yield from gssum_naive(ctx, rho_local)
+        else:
+            rho = yield from allreduce(ctx, rho_local)
+
+        # Phase 2: Poisson solve and field evaluation.
+        if poisson == "slab" and nranks > 1 and grid.m % nranks == 0:
+            phi = yield from parallel_poisson(ctx, grid, rho)
+            efield = yield from parallel_electric_field(ctx, grid, phi)
+        else:
+            # Replicated solve: every rank computes the full grid.  One
+            # copy is useful work, the other P-1 copies are duplication
+            # redundancy (Appendix B's accounting), averaged per rank.
+            phi = solve_poisson(grid, rho)
+            efield = electric_field(grid, phi)
+            cost = fft_3d_cost(grid.m) + 2.0 * field_cost(grid.m)
+            yield ctx.charge(cost * (1.0 / nranks))
+            if nranks > 1:
+                yield ctx.charge(cost * ((nranks - 1.0) / nranks), redundant=True)
+
+        # Phase 3: gather forces for the local particles.
+        particle_field = gather_field(grid, efield, positions)
+        yield ctx.charge(gather_cost(my_n))
+        forces = charges[:, None] * particle_field
+
+        # Phase 4: adaptive step (global min) and push.
+        local_dt = adaptive_dt(grid, velocities, dt_max)
+        dt = yield from allreduce(ctx, local_dt, op=min)
+        positions, velocities = push_particles(
+            grid, positions, velocities, forces, masses, dt
+        )
+        yield ctx.charge(push_cost(my_n))
+        dts.append(dt)
+
+    if not collect:
+        return {"pieces": [(positions, velocities)], "dts": dts} if rank == 0 else None
+    final = yield from gather(ctx, (positions, velocities), root=0, tag=_TAG_FINAL)
+    if rank == 0:
+        return {"pieces": final, "dts": dts}
+    return None
+
+
+def run_parallel_pic(
+    machine: Machine,
+    grid: Grid3D,
+    particles: ParticleSet,
+    steps: int,
+    **kwargs,
+) -> ParallelPicOutcome:
+    """Run the worker-worker PIC code on a simulated machine.
+
+    Keyword arguments are forwarded to :func:`pic_program` (``dt_max``,
+    ``charge_sign``, ``global_sum``, ``poisson``).
+    """
+    run = Engine(machine).run(pic_program, grid, particles, steps, **kwargs)
+    result = run.results[0]
+    positions = np.vstack([p[0] for p in result["pieces"]])
+    velocities = np.vstack([p[1] for p in result["pieces"]])
+    masses = particles.masses[: positions.shape[0]].copy()
+    out = ParticleSet(positions, velocities, masses)
+    return ParallelPicOutcome(run=run, particles=out, dts=result["dts"])

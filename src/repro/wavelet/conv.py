@@ -1,0 +1,210 @@
+"""Periodized filtering primitives for the Mallat transform.
+
+The decomposition treats each image axis as circular (periodized), which is
+the convention that keeps every level's subbands exactly half the size of
+their parent and makes the orthonormal transform perfectly invertible.
+
+Two primitives cover both directions of the transform:
+
+* :func:`analyze_axis` — correlate with a filter and decimate by two
+  (steps 1+2 / 3+4 of the paper's algorithm description).
+* :func:`synthesize_axis` — upsample by two and circularly convolve
+  (the reconstruction mirror, Figure 2 of the paper).
+
+Both are vectorized over every other axis: the filter loop runs only over
+the (2-8) taps, so the inner work is pure NumPy slicing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "analyze_axis",
+    "analyze_axis_valid",
+    "synthesize_axis",
+    "synthesize_axis_valid",
+    "periodic_correlate",
+    "periodic_convolve",
+]
+
+
+def _validate_axis_length(n: int, taps: int) -> None:
+    if n % 2 != 0:
+        raise ConfigurationError(f"axis length must be even for decimation, got {n}")
+    if n < taps:
+        raise ConfigurationError(
+            f"axis length {n} is shorter than the filter ({taps} taps); "
+            "periodized filtering would wrap more than once"
+        )
+
+
+def analyze_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
+    """Periodized correlation with ``taps`` followed by decimation by 2.
+
+    Computes ``out[n] = sum_k taps[k] * data[(2n + k) mod N]`` along the
+    given axis, halving that axis.
+
+    Parameters
+    ----------
+    data:
+        Input array; the target axis must have even length >= the tap count.
+    taps:
+        1-D filter coefficients.
+    axis:
+        Axis to filter and decimate.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    moved = np.moveaxis(data, axis, -1)
+    n = moved.shape[-1]
+    m = taps.size
+    _validate_axis_length(n, m)
+
+    # Extend periodically by m-1 samples so windows never wrap mid-slice.
+    extended = np.concatenate([moved, moved[..., : m - 1]], axis=-1)
+    out = np.zeros(moved.shape[:-1] + (n // 2,), dtype=np.float64)
+    for k in range(m):
+        out += taps[k] * extended[..., k : k + n : 2]
+    return np.moveaxis(out, -1, axis)
+
+
+def analyze_axis_valid(
+    data: np.ndarray, taps: np.ndarray, axis: int, out_len: int
+) -> np.ndarray:
+    """Decimating correlation without periodization (valid mode).
+
+    Computes ``out[n] = sum_k taps[k] * data[2n + k]`` for ``n`` in
+    ``[0, out_len)``.  This is the primitive the coarse-grain SPMD
+    decomposition uses on a local stripe extended by its guard zone: the
+    guard rows supply exactly the samples that periodization (or the
+    neighbor) would, so stitching the per-rank outputs reproduces the
+    sequential periodized transform bit-for-bit.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    moved = np.moveaxis(data, axis, -1)
+    n = moved.shape[-1]
+    m = taps.size
+    if out_len < 0:
+        raise ConfigurationError(f"out_len must be >= 0, got {out_len}")
+    needed = 2 * (out_len - 1) + m if out_len else 0
+    if needed > n:
+        raise ConfigurationError(
+            f"valid-mode analysis needs {needed} input samples for "
+            f"out_len={out_len} with {m} taps, got {n}"
+        )
+    out = np.zeros(moved.shape[:-1] + (out_len,), dtype=np.float64)
+    for k in range(m):
+        out += taps[k] * moved[..., k : k + 2 * out_len : 2]
+    return np.moveaxis(out, -1, axis)
+
+
+def synthesize_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
+    """Upsample by 2 then periodically convolve with ``taps`` (adjoint of
+    :func:`analyze_axis`).
+
+    Computes ``out[m] = sum_n data[n] * taps[(m - 2n) mod N]`` along the
+    axis, doubling it.  Summing the low- and high-channel syntheses of an
+    orthonormal bank reconstructs the original signal exactly.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    moved = np.moveaxis(data, axis, -1)
+    half = moved.shape[-1]
+    n = half * 2
+    m = taps.size
+    _validate_axis_length(n, m)
+
+    upsampled = np.zeros(moved.shape[:-1] + (n,), dtype=np.float64)
+    upsampled[..., ::2] = moved
+    out = np.zeros_like(upsampled)
+    for k in range(m):
+        out += taps[k] * np.roll(upsampled, k, axis=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+def synthesize_axis_valid(
+    data: np.ndarray, taps: np.ndarray, axis: int, out_len: int, lead: int
+) -> np.ndarray:
+    """Upsampling synthesis without periodization (valid mode).
+
+    ``data`` holds a contiguous run of subband samples whose first ``lead``
+    entries are guard samples from the preceding (north) neighbor.  With
+    ``u`` the 2x zero-stuffed upsampling of ``data``, computes
+
+        ``out[j] = sum_k taps[k] * u[2*lead + j - k]``
+
+    for ``j`` in ``[0, out_len)`` — i.e. the synthesis outputs aligned with
+    the *owned* (non-guard) part of the stripe.  This is the reconstruction
+    counterpart of :func:`analyze_axis_valid`: guard samples supply what
+    periodization (or the neighbor) would, so stitching per-rank outputs
+    reproduces the sequential inverse transform exactly.
+
+    Requires ``lead >= (len(taps) - 1) // 2`` and enough trailing samples
+    (``out_len <= 2 * (data_len - lead)``).
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    moved = np.moveaxis(data, axis, -1)
+    length = moved.shape[-1]
+    m = taps.size
+    if out_len < 0:
+        raise ConfigurationError(f"out_len must be >= 0, got {out_len}")
+    if lead < (m - 1) // 2:
+        raise ConfigurationError(
+            f"valid-mode synthesis needs a guard of at least {(m - 1) // 2} "
+            f"samples for {m} taps, got {lead}"
+        )
+    if out_len > 2 * (length - lead):
+        raise ConfigurationError(
+            f"valid-mode synthesis has only {2 * (length - lead)} producible "
+            f"outputs, asked for {out_len}"
+        )
+    upsampled = np.zeros(moved.shape[:-1] + (2 * length,), dtype=np.float64)
+    upsampled[..., ::2] = moved
+    out = np.zeros(moved.shape[:-1] + (out_len,), dtype=np.float64)
+    base = 2 * lead
+    for k in range(m):
+        start = base - k
+        out += taps[k] * upsampled[..., start : start + out_len]
+    return np.moveaxis(out, -1, axis)
+
+
+def periodic_correlate(data: np.ndarray, taps: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Full-rate periodized correlation (no decimation).
+
+    ``out[n] = sum_k taps[k] * data[(n + k) mod N]``.  Used by the SIMD
+    systolic algorithm, which filters at full rate and decimates as a
+    separate routing step.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    moved = np.moveaxis(data, axis, -1)
+    n = moved.shape[-1]
+    if n < taps.size:
+        raise ConfigurationError(
+            f"axis length {n} is shorter than the filter ({taps.size} taps)"
+        )
+    out = np.zeros_like(moved)
+    for k in range(taps.size):
+        out += taps[k] * np.roll(moved, -k, axis=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+def periodic_convolve(data: np.ndarray, taps: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Full-rate periodized convolution ``out[n] = sum_k taps[k] * data[(n - k) mod N]``."""
+    taps = np.asarray(taps, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    moved = np.moveaxis(data, axis, -1)
+    n = moved.shape[-1]
+    if n < taps.size:
+        raise ConfigurationError(
+            f"axis length {n} is shorter than the filter ({taps.size} taps)"
+        )
+    out = np.zeros_like(moved)
+    for k in range(taps.size):
+        out += taps[k] * np.roll(moved, k, axis=-1)
+    return np.moveaxis(out, -1, axis)

@@ -1,0 +1,114 @@
+"""Operation-count cost model for the Mallat decomposition.
+
+The machine simulators charge virtual time from operation counts rather
+than wall-clock, so parallel speedup curves are a function of the
+algorithm and machine spec, not of the host Python interpreter.  This
+module centralizes the arithmetic/memory op counts of the 2-D transform;
+the figures below follow directly from the algorithm:
+
+* Each output sample of a decimating filter pass costs ``m`` multiplies and
+  ``m - 1`` adds (m = tap count), which we count as ``2m - 1`` flops.
+* A decomposition level on an ``r x c`` input produces ``r*c`` row-pass
+  samples (two half-width images) and ``r*c`` column-pass samples (four
+  quarter-size images), i.e. ``2*r*c`` filtered samples per level.
+* Memory traffic is ``m`` reads plus one write per output sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OpCount",
+    "dwt_level_cost",
+    "dwt_total_cost",
+    "filter_pass_cost",
+    "synthesis_pass_cost",
+]
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Bundle of operation counts chargeable to a machine model."""
+
+    flops: float = 0.0
+    intops: float = 0.0
+    memops: float = 0.0
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            self.flops + other.flops,
+            self.intops + other.intops,
+            self.memops + other.memops,
+        )
+
+    def __mul__(self, factor: float) -> "OpCount":
+        return OpCount(self.flops * factor, self.intops * factor, self.memops * factor)
+
+    __rmul__ = __mul__
+
+    def total(self) -> float:
+        """Sum of all operation categories."""
+        return self.flops + self.intops + self.memops
+
+
+def filter_pass_cost(output_samples: int, filter_length: int) -> OpCount:
+    """Cost of producing ``output_samples`` decimated filter outputs."""
+    if output_samples < 0:
+        raise ConfigurationError(f"output_samples must be >= 0, got {output_samples}")
+    if filter_length < 1:
+        raise ConfigurationError(f"filter_length must be >= 1, got {filter_length}")
+    flops = output_samples * (2 * filter_length - 1)
+    memops = output_samples * (filter_length + 1)
+    # Index arithmetic: loop counter, two decimation-index updates, and
+    # address computation — six integer ops per output sample (this count
+    # is part of the machine-spec calibration; see repro.machines.specs).
+    intops = output_samples * 6
+    return OpCount(flops=flops, intops=intops, memops=memops)
+
+
+def synthesis_pass_cost(output_samples: int, filter_length: int) -> OpCount:
+    """Cost of producing ``output_samples`` upsampling-synthesis outputs.
+
+    Zero-stuffed upsampling means each output touches only every other
+    tap (the polyphase identity), so the per-output arithmetic is half an
+    analysis pass's; a full inverse level therefore costs the same as the
+    forward level despite emitting twice the samples.
+    """
+    if filter_length < 2:
+        raise ConfigurationError(f"filter_length must be >= 2, got {filter_length}")
+    return filter_pass_cost(output_samples, (filter_length + 1) // 2)
+
+
+def dwt_level_cost(rows: int, cols: int, filter_length: int) -> OpCount:
+    """Cost of one full 2-D decomposition level on an ``rows x cols`` input.
+
+    The row pass emits two ``rows x cols/2`` images; the column pass emits
+    four ``rows/2 x cols/2`` images.
+    """
+    if rows % 2 or cols % 2:
+        raise ConfigurationError(
+            f"level input must have even dimensions, got {(rows, cols)}"
+        )
+    row_pass = filter_pass_cost(2 * rows * (cols // 2), filter_length)
+    col_pass = filter_pass_cost(4 * (rows // 2) * (cols // 2), filter_length)
+    return row_pass + col_pass
+
+
+def dwt_total_cost(
+    rows: int, cols: int, filter_length: int, levels: int
+) -> OpCount:
+    """Total cost of a ``levels``-deep decomposition of an ``rows x cols``
+    image (the LL band shrinks by 4x per level, so cost converges
+    geometrically)."""
+    if levels < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {levels}")
+    total = OpCount()
+    r, c = rows, cols
+    for _ in range(levels):
+        total = total + dwt_level_cost(r, c, filter_length)
+        r //= 2
+        c //= 2
+    return total

@@ -1,0 +1,178 @@
+"""Fine-grain SIMD wavelet decomposition: the MasPar algorithms.
+
+Section 4.1 describes two data-parallel formulations, both of which store
+the filter in the control unit and broadcast taps from last to first, with
+each (logical) PE holding one pixel:
+
+* **Systolic** — after every broadcast each PE multiply-accumulates and
+  shifts its *partial result* one PE to the left; after ``m`` steps each
+  PE holds one filtered pixel.  Decimation then compacts the even-indexed
+  results through the global router.
+* **Systolic with dilution** — the filter is "diluted" (stretched by the
+  level's stride) so taps align with the surviving pixels in place;
+  decimation becomes implicit and the router is never used, at the price
+  of longer X-net shifts at deeper levels and full-array MACs.
+
+Both run the real arithmetic through :class:`MasParMachine`, so their
+pyramids are verified against the sequential transform exactly, while the
+machine charges cycles per primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machines.simd.machine import MasParMachine, SimdStats
+from repro.wavelet.filters import FilterBank
+from repro.wavelet.pyramid import DetailTriple, WaveletPyramid
+from repro.wavelet.transform import max_decomposition_levels
+
+__all__ = ["SimdWaveletOutcome", "simd_mallat_decompose"]
+
+
+@dataclass
+class SimdWaveletOutcome:
+    """Result of a SIMD decomposition: pyramid, cycle stats, virtual time."""
+
+    pyramid: WaveletPyramid
+    stats: SimdStats
+    elapsed_s: float
+    algorithm: str
+    virtualization: str
+
+
+def _systolic_filter(
+    machine: MasParMachine, data: np.ndarray, taps: np.ndarray, axis: int, stride: int
+) -> np.ndarray:
+    """One filtering pass: broadcast taps last-to-first, MAC, shift the
+    partial result left by ``stride`` after every step but the last.
+
+    With ``stride == 1`` this is the plain systolic pass; with the level's
+    stride it is the diluted variant.  Final PE ``n`` holds
+    ``sum_k taps[k] * data[n + k*stride]`` (toroidal).
+    """
+    acc = np.zeros_like(data)
+    m = taps.size
+    for j in range(m - 1, -1, -1):
+        coeff = machine.broadcast(taps[j])
+        machine.mac(acc, data, coeff)
+        if j > 0:
+            acc = machine.shift(acc, stride, axis=axis)
+    return acc
+
+
+def simd_mallat_decompose(
+    machine: MasParMachine,
+    image: np.ndarray,
+    bank: FilterBank,
+    levels: int = 1,
+    *,
+    algorithm: str = "systolic",
+) -> SimdWaveletOutcome:
+    """Run the fine-grain decomposition on a MasPar machine model.
+
+    Parameters
+    ----------
+    machine:
+        :class:`MasParMachine` (its virtualization scheme governs shift
+        costs; counters are reset at entry).
+    image:
+        Square 2-D image with power-of-two-friendly dimensions.
+    bank, levels:
+        Analysis bank and decomposition depth.
+    algorithm:
+        ``"systolic"`` (router decimation) or ``"dilution"`` (in-place
+        strided filtering, no router).
+
+    Returns
+    -------
+    SimdWaveletOutcome
+        The pyramid (identical to the sequential transform) plus the cycle
+        breakdown and virtual elapsed time.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D image, got ndim={image.ndim}")
+    allowed = max_decomposition_levels(image.shape, bank.length)
+    if not 1 <= levels <= allowed:
+        raise ConfigurationError(
+            f"levels={levels} out of range for shape {image.shape} and "
+            f"{bank.length}-tap filter (max {allowed})"
+        )
+    machine.reset()
+
+    if algorithm == "systolic":
+        pyramid = _decompose_systolic(machine, image, bank, levels)
+    elif algorithm == "dilution":
+        pyramid = _decompose_dilution(machine, image, bank, levels)
+    else:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; use 'systolic' or 'dilution'"
+        )
+    return SimdWaveletOutcome(
+        pyramid=pyramid,
+        stats=machine.stats,
+        elapsed_s=machine.elapsed_s,
+        algorithm=algorithm,
+        virtualization=machine.virtualization,
+    )
+
+
+def _decompose_systolic(
+    machine: MasParMachine, image: np.ndarray, bank: FilterBank, levels: int
+) -> WaveletPyramid:
+    current = image.copy()
+    details = []
+    for _ in range(levels):
+        lo = _systolic_filter(machine, current, bank.lowpass, axis=1, stride=1)
+        hi = _systolic_filter(machine, current, bank.highpass, axis=1, stride=1)
+        lo = machine.router_decimate(lo, axis=1)
+        hi = machine.router_decimate(hi, axis=1)
+        ll = machine.router_decimate(
+            _systolic_filter(machine, lo, bank.lowpass, axis=0, stride=1), axis=0
+        )
+        lh = machine.router_decimate(
+            _systolic_filter(machine, lo, bank.highpass, axis=0, stride=1), axis=0
+        )
+        hl = machine.router_decimate(
+            _systolic_filter(machine, hi, bank.lowpass, axis=0, stride=1), axis=0
+        )
+        hh = machine.router_decimate(
+            _systolic_filter(machine, hi, bank.highpass, axis=0, stride=1), axis=0
+        )
+        details.append(DetailTriple(lh=lh, hl=hl, hh=hh))
+        current = ll
+    return WaveletPyramid(current, tuple(details), bank.name)
+
+
+def _decompose_dilution(
+    machine: MasParMachine, image: np.ndarray, bank: FilterBank, levels: int
+) -> WaveletPyramid:
+    # Full-size working arrays: valid level-k samples sit at stride 2^k.
+    current = image.copy()
+    diluted_details = []
+    stride = 1
+    for _ in range(levels):
+        lo = _systolic_filter(machine, current, bank.lowpass, axis=1, stride=stride)
+        hi = _systolic_filter(machine, current, bank.highpass, axis=1, stride=stride)
+        # Decimation is implicit: valid columns are now multiples of 2*stride.
+        ll = _systolic_filter(machine, lo, bank.lowpass, axis=0, stride=stride)
+        lh = _systolic_filter(machine, lo, bank.highpass, axis=0, stride=stride)
+        hl = _systolic_filter(machine, hi, bank.lowpass, axis=0, stride=stride)
+        hh = _systolic_filter(machine, hi, bank.highpass, axis=0, stride=stride)
+        stride *= 2
+        diluted_details.append((lh, hl, hh, stride))
+        current = ll
+    details = tuple(
+        DetailTriple(
+            lh=np.ascontiguousarray(lh[::s, ::s]),
+            hl=np.ascontiguousarray(hl[::s, ::s]),
+            hh=np.ascontiguousarray(hh[::s, ::s]),
+        )
+        for (lh, hl, hh, s) in diluted_details
+    )
+    approx = np.ascontiguousarray(current[::stride, ::stride])
+    return WaveletPyramid(approx, details, bank.name)

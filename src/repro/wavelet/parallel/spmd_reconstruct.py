@@ -1,0 +1,159 @@
+"""Coarse-grain SPMD wavelet *reconstruction* (the paper's Figure 2
+reverse process, parallelized with the same striping discipline as the
+decomposition).
+
+Each rank owns row stripes of every pyramid level.  Reconstruction runs
+coarsest-to-finest; at each level the column synthesis (upsample + filter
+along rows of the stripe) needs ``filter_length // 2`` guard rows from
+the *north* neighbor — the mirror of the decomposition's south guard —
+followed by fully local row synthesis.  Outputs are bit-identical to
+:func:`repro.wavelet.mallat_reconstruct_2d`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.machines.engine import Engine, Machine, RunResult
+from repro.wavelet.conv import synthesize_axis, synthesize_axis_valid
+from repro.wavelet.cost import synthesis_pass_cost
+from repro.wavelet.filters import FilterBank
+from repro.wavelet.parallel.decomposition import StripeDecomposition
+from repro.wavelet.pyramid import WaveletPyramid
+
+__all__ = ["SpmdReconstructOutcome", "striped_reconstruct_program", "run_spmd_reconstruct"]
+
+_TAG_DISTRIBUTE = 5
+_TAG_GUARD = 6
+_TAG_COLLECT = 7
+
+
+@dataclass
+class SpmdReconstructOutcome:
+    """Engine result plus the assembled image (rank 0)."""
+
+    run: RunResult
+    image: np.ndarray
+
+
+def _stripe_pieces(pyramid: WaveletPyramid, decomp: StripeDecomposition, rank: int):
+    """Slice one rank's stripes out of a full pyramid (deepest level's
+    stripes use the deepest row split, and so on upward)."""
+    levels = pyramid.levels
+    a0, a1 = decomp.row_range(rank, level=levels)
+    pieces = {"approx": pyramid.approximation[a0:a1].copy(), "details": []}
+    for level in range(levels):
+        d0, d1 = decomp.row_range(rank, level=level + 1)
+        triple = pyramid.details[level]
+        pieces["details"].append(
+            (triple.lh[d0:d1].copy(), triple.hl[d0:d1].copy(), triple.hh[d0:d1].copy())
+        )
+    return pieces
+
+
+def striped_reconstruct_program(
+    ctx,
+    pyramid: WaveletPyramid,
+    bank: FilterBank,
+    decomp: StripeDecomposition,
+    *,
+    distribute: bool = True,
+    collect: bool = True,
+):
+    """Rank program for the striped parallel reconstruction."""
+    rank, nranks = ctx.rank, ctx.nranks
+    m = bank.length
+    guard_depth = max(1, m // 2)
+    levels = pyramid.levels
+
+    if distribute and nranks > 1:
+        if rank == 0:
+            for dst in range(1, nranks):
+                yield ctx.send(dst, _stripe_pieces(pyramid, decomp, dst), tag=_TAG_DISTRIBUTE)
+            pieces = _stripe_pieces(pyramid, decomp, 0)
+        else:
+            pieces = yield ctx.recv(0, tag=_TAG_DISTRIBUTE)
+    else:
+        pieces = _stripe_pieces(pyramid, decomp, rank)
+
+    north = decomp.north_neighbor(rank)
+    south = decomp.south_neighbor(rank)
+    current = np.asarray(pieces["approx"], dtype=np.float64)
+
+    for level in range(levels - 1, -1, -1):
+        lh, hl, hh = (np.asarray(b, dtype=np.float64) for b in pieces["details"][level])
+        rows, cols = current.shape
+        if rows < guard_depth and nranks > 1:
+            raise DecompositionError(
+                f"local stripe of {rows} rows is shorter than the "
+                f"{guard_depth}-row synthesis guard; reduce ranks or levels"
+            )
+        yield ctx.compute(intops=64, redundant=True)
+
+        # Column synthesis needs the north neighbor's *bottom* guard rows
+        # of every subband at this level (periodic wrap via the ring).
+        if nranks > 1:
+            bottom = np.stack(
+                [current[-guard_depth:], lh[-guard_depth:], hl[-guard_depth:], hh[-guard_depth:]]
+            )
+            yield ctx.send(south, bottom, tag=_TAG_GUARD)
+            guard = yield ctx.recv(north, tag=_TAG_GUARD)
+        else:
+            guard = np.stack(
+                [current[-guard_depth:], lh[-guard_depth:], hl[-guard_depth:], hh[-guard_depth:]]
+            )
+        ext_ll = np.vstack([guard[0], current])
+        ext_lh = np.vstack([guard[1], lh])
+        ext_hl = np.vstack([guard[2], hl])
+        ext_hh = np.vstack([guard[3], hh])
+
+        out_rows = 2 * rows
+        low = synthesize_axis_valid(
+            ext_ll, bank.lowpass, 0, out_rows, guard_depth
+        ) + synthesize_axis_valid(ext_lh, bank.highpass, 0, out_rows, guard_depth)
+        high = synthesize_axis_valid(
+            ext_hl, bank.lowpass, 0, out_rows, guard_depth
+        ) + synthesize_axis_valid(ext_hh, bank.highpass, 0, out_rows, guard_depth)
+        yield ctx.charge(synthesis_pass_cost(4 * out_rows * cols, m))
+
+        # Row synthesis is fully local (rows are whole within a stripe).
+        current = synthesize_axis(low, bank.lowpass, 1) + synthesize_axis(
+            high, bank.highpass, 1
+        )
+        yield ctx.charge(synthesis_pass_cost(2 * out_rows * 2 * cols, m))
+
+    if collect and nranks > 1:
+        if rank == 0:
+            stripes = [current]
+            for src in range(1, nranks):
+                stripes.append((yield ctx.recv(src, tag=_TAG_COLLECT)))
+            return np.vstack(stripes)
+        yield ctx.send(0, current, tag=_TAG_COLLECT)
+        return None
+    return current if rank == 0 else None
+
+
+def run_spmd_reconstruct(
+    machine: Machine,
+    pyramid: WaveletPyramid,
+    bank: FilterBank,
+    *,
+    distribute: bool = True,
+    collect: bool = True,
+) -> SpmdReconstructOutcome:
+    """Reconstruct a pyramid on a simulated machine; the result matches
+    the sequential inverse transform exactly."""
+    rows, cols = pyramid.original_shape
+    decomp = StripeDecomposition(rows, cols, machine.nranks, pyramid.levels)
+    run = Engine(machine).run(
+        striped_reconstruct_program,
+        pyramid,
+        bank,
+        decomp,
+        distribute=distribute,
+        collect=collect,
+    )
+    return SpmdReconstructOutcome(run=run, image=run.results[0])

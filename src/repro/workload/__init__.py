@@ -1,0 +1,67 @@
+"""Architecture-invariant workload characterization (Appendix C).
+
+Pipeline: synthesize or supply a :class:`Trace` -> pack it with the
+oracle scheduler (:func:`oracle_schedule`) into a
+:class:`ParallelWorkload` -> characterize with :func:`centroid`,
+:func:`similarity` (the vector-space model), :func:`frobenius_similarity`
+(the parallelism-matrix baseline), and :func:`smoothability`.
+"""
+
+from repro.workload.centroid import centroid, similarity, similarity_matrix
+from repro.workload.kernels import (
+    appbt,
+    applu,
+    appsp,
+    buk,
+    cgm,
+    embar,
+    fftpde,
+    mgrid,
+    nas_suite,
+    toy_workloads,
+)
+from repro.workload.io import load_trace, load_workload, save_trace, save_workload
+from repro.workload.machine_fit import required_units, sustained_rate, typed_list_schedule
+from repro.workload.matrix import dense_size, frobenius_similarity, parallelism_matrix
+from repro.workload.oracle import ScheduleResult, list_schedule, oracle_schedule
+from repro.workload.smoothability import SmoothabilityResult, smoothability
+from repro.workload.suite import coverage_radius, redundant_pairs, select_representatives
+from repro.workload.trace import INSTRUCTION_TYPES, Instruction, ParallelWorkload, Trace
+
+__all__ = [
+    "INSTRUCTION_TYPES",
+    "Instruction",
+    "Trace",
+    "ParallelWorkload",
+    "ScheduleResult",
+    "oracle_schedule",
+    "list_schedule",
+    "centroid",
+    "similarity",
+    "similarity_matrix",
+    "parallelism_matrix",
+    "frobenius_similarity",
+    "dense_size",
+    "smoothability",
+    "SmoothabilityResult",
+    "typed_list_schedule",
+    "required_units",
+    "sustained_rate",
+    "save_trace",
+    "load_trace",
+    "save_workload",
+    "load_workload",
+    "redundant_pairs",
+    "select_representatives",
+    "coverage_radius",
+    "embar",
+    "mgrid",
+    "cgm",
+    "fftpde",
+    "buk",
+    "applu",
+    "appsp",
+    "appbt",
+    "nas_suite",
+    "toy_workloads",
+]

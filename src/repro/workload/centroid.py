@@ -1,0 +1,52 @@
+"""The parallel-instruction vector-space model (Appendix C Section 3).
+
+A workload is approximated by its **centroid** — the per-type mean
+parallel instruction — and two workloads are compared by the **normalized
+Euclidean distance** between their centroids (expressions (7)-(9)):
+
+    Sim(r, s) = d(C_r, C_s) / d(C_max(r, s), 0)
+
+where ``C_max`` takes the coordinate-wise maximum of the two centroids.
+The metric is 0 for identical workloads, 1 for orthogonal ones, and
+scales in between; unlike the parallelism-matrix baseline it responds to
+*similar* (not just identical) parallel instructions, at O(t) time and
+space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import ParallelWorkload
+
+__all__ = ["centroid", "similarity", "similarity_matrix"]
+
+
+def centroid(workload: ParallelWorkload) -> np.ndarray:
+    """Per-type mean parallel instruction (expression (6))."""
+    return workload.centroid()
+
+
+def similarity(a: ParallelWorkload, b: ParallelWorkload) -> float:
+    """Normalized Euclidean distance between centroids (expression (9)).
+
+    Returns 0.0 for identical centroids and 1.0 for fully orthogonal
+    workloads (disjoint operation types).
+    """
+    ca, cb = a.centroid(), b.centroid()
+    cmax = np.maximum(ca, cb)
+    denominator = float(np.linalg.norm(cmax))
+    if denominator == 0.0:
+        raise TraceError("cannot compare two all-zero workloads")
+    return float(np.linalg.norm(ca - cb)) / denominator
+
+
+def similarity_matrix(workloads: list) -> np.ndarray:
+    """Pairwise similarity table (the layout of Appendix C Table 8)."""
+    n = len(workloads)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i):
+            out[i, j] = out[j, i] = similarity(workloads[i], workloads[j])
+    return out

@@ -1,0 +1,80 @@
+"""Trace and workload persistence.
+
+Appendix C's pipeline ran over dynamic traces collected once (with spy)
+and analyzed many times; this module gives the reproduction the same
+workflow by persisting :class:`Trace` and :class:`ParallelWorkload`
+objects as compressed ``.npz`` archives:
+
+* traces store the type-index array plus a flattened dependency list
+  (CSR-style offsets), so arbitrarily shaped dataflow graphs round-trip,
+* workloads store their level matrix directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import INSTRUCTION_TYPES, ParallelWorkload, Trace
+
+__all__ = ["save_trace", "load_trace", "save_workload", "load_workload"]
+
+_TRACE_FORMAT = 1
+_WORKLOAD_FORMAT = 1
+
+
+def save_trace(path, trace: Trace) -> None:
+    """Write a trace to ``path`` (``.npz``)."""
+    offsets = np.zeros(len(trace) + 1, dtype=np.int64)
+    flat: list = []
+    for i, deps in enumerate(trace.deps):
+        flat.extend(deps)
+        offsets[i + 1] = len(flat)
+    np.savez_compressed(
+        path,
+        format=np.int64(_TRACE_FORMAT),
+        name=np.array(trace.name),
+        types=np.array(trace.types, dtype=np.int16),
+        dep_offsets=offsets,
+        dep_targets=np.array(flat, dtype=np.int64),
+    )
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if int(archive["format"]) != _TRACE_FORMAT:
+            raise TraceError(
+                f"unsupported trace format {int(archive['format'])}"
+            )
+        name = str(archive["name"])
+        types = archive["types"]
+        offsets = archive["dep_offsets"]
+        targets = archive["dep_targets"]
+    trace = Trace(name)
+    for i, type_index in enumerate(types):
+        if not 0 <= type_index < len(INSTRUCTION_TYPES):
+            raise TraceError(f"corrupt trace: type index {type_index}")
+        deps = tuple(int(d) for d in targets[offsets[i] : offsets[i + 1]])
+        trace.append(INSTRUCTION_TYPES[type_index], deps)
+    return trace
+
+
+def save_workload(path, workload: ParallelWorkload) -> None:
+    """Write a packed workload to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        format=np.int64(_WORKLOAD_FORMAT),
+        name=np.array(workload.name),
+        levels=workload.levels,
+    )
+
+
+def load_workload(path) -> ParallelWorkload:
+    """Read a workload written by :func:`save_workload`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if int(archive["format"]) != _WORKLOAD_FORMAT:
+            raise TraceError(
+                f"unsupported workload format {int(archive['format'])}"
+            )
+        return ParallelWorkload(name=str(archive["name"]), levels=archive["levels"])

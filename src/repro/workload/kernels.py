@@ -1,0 +1,281 @@
+"""Synthetic workload generators standing in for the NAS Parallel
+Benchmark traces of Appendix C Section 5.
+
+The original study traced SPARC executions of the NPB sample-size codes
+with ``spy`` and scheduled them with SITA; neither tool nor the traces
+are available, so each generator synthesizes a dependence graph with the
+defining computational structure of its benchmark — which is what the
+centroid/similarity/smoothability methodology actually responds to.  The
+generators are sized so the suite reproduces Table 7's *structure*: a
+shared int > mem > branch > fp operation mix with average parallelism
+ordered ``buk < cgm < mgrid < embar < fftpde < applu < appbt < appsp``
+(magnitudes scaled down ~4x to keep traces tractable; ratios preserved).
+
+================  ===========================================================
+``embar``         independent pseudorandom chains (embarrassingly parallel;
+                  jittered chain lengths -> imperfect smoothability)
+``mgrid``         multigrid stencil sweeps (wide, uniform levels -> very
+                  smooth)
+``cgm``           sparse mat-vec with reduction trees (narrow, moderate)
+``fftpde``        FFT butterflies (log-depth, uniform width, control ops)
+``buk``           integer bucket sort (serial histogram chains -> the
+                  suite's least smoothable member, integer-heavy)
+``applu/appsp/appbt``  simulated-CFD factorization sweeps (very wide
+                  levels; widths ordered appsp > appbt > applu as in
+                  Table 7)
+================  ===========================================================
+
+Also provided: the five toy workloads of Appendix C Section 4.1 (given in
+the paper directly as parallel-instruction tables), used to regenerate the
+parallelism-matrix vs vector-space comparison.  Parts of the source
+tables are corrupted in the surviving text; the readable rows are encoded
+verbatim and WL5 is reconstructed to preserve the property the section
+discusses — a centroid nearly identical to WL1's built from parallel
+instructions that never *equal* WL1's (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.trace import ParallelWorkload, Trace
+
+__all__ = [
+    "embar",
+    "mgrid",
+    "cgm",
+    "fftpde",
+    "buk",
+    "applu",
+    "appsp",
+    "appbt",
+    "nas_suite",
+    "toy_workloads",
+]
+
+
+def _chain(trace: Trace, length: int, pattern, prev=None):
+    """Append a dependent chain of instructions following ``pattern``
+    (cycled); returns the index of the final instruction."""
+    for i in range(length):
+        itype = pattern[i % len(pattern)]
+        deps = (prev,) if prev is not None else ()
+        prev = trace.append(itype, deps)
+    return prev
+
+
+def _tree_reduce(trace: Trace, nodes: list, itype: str = "fpops"):
+    """Binary reduction tree over ``nodes``; returns the root index."""
+    level = list(nodes)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(trace.append(itype, (level[i], level[i + 1])))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def embar(chains: int = 190, mean_length: int = 22, seed: int = 0) -> Trace:
+    """Embarrassingly parallel random-number kernel: many independent
+    chains with jittered lengths (the jitter is why the paper measures
+    smoothability 0.83 rather than 1.0)."""
+    rng = np.random.default_rng(seed)
+    trace = Trace("embar")
+    # Mix targeting Table 7's embar direction: int .42, mem .31, fp .07, br .19.
+    pattern = (
+        "intops", "memops", "intops", "branchops", "memops",
+        "intops", "fpops", "branchops", "memops", "intops",
+    )
+    tails = []
+    for _ in range(chains):
+        length = max(4, int(rng.normal(mean_length, mean_length / 8)))
+        tails.append(_chain(trace, length, pattern))
+    trace_root = _tree_reduce(trace, tails)
+    trace.append("branchops", (trace_root,))
+    return trace
+
+
+def mgrid(side: int = 8, sweeps: int = 14, seed: int = 0) -> Trace:
+    """Multigrid stencil: each sweep's points depend on the previous
+    sweep — wide, perfectly flat levels (the suite's smoothest member)."""
+    trace = Trace("mgrid")
+    previous = [trace.append("memops") for _ in range(side * side)]
+    for sweep in range(sweeps):
+        current = []
+        for i in range(side * side):
+            left = previous[i - 1] if i > 0 else previous[i]
+            up = previous[i - side] if i >= side else previous[i]
+            addr = trace.append("intops", (previous[i],))
+            loaded = trace.append("memops", (addr,))
+            summed = trace.append("intops", (loaded, left, up))
+            if i % 8 == 0:
+                trace.append("branchops", (summed,))
+            if i % 50 == 49:
+                summed = trace.append("fpops", (summed,))
+            current.append(summed)
+        if sweep % 4 == 0:
+            trace.append("controlops", (current[0],))
+        previous = current
+    return trace
+
+
+def cgm(rows: int = 10, nnz_per_row: int = 5, iterations: int = 8, seed: int = 0) -> Trace:
+    """Conjugate-gradient-style sparse mat-vec plus dot-product reduction:
+    narrow parallelism bounded by the gather/reduce structure."""
+    rng = np.random.default_rng(seed)
+    trace = Trace("cgm")
+    x = [trace.append("memops") for _ in range(rows)]
+    for _it in range(iterations):
+        products = []
+        for _row in range(rows):
+            cols = rng.integers(0, rows, size=nnz_per_row)
+            acc = None
+            for c in cols:
+                index = trace.append("intops", (x[c],))
+                load = trace.append("memops", (index,))
+                acc = trace.append(
+                    "intops", (load,) if acc is None else (load, acc)
+                )
+            products.append(trace.append("fpops", (acc,)))
+        dot = _tree_reduce(trace, products, itype="fpops")
+        trace.append("branchops", (dot,))
+        x = [trace.append("intops", (p, dot)) for p in products]
+    return trace
+
+
+def fftpde(n: int = 256, seed: int = 0) -> Trace:
+    """FFT butterflies: log2(n) stages of n/2 independent butterflies,
+    with the control-op flavor the paper's fftpde centroid shows."""
+    trace = Trace("fftpde")
+    values = [trace.append("memops") for _ in range(n)]
+    stride = 1
+    while stride < n:
+        new_values = list(values)
+        for start in range(0, n, 2 * stride):
+            for k in range(start, start + stride):
+                a, b = values[k], values[k + stride]
+                tw = trace.append("intops", (b,))
+                ld = trace.append("memops", (tw,))
+                mul = trace.append("fpops", (ld,))
+                new_values[k] = trace.append("intops", (a, mul))
+                new_values[k + stride] = trace.append("intops", (a, mul))
+                if k % 8 == 0:
+                    trace.append("branchops", (tw,))
+        for _ in range(max(1, n // 256)):
+            trace.append("controlops", (new_values[0],))
+        values = new_values
+        stride *= 2
+    return trace
+
+
+def buk(n: int = 400, buckets: int = 3, block: int = 128, seed: int = 0) -> Trace:
+    """Integer bucket sort: alternating phases — a wide burst reading a
+    block of keys, then serial count updates through a handful of bucket
+    chains.  The bursty profile over a narrow average is what makes buk
+    the suite's least smoothable member (Table 9)."""
+    rng = np.random.default_rng(seed)
+    trace = Trace("buk")
+    last_update = [None] * buckets
+    for start in range(0, n, block):
+        keys = []
+        for _ in range(min(block, n - start)):
+            key = trace.append("memops")
+            keys.append(trace.append("intops", (key,)))
+        for index in keys:
+            bucket = int(rng.integers(0, buckets))
+            deps = (
+                (index,)
+                if last_update[bucket] is None
+                else (index, last_update[bucket])
+            )
+            last_update[bucket] = trace.append("intops", deps)
+        trace.append("branchops", (keys[-1],))
+    # Prefix-sum over buckets: fully serial epilogue.
+    prev = last_update[0]
+    for b in range(1, buckets):
+        prev = trace.append("intops", (prev, last_update[b]))
+    return trace
+
+
+def _cfd_kernel(
+    name: str, width: int, iters: int, fp_every: int, seed: int = 0
+) -> Trace:
+    """Shared generator for the simulated-CFD codes: ``iters`` wide sweeps
+    of ``width`` independent points, each a short int/mem bundle with a
+    per-point branch; widths set the huge centroids of Table 7."""
+    trace = Trace(name)
+    previous = [trace.append("memops") for _ in range(width)]
+    for _it in range(iters):
+        current = []
+        for i in range(width):
+            addr = trace.append("intops", (previous[i],))
+            load = trace.append("memops", (addr,))
+            val = trace.append("intops", (load,))
+            if fp_every and i % fp_every == 0:
+                val = trace.append("fpops", (val,))
+            if i % 3 == 0:
+                trace.append("branchops", (addr,))
+            current.append(val)
+        trace.append("controlops", (current[0],))
+        previous = current
+    return trace
+
+
+def applu(width: int = 1200, iters: int = 5, seed: int = 0) -> Trace:
+    """LU-factorization sweep kernel (wide, branch-heavy)."""
+    return _cfd_kernel("applu", width, iters, fp_every=15, seed=seed)
+
+
+def appsp(width: int = 4000, iters: int = 4, seed: int = 0) -> Trace:
+    """Scalar-pentadiagonal kernel (the suite's widest workload)."""
+    return _cfd_kernel("appsp", width, iters, fp_every=14, seed=seed)
+
+
+def appbt(width: int = 2000, iters: int = 4, seed: int = 0) -> Trace:
+    """Block-tridiagonal kernel (wide, lighter FP than appsp)."""
+    return _cfd_kernel("appbt", width, iters, fp_every=50, seed=seed)
+
+
+def nas_suite(scale: float = 1.0) -> list:
+    """The eight NAS-like traces at a common size scale."""
+    s = max(0.1, scale)
+    return [
+        embar(chains=max(8, int(190 * s))),
+        mgrid(side=max(3, int(8 * np.sqrt(s)))),
+        cgm(rows=max(6, int(10 * s))),
+        fftpde(n=max(16, 1 << int(np.log2(max(16, 256 * s))))),
+        buk(n=max(50, int(400 * s))),
+        applu(width=max(16, int(1200 * s))),
+        appsp(width=max(16, int(4000 * s))),
+        appbt(width=max(16, int(2000 * s))),
+    ]
+
+
+def toy_workloads() -> list:
+    """The five toy workloads of Appendix C Section 4.1.
+
+    Rows are (MEM, FP, INT) with ``#PIS`` repeat counts, mapped onto the
+    five-type vector (INT, MEM, FP, 0, 0).  WL1-WL4 follow the readable
+    source tables.  WL5's table is corrupted in the surviving text; it is
+    reconstructed to exhibit the property the section ascribes to it: a
+    centroid nearly identical to WL1's (vector-space similarity low) built
+    from parallel instructions that never equal WL1's (so the
+    parallelism-matrix metric saturates).  Zero rows are idle cycles.
+    """
+
+    def make(name, rows, repeats):
+        mapped = [(int_, mem, fp, 0, 0) for (mem, fp, int_) in rows]
+        return ParallelWorkload.from_counts(name, mapped, repeats)
+
+    wl1 = make("WL1", [(1, 0, 1), (0, 1, 0), (1, 0, 0), (0, 0, 1)], [5, 3, 7, 2])
+    wl2 = make("WL2", [(0, 1, 1), (1, 1, 0), (1, 0, 1), (1, 1, 1)], [2, 3, 7, 5])
+    wl3 = make("WL3", [(3, 2, 1), (4, 3, 0)], [5, 7])
+    wl4 = make("WL4", [(4, 3, 2), (3, 4, 2)], [3, 7])
+    wl5 = make(
+        "WL5",
+        [(2, 0, 1), (0, 1, 1), (2, 1, 1), (0, 0, 0)],
+        [5, 2, 1, 9],
+    )
+    return [wl1, wl2, wl3, wl4, wl5]

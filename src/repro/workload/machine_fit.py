@@ -1,0 +1,111 @@
+"""Machine-fit analysis: the centroid as a resource-requirement predictor.
+
+Appendix C argues the centroid "represents the functional units types and
+average number of them needed in the target machine in order to sustain a
+performance rate close to the machine's peak rate".  This module makes
+that claim testable:
+
+* :func:`typed_list_schedule` — list scheduling under *per-category*
+  functional-unit limits (an abstract superscalar with ``k`` integer
+  units, ``j`` memory ports, ...).
+* :func:`required_units` — the centroid rounded up: the machine the
+  centroid predicts.
+* :func:`sustained_rate` — operations per cycle actually achieved on a
+  given machine configuration.
+
+The benchmark ``benchmarks/test_bench_machine_fit.py`` checks the paper's
+claim: a machine provisioned at the centroid sustains close to the
+workload's oracle rate, while halving the dominant unit type collapses
+throughput and halving a rare one is free.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.oracle import ScheduleResult
+from repro.workload.trace import INSTRUCTION_TYPES, ParallelWorkload, Trace
+
+__all__ = ["typed_list_schedule", "required_units", "sustained_rate"]
+
+
+def _normalize_units(units) -> dict:
+    if isinstance(units, dict):
+        unknown = set(units) - set(INSTRUCTION_TYPES)
+        if unknown:
+            raise TraceError(f"unknown instruction types in units: {sorted(unknown)}")
+        resolved = {t: int(units.get(t, 0)) for t in INSTRUCTION_TYPES}
+    else:
+        values = list(units)
+        if len(values) != len(INSTRUCTION_TYPES):
+            raise TraceError(
+                f"units must have {len(INSTRUCTION_TYPES)} entries, got {len(values)}"
+            )
+        resolved = {t: int(v) for t, v in zip(INSTRUCTION_TYPES, values)}
+    for name, count in resolved.items():
+        if count < 1:
+            raise TraceError(f"machine needs >= 1 unit of every type; {name} has {count}")
+    return resolved
+
+
+def typed_list_schedule(trace: Trace, units) -> ScheduleResult:
+    """Greedy earliest-slot scheduling with per-type issue limits.
+
+    ``units`` maps each instruction category to the number of that
+    category's operations issuable per cycle (dict or 5-sequence in
+    :data:`INSTRUCTION_TYPES` order).
+    """
+    resolved = _normalize_units(units)
+    n = len(trace)
+    if n == 0:
+        raise TraceError("cannot schedule an empty trace")
+    limits = [resolved[t] for t in INSTRUCTION_TYPES]
+
+    levels = np.zeros(n, dtype=np.int64)
+    used: dict = {}
+    total_delay = 0.0
+    for i in range(n):
+        earliest = 0
+        for d in trace.deps[i]:
+            if levels[d] > earliest:
+                earliest = levels[d]
+        itype = trace.types[i]
+        limit = limits[itype]
+        cycle = earliest + 1
+        key = (cycle, itype)
+        while used.get(key, 0) + 1 > limit:
+            cycle += 1
+            key = (cycle, itype)
+        used[key] = used.get(key, 0) + 1
+        levels[i] = cycle
+        total_delay += cycle - (earliest + 1)
+
+    ncycles = int(levels.max())
+    counts = np.zeros((ncycles, len(INSTRUCTION_TYPES)))
+    types = np.array(trace.types, dtype=np.int64)
+    np.add.at(counts, (levels - 1, types), 1.0)
+    workload = ParallelWorkload(name=f"{trace.name}@typed", levels=counts)
+    return ScheduleResult(
+        workload=workload, critical_path=ncycles, average_delay=total_delay / n
+    )
+
+
+def required_units(workload: ParallelWorkload, headroom: float = 1.0) -> dict:
+    """The machine configuration the centroid predicts: per-type units =
+    ``ceil(headroom * centroid)`` (never below one)."""
+    if headroom <= 0:
+        raise TraceError(f"headroom must be positive, got {headroom}")
+    centroid = workload.centroid()
+    return {
+        name: max(1, math.ceil(headroom * value))
+        for name, value in zip(INSTRUCTION_TYPES, centroid)
+    }
+
+
+def sustained_rate(trace: Trace, units) -> float:
+    """Operations per cycle achieved under the given unit configuration."""
+    result = typed_list_schedule(trace, units)
+    return result.workload.total_operations / result.critical_path

@@ -1,0 +1,59 @@
+"""The parallelism-matrix baseline (Appendix C Section 2; Bradley &
+Larson's EPI technique, extended to the oracle model).
+
+A workload's profile is the multi-dimensional histogram over parallel
+instructions: cell ``(a_1, ..., a_t)`` holds the fraction of cycles that
+issued exactly ``a_k`` operations of each type ``k``.  Two workloads are
+compared by the Frobenius norm of the histogram difference, normalized by
+its sqrt(2) maximum.
+
+The histogram is stored sparsely (a dict keyed by count tuples) — the
+dense matrix the paper criticizes costs O(n^t) space, which this module's
+:func:`dense_size` quantifies for the cost-comparison benchmark
+(Appendix C Table 5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.workload.trace import ParallelWorkload
+
+__all__ = ["parallelism_matrix", "frobenius_similarity", "dense_size"]
+
+
+def parallelism_matrix(workload: ParallelWorkload) -> dict:
+    """Sparse executed-parallelism histogram: count-tuple -> cycle fraction."""
+    histogram: dict = {}
+    cycles = workload.cycles
+    for row in workload.levels:
+        key = tuple(int(v) for v in row)
+        histogram[key] = histogram.get(key, 0.0) + 1.0 / cycles
+    return histogram
+
+
+def frobenius_similarity(a: ParallelWorkload, b: ParallelWorkload) -> float:
+    """Normalized Frobenius distance between parallelism matrices
+    (expression (3), divided by its sqrt(2) maximum).
+
+    The metric only credits *identical* parallel instructions: two
+    workloads with similar-but-never-equal instructions score the maximal
+    distance — the shortcoming the vector-space model fixes.
+    """
+    ha = parallelism_matrix(a)
+    hb = parallelism_matrix(b)
+    keys = set(ha) | set(hb)
+    total = sum((ha.get(k, 0.0) - hb.get(k, 0.0)) ** 2 for k in keys)
+    return math.sqrt(total) / math.sqrt(2.0)
+
+
+def dense_size(workload: ParallelWorkload) -> int:
+    """Cells of the dense parallelism matrix: ``prod(max_k + 1)`` over
+    types — the O(n^t) storage of Appendix C Table 5."""
+    maxima = workload.levels.max(axis=0).astype(np.int64)
+    size = 1
+    for m in maxima:
+        size *= int(m) + 1
+    return size

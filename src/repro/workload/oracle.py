@@ -1,0 +1,108 @@
+"""The oracle scheduler (Appendix C Sections 3 and 5.2).
+
+The oracle model is the idealized machine — unlimited processors, no
+overhead, perfect branch and memory disambiguation — under which only
+*true flow dependencies* constrain when an instruction may execute.  The
+scheduler places every instruction at the earliest level after all of its
+producers, packing the trace into parallel instructions; this is the
+architecture-invariant representation the vector-space model builds on.
+
+:func:`list_schedule` additionally supports the finite-processor variant
+SITA provides ("the ability to limit the number of operations which can be
+packed into one parallel instruction"), which Table 9's smoothability
+study requires.  It is a greedy earliest-slot list scheduler; the
+returned :class:`ScheduleResult` carries the average operation delay the
+table reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import INSTRUCTION_TYPES, ParallelWorkload, Trace
+
+__all__ = ["ScheduleResult", "oracle_schedule", "list_schedule"]
+
+
+@dataclass
+class ScheduleResult:
+    """A scheduled trace: the packed workload plus scheduling statistics."""
+
+    workload: ParallelWorkload
+    critical_path: int
+    average_delay: float  # mean cycles each op waits past its earliest level
+
+    @property
+    def average_parallelism(self) -> float:
+        """Operations per cycle under this schedule."""
+        return self.workload.average_parallelism
+
+
+def oracle_schedule(trace: Trace) -> ScheduleResult:
+    """Pack a trace into parallel instructions on the unlimited oracle.
+
+    ``level[i] = 1 + max(level[d] for d in deps[i])`` (1 for roots).
+    """
+    n = len(trace)
+    if n == 0:
+        raise TraceError("cannot schedule an empty trace")
+    levels = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        deps = trace.deps[i]
+        earliest = 0
+        for d in deps:
+            if levels[d] > earliest:
+                earliest = levels[d]
+        levels[i] = earliest + 1
+
+    ncycles = int(levels.max())
+    counts = np.zeros((ncycles, len(INSTRUCTION_TYPES)))
+    types = np.array(trace.types, dtype=np.int64)
+    np.add.at(counts, (levels - 1, types), 1.0)
+    workload = ParallelWorkload(name=trace.name, levels=counts)
+    return ScheduleResult(workload=workload, critical_path=ncycles, average_delay=0.0)
+
+
+def list_schedule(trace: Trace, capacity: float) -> ScheduleResult:
+    """Greedy earliest-slot scheduling with at most ``capacity`` operations
+    per parallel instruction.
+
+    Instructions are visited in trace order (respecting dependencies) and
+    placed in the first cycle at or after their dataflow-earliest level
+    with spare capacity.  Used to measure smoothability: how much the
+    critical path stretches when the machine is narrowed to the workload's
+    own average parallelism.
+    """
+    if capacity < 1:
+        raise TraceError(f"capacity must be >= 1, got {capacity}")
+    n = len(trace)
+    if n == 0:
+        raise TraceError("cannot schedule an empty trace")
+    capacity = float(capacity)
+
+    levels = np.zeros(n, dtype=np.int64)
+    used: dict = {}
+    total_delay = 0.0
+    for i in range(n):
+        earliest = 0
+        for d in trace.deps[i]:
+            if levels[d] > earliest:
+                earliest = levels[d]
+        cycle = earliest + 1
+        while used.get(cycle, 0) + 1 > capacity:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        levels[i] = cycle
+        total_delay += cycle - (earliest + 1)
+
+    ncycles = int(levels.max())
+    counts = np.zeros((ncycles, len(INSTRUCTION_TYPES)))
+    types = np.array(trace.types, dtype=np.int64)
+    np.add.at(counts, (levels - 1, types), 1.0)
+    workload = ParallelWorkload(name=f"{trace.name}@{capacity:g}", levels=counts)
+    return ScheduleResult(
+        workload=workload, critical_path=ncycles, average_delay=total_delay / n
+    )

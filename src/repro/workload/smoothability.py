@@ -1,0 +1,49 @@
+"""Smoothability (Appendix C Section 5.5).
+
+Smoothability measures how well a workload's parallelism profile tolerates
+being "smoothed" down to its own average width:
+
+    smoothability = CPL(infinity) / CPL(P_avg)
+
+where ``CPL(infinity)`` is the oracle critical path and ``CPL(P_avg)`` the
+schedule length when at most ``P_avg`` (the average degree of parallelism)
+operations fit in one parallel instruction.  Values near 1 mean the
+profile is already flat, which is what justifies representing a workload
+by its centroid — the section's closing argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.oracle import list_schedule, oracle_schedule
+from repro.workload.trace import Trace
+
+__all__ = ["SmoothabilityResult", "smoothability"]
+
+
+@dataclass
+class SmoothabilityResult:
+    """The quantities of Appendix C Table 9 for one workload."""
+
+    name: str
+    smoothability: float
+    cpl_unlimited: int
+    average_parallelism: float
+    cpl_limited: int
+    average_delay: float
+
+
+def smoothability(trace: Trace) -> SmoothabilityResult:
+    """Compute smoothability and the associated Table 9 statistics."""
+    unlimited = oracle_schedule(trace)
+    p_avg = max(1.0, unlimited.average_parallelism)
+    limited = list_schedule(trace, capacity=p_avg)
+    return SmoothabilityResult(
+        name=trace.name,
+        smoothability=unlimited.critical_path / limited.critical_path,
+        cpl_unlimited=unlimited.critical_path,
+        average_parallelism=unlimited.average_parallelism,
+        cpl_limited=limited.critical_path,
+        average_delay=limited.average_delay,
+    )

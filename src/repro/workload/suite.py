@@ -1,0 +1,79 @@
+"""Benchmark-suite composition analysis.
+
+Appendix C's conclusion: centroid distance "provide[s] the basis for
+quantifiable analysis of workloads to make informed decisions on the
+composition of parallel benchmark suites" — similar workloads are
+redundant, distant ones add coverage.  This module operationalizes that:
+
+* :func:`redundant_pairs` — workload pairs below a similarity threshold
+  (candidates for pruning),
+* :func:`select_representatives` — a greedy farthest-point subset of
+  ``k`` workloads maximizing mutual dissimilarity (suite design),
+* :func:`coverage_radius` — how well a suite covers a set of target
+  workloads (max distance from any target to its nearest suite member).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.centroid import similarity, similarity_matrix
+from repro.workload.trace import ParallelWorkload
+
+__all__ = ["redundant_pairs", "select_representatives", "coverage_radius"]
+
+
+def redundant_pairs(workloads: list, threshold: float = 0.35) -> list:
+    """Workload index pairs whose similarity distance is below
+    ``threshold`` (i.e. that exercise a machine almost identically).
+
+    Returns ``[(i, j, distance), ...]`` sorted most-redundant first.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise TraceError(f"threshold must be in (0, 1], got {threshold}")
+    matrix = similarity_matrix(workloads)
+    pairs = []
+    for i in range(len(workloads)):
+        for j in range(i):
+            if matrix[i, j] < threshold:
+                pairs.append((j, i, float(matrix[i, j])))
+    return sorted(pairs, key=lambda p: p[2])
+
+
+def select_representatives(workloads: list, k: int) -> list:
+    """Greedy farthest-point selection of ``k`` suite members.
+
+    Starts from the workload with the largest total work (the anchor a
+    suite designer would keep) and repeatedly adds the workload farthest
+    from the current selection.  Returns the selected indices in
+    selection order.
+    """
+    n = len(workloads)
+    if not 1 <= k <= n:
+        raise TraceError(f"k must be in [1, {n}], got {k}")
+    matrix = similarity_matrix(workloads)
+    anchor = int(
+        np.argmax([w.total_operations for w in workloads])
+    )
+    selected = [anchor]
+    while len(selected) < k:
+        remaining = [i for i in range(n) if i not in selected]
+        # Farthest point: maximize the minimum distance to the selection.
+        best = max(
+            remaining, key=lambda i: min(matrix[i, s] for s in selected)
+        )
+        selected.append(best)
+    return selected
+
+
+def coverage_radius(suite: list, targets: list) -> float:
+    """Largest distance from any target workload to its nearest suite
+    member (0 = every target has an identical representative)."""
+    if not suite or not targets:
+        raise TraceError("suite and targets must be non-empty")
+    worst = 0.0
+    for target in targets:
+        nearest = min(similarity(target, member) for member in suite)
+        worst = max(worst, nearest)
+    return worst

@@ -1,0 +1,158 @@
+"""Instruction traces and parallel workloads (Appendix C's data model).
+
+Appendix C characterizes workloads by the *parallel instructions* an
+oracle machine would execute: each cycle, a vector of per-type operation
+counts.  Two representations exist here:
+
+* :class:`Trace` — a dynamic sequential instruction stream with explicit
+  true-flow dependencies (what the spy/SITA pipeline produced from SPARC
+  executions; we synthesize it).  The oracle scheduler packs it into
+  parallel instructions.
+* :class:`ParallelWorkload` — the packed result: a ``(cycles, types)``
+  count matrix.  The paper's toy examples (Section 4.1) specify workloads
+  directly in this form.
+
+The five instruction categories follow Appendix C Section 5.2's SPARC
+classification: integer, memory, floating-point, control-register, and
+branch operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["INSTRUCTION_TYPES", "Instruction", "Trace", "ParallelWorkload"]
+
+INSTRUCTION_TYPES = ("intops", "memops", "fpops", "controlops", "branchops")
+_TYPE_INDEX = {name: i for i, name in enumerate(INSTRUCTION_TYPES)}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction: its category and true-flow dependencies
+    (indices of earlier instructions whose results it consumes)."""
+
+    itype: str
+    deps: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.itype not in _TYPE_INDEX:
+            raise TraceError(
+                f"unknown instruction type {self.itype!r}; "
+                f"expected one of {INSTRUCTION_TYPES}"
+            )
+
+
+class Trace:
+    """A dynamic instruction stream with dataflow edges.
+
+    Stored as parallel arrays: ``types[i]`` is the category index of
+    instruction ``i`` and ``deps[i]`` the tuple of producer indices
+    (each strictly less than ``i``).
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.types: list = []
+        self.deps: list = []
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def append(self, itype: str, deps=()) -> int:
+        """Append an instruction; returns its index for use as a dependency."""
+        try:
+            type_index = _TYPE_INDEX[itype]
+        except KeyError:
+            raise TraceError(
+                f"unknown instruction type {itype!r}; expected one of {INSTRUCTION_TYPES}"
+            ) from None
+        index = len(self.types)
+        for dep in deps:
+            if not 0 <= dep < index:
+                raise TraceError(
+                    f"instruction {index} depends on {dep}, which is not an "
+                    "earlier instruction"
+                )
+        self.types.append(type_index)
+        self.deps.append(tuple(deps))
+        return index
+
+    def type_mix(self) -> np.ndarray:
+        """Fraction of instructions per category."""
+        counts = np.bincount(np.array(self.types, dtype=np.int64), minlength=len(INSTRUCTION_TYPES))
+        total = max(1, len(self.types))
+        return counts / total
+
+
+@dataclass
+class ParallelWorkload:
+    """A packed parallel-instruction stream.
+
+    ``levels[c, t]`` is the number of type-``t`` operations issued in
+    cycle ``c``.  This is the paper's workload representation: centroids,
+    similarity, and the parallelism matrix all derive from it.
+    """
+
+    name: str
+    levels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.levels = np.asarray(self.levels, dtype=np.float64)
+        if self.levels.ndim != 2:
+            raise TraceError("levels must be a (cycles, types) matrix")
+        if self.levels.shape[1] != len(INSTRUCTION_TYPES):
+            raise TraceError(
+                f"levels must have {len(INSTRUCTION_TYPES)} type columns, "
+                f"got {self.levels.shape[1]}"
+            )
+        if self.levels.shape[0] < 1:
+            raise TraceError("workload needs at least one parallel instruction")
+
+    @classmethod
+    def from_counts(cls, name: str, rows, repeats=None) -> "ParallelWorkload":
+        """Build from explicit parallel instructions.
+
+        ``rows`` is a sequence of per-type count vectors; ``repeats[i]``
+        (the paper's ``#PIS`` column) replicates row ``i`` that many times.
+        Rows shorter than the full type tuple are zero-padded (the toy
+        examples use only MEM/FP/INT).
+        """
+        expanded = []
+        repeats = [1] * len(rows) if repeats is None else list(repeats)
+        if len(repeats) != len(rows):
+            raise TraceError("repeats must match rows")
+        for row, count in zip(rows, repeats):
+            if count < 1:
+                raise TraceError(f"repeat count must be >= 1, got {count}")
+            padded = list(row) + [0] * (len(INSTRUCTION_TYPES) - len(row))
+            expanded.extend([padded] * count)
+        return cls(name=name, levels=np.array(expanded, dtype=np.float64))
+
+    @property
+    def cycles(self) -> int:
+        """Number of parallel instructions (critical-path length)."""
+        return self.levels.shape[0]
+
+    @property
+    def total_operations(self) -> float:
+        """Total work across all cycles."""
+        return float(self.levels.sum())
+
+    @property
+    def average_parallelism(self) -> float:
+        """Mean operations per cycle (degree of parallelism)."""
+        return self.total_operations / self.cycles
+
+    def centroid(self) -> np.ndarray:
+        """The paper's workload centroid: per-type mean over all parallel
+        instructions (expression (6))."""
+        return self.levels.mean(axis=0)
+
+    def parallelism_profile(self) -> np.ndarray:
+        """Operations per cycle (the temporal parallelism profile)."""
+        return self.levels.sum(axis=1)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_wavelet_defaults(self):
+        args = build_parser().parse_args(["wavelet"])
+        assert args.size == 512 and args.filter_length == 8 and args.levels == 1
+
+    def test_invalid_filter_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["wavelet", "--filter", "6"])
+
+    def test_invalid_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nbody", "--machine", "cray1"])
+
+
+class TestCommands:
+    def test_wavelet_runs(self, capsys):
+        assert main(["wavelet", "--size", "64", "--procs", "4", "--levels", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual time" in out and "performance budget" in out
+
+    def test_wavelet_maspar(self, capsys):
+        assert main(["wavelet", "--size", "64", "--machine", "maspar"]) == 0
+        assert "images/second" in capsys.readouterr().out
+
+    def test_wavelet_timeline(self, capsys):
+        assert main(
+            ["wavelet", "--size", "64", "--procs", "4", "--timeline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out and "r0" in out
+
+    def test_nbody_runs(self, capsys):
+        assert main(
+            ["nbody", "--bodies", "128", "--procs", "2", "--steps", "1"]
+        ) == 0
+        assert "interactions/step" in capsys.readouterr().out
+
+    def test_pic_runs(self, capsys):
+        assert main(
+            [
+                "pic", "--particles", "512", "--grid", "8",
+                "--procs", "2", "--steps", "1",
+            ]
+        ) == 0
+        assert "adaptive dt" in capsys.readouterr().out
+
+    def test_pic_gssum(self, capsys):
+        assert main(
+            [
+                "pic", "--particles", "256", "--grid", "8",
+                "--procs", "2", "--steps", "1", "--global-sum", "gssum",
+            ]
+        ) == 0
+
+    def test_workload_runs(self, capsys):
+        assert main(["workload", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "smooth" in out and "similarity" in out
+
+    def test_nbody_t3d(self, capsys):
+        assert main(
+            ["nbody", "--bodies", "128", "--procs", "2", "--steps", "1",
+             "--machine", "t3d"]
+        ) == 0

@@ -1,0 +1,194 @@
+"""Tests for the NX/PVM-style collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError
+from repro.machines import (
+    Engine,
+    Machine,
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    gssum_naive,
+    reduce,
+    scatter,
+    sendrecv,
+)
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork, FullyConnected
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0.0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+def run(nranks, prog, *args):
+    return Engine(ideal_machine(nranks)).run(prog, *args)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7, 8])
+class TestBcast:
+    def test_value_reaches_all(self, nranks):
+        def prog(ctx):
+            data = {"v": 42} if ctx.rank == 0 else None
+            data = yield from bcast(ctx, data, root=0)
+            return data["v"]
+
+        assert run(nranks, prog).results == [42] * nranks
+
+    def test_nonzero_root(self, nranks):
+        root = nranks - 1
+
+        def prog(ctx):
+            data = "payload" if ctx.rank == root else None
+            return (yield from bcast(ctx, data, root=root))
+
+        assert run(nranks, prog).results == ["payload"] * nranks
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5, 8])
+class TestReduce:
+    def test_sum_at_root(self, nranks):
+        def prog(ctx):
+            return (yield from reduce(ctx, ctx.rank + 1))
+
+        results = run(nranks, prog).results
+        assert results[0] == nranks * (nranks + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_custom_op(self, nranks):
+        def prog(ctx):
+            return (yield from reduce(ctx, ctx.rank, op=max))
+
+        assert run(nranks, prog).results[0] == nranks - 1
+
+    def test_nonzero_root(self, nranks):
+        root = nranks // 2
+
+        def prog(ctx):
+            return (yield from reduce(ctx, 1, root=root))
+
+        results = run(nranks, prog).results
+        assert results[root] == nranks
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 6, 8])
+class TestAllreduce:
+    def test_array_sum_everywhere(self, nranks):
+        def prog(ctx):
+            total = yield from allreduce(ctx, np.full(3, float(ctx.rank)))
+            return total.tolist()
+
+        expected = [float(sum(range(nranks)))] * 3
+        for result in run(nranks, prog).results:
+            assert result == expected
+
+    def test_matches_gssum(self, nranks):
+        def prog(ctx):
+            a = yield from allreduce(ctx, float(ctx.rank + 1))
+            b = yield from gssum_naive(ctx, float(ctx.rank + 1))
+            return (a, b)
+
+        for a, b in run(nranks, prog).results:
+            assert a == pytest.approx(b)
+
+
+class TestGssumScaling:
+    def test_naive_costs_more_messages_than_prefix(self):
+        """The Appendix B observation: gssum's many-to-many exchange sends
+        O(P^2) messages where recursive doubling needs O(P log P)."""
+
+        def prog_naive(ctx):
+            yield from gssum_naive(ctx, 1.0)
+            return None
+
+        def prog_prefix(ctx):
+            yield from allreduce(ctx, 1.0)
+            return None
+
+        naive_msgs = run(16, prog_naive).messages_sent
+        prefix_msgs = run(16, prog_prefix).messages_sent
+        assert naive_msgs == 16 * 15
+        assert prefix_msgs < naive_msgs / 2
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 5, 8])
+class TestGatherScatter:
+    def test_gather(self, nranks):
+        def prog(ctx):
+            return (yield from gather(ctx, ctx.rank * 2, root=0))
+
+        assert run(nranks, prog).results[0] == [2 * r for r in range(nranks)]
+
+    def test_scatter(self, nranks):
+        def prog(ctx):
+            values = [f"item{i}" for i in range(ctx.nranks)] if ctx.rank == 0 else None
+            return (yield from scatter(ctx, values, root=0))
+
+        assert run(nranks, prog).results == [f"item{i}" for i in range(nranks)]
+
+    def test_allgather(self, nranks):
+        def prog(ctx):
+            return (yield from allgather(ctx, ctx.rank))
+
+        for result in run(nranks, prog).results:
+            assert result == list(range(nranks))
+
+    def test_alltoall(self, nranks):
+        def prog(ctx):
+            values = [(ctx.rank, dst) for dst in range(ctx.nranks)]
+            return (yield from alltoall(ctx, values))
+
+        results = run(nranks, prog).results
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(nranks)]
+
+
+class TestBarrierAndSendrecv:
+    def test_barrier_synchronizes_clocks(self):
+        def prog(ctx):
+            yield ctx.compute(flops=1e6 * (ctx.rank + 1))
+            yield from barrier(ctx)
+            return None
+
+        result = run(4, prog)
+        # After a barrier everyone finishes within one message round.
+        spread = max(result.finish_times) - min(result.finish_times)
+        assert spread < 1e-3
+
+    def test_sendrecv_ring(self):
+        def prog(ctx):
+            right = (ctx.rank + 1) % ctx.nranks
+            left = (ctx.rank - 1) % ctx.nranks
+            got = yield from sendrecv(ctx, right, ctx.rank, left)
+            return got
+
+        assert run(4, prog).results == [3, 0, 1, 2]
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(ctx):
+            return (yield from scatter(ctx, [1, 2], root=0))
+
+        with pytest.raises(CommunicationError):
+            run(3, prog)
+
+    def test_bad_root_raises(self):
+        def prog(ctx):
+            return (yield from bcast(ctx, 1, root=9))
+
+        with pytest.raises(CommunicationError):
+            run(2, prog)

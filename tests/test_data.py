@@ -1,0 +1,159 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ParticleSet,
+    checkerboard,
+    impulse_image,
+    landsat_like_scene,
+    plummer_sphere,
+    two_galaxies,
+    uniform_cube,
+    uniform_disk,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLandsatScene:
+    def test_shape_and_range(self):
+        scene = landsat_like_scene((128, 128))
+        assert scene.shape == (128, 128)
+        assert scene.min() >= 0.0
+        assert scene.max() <= 255.0
+
+    def test_deterministic(self):
+        a = landsat_like_scene((64, 64), seed=3)
+        b = landsat_like_scene((64, 64), seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = landsat_like_scene((64, 64), seed=1)
+        b = landsat_like_scene((64, 64), seed=2)
+        assert np.abs(a - b).max() > 1.0
+
+    def test_spatially_correlated(self):
+        """Neighboring pixels must correlate far more than white noise."""
+        scene = landsat_like_scene((256, 256))
+        flat = scene - scene.mean()
+        autocorr = (flat[:, :-1] * flat[:, 1:]).mean() / flat.var()
+        assert autocorr > 0.8
+
+    def test_tiny_shape_raises(self):
+        with pytest.raises(ConfigurationError):
+            landsat_like_scene((1, 10))
+
+    def test_checkerboard_period(self):
+        board = checkerboard((8, 8), period=2)
+        assert board[0, 0] != board[0, 2]
+        assert board[0, 0] == board[0, 4]
+
+    def test_checkerboard_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            checkerboard(period=0)
+
+    def test_impulse_default_center(self):
+        img = impulse_image((8, 8))
+        assert img[4, 4] == 1.0
+        assert img.sum() == 1.0
+
+    def test_impulse_explicit_position(self):
+        img = impulse_image((8, 8), at=(1, 2))
+        assert img[1, 2] == 1.0
+
+
+class TestParticleSet:
+    def test_basic_properties(self):
+        ps = uniform_cube(100, seed=0)
+        assert ps.n == 100
+        assert ps.dim == 3
+        assert ps.total_mass == pytest.approx(1.0)
+
+    def test_validation_velocity_shape(self):
+        with pytest.raises(ConfigurationError):
+            ParticleSet(np.zeros((4, 2)), np.zeros((3, 2)), np.ones(4))
+
+    def test_validation_mass_shape(self):
+        with pytest.raises(ConfigurationError):
+            ParticleSet(np.zeros((4, 2)), np.zeros((4, 2)), np.ones(3))
+
+    def test_subset(self):
+        ps = uniform_cube(10, seed=0)
+        sub = ps.subset(np.array([0, 5]))
+        assert sub.n == 2
+        np.testing.assert_array_equal(sub.positions[1], ps.positions[5])
+
+    def test_copy_is_independent(self):
+        ps = uniform_cube(10, seed=0)
+        cp = ps.copy()
+        cp.positions[0, 0] = 99.0
+        assert ps.positions[0, 0] != 99.0
+
+    def test_momentum_of_cold_start_is_zero(self):
+        ps = uniform_cube(50, seed=0)
+        np.testing.assert_allclose(ps.momentum(), 0.0)
+
+    def test_kinetic_energy_nonnegative(self):
+        ps = plummer_sphere(200, seed=0)
+        assert ps.kinetic_energy() >= 0.0
+
+
+class TestGenerators:
+    def test_uniform_cube_in_bounds(self):
+        ps = uniform_cube(500, extent=2.0, seed=1)
+        assert ps.positions.min() >= 0.0
+        assert ps.positions.max() < 2.0
+
+    def test_uniform_cube_2d(self):
+        assert uniform_cube(10, dim=2).dim == 2
+
+    def test_uniform_cube_bad_dim(self):
+        with pytest.raises(ConfigurationError):
+            uniform_cube(10, dim=4)
+
+    def test_uniform_disk_radius(self):
+        ps = uniform_disk(500, radius=3.0, seed=1)
+        radii = np.linalg.norm(ps.positions, axis=1)
+        assert radii.max() <= 3.0
+
+    def test_plummer_centrally_concentrated(self):
+        """Plummer has strong density contrast: the median radius is well
+        inside the maximum (the tree-code-friendly regime of Appendix B)."""
+        ps = plummer_sphere(2000, seed=2)
+        radii = np.linalg.norm(ps.positions, axis=1)
+        assert np.median(radii) < 0.25 * radii.max()
+
+    def test_plummer_virial_velocities_bounded(self):
+        ps = plummer_sphere(1000, seed=3)
+        speeds = np.linalg.norm(ps.velocities, axis=1)
+        v_esc_center = np.sqrt(2.0)
+        assert speeds.max() <= v_esc_center + 1e-9
+
+    def test_plummer_cold(self):
+        ps = plummer_sphere(100, virial=False, seed=4)
+        assert ps.kinetic_energy() == 0.0
+
+    def test_two_galaxies_total(self):
+        ps = two_galaxies(1000, seed=5)
+        assert ps.n == 1000
+        assert ps.total_mass == pytest.approx(1.0)
+
+    def test_two_galaxies_separated(self):
+        ps = two_galaxies(1000, separation=6.0, seed=6)
+        x = ps.positions[:, 0]
+        # Two clusters around +-3.
+        assert (x < -1).sum() > 300
+        assert (x > 1).sum() > 300
+
+    def test_two_galaxies_mass_ratio(self):
+        ps = two_galaxies(300, mass_ratio=2.0, seed=7)
+        assert ps.n == 300
+
+    def test_bad_mass_ratio_raises(self):
+        with pytest.raises(ConfigurationError):
+            two_galaxies(10, mass_ratio=-1)
+
+    def test_zero_particles_raise(self):
+        with pytest.raises(ConfigurationError):
+            uniform_cube(0)

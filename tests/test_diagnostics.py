@@ -1,0 +1,169 @@
+"""Tests for the N-body and PIC diagnostics modules."""
+
+import numpy as np
+import pytest
+
+from repro.data import plummer_sphere, uniform_cube, uniform_disk
+from repro.errors import ConfigurationError
+from repro.nbody import (
+    build_tree,
+    interaction_histogram,
+    radial_profile,
+    tree_forces,
+    tree_statistics,
+    virial_ratio,
+)
+from repro.pic import (
+    Grid3D,
+    PicSimulation,
+    density_mode_spectrum,
+    energy_history,
+    estimate_plasma_frequency,
+    velocity_moments,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return plummer_sphere(1000, dim=2, seed=5)
+
+
+class TestTreeStatistics:
+    def test_counts_consistent(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        stats = tree_statistics(tree)
+        assert stats.cells == stats.leaves + stats.internal
+        assert stats.depth == tree.depth()
+        assert stats.broadcast_bytes == tree.serialized_nbytes()
+
+    def test_leaf_occupancy_respects_capacity(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses, leaf_capacity=4)
+        stats = tree_statistics(tree)
+        assert stats.max_leaf_occupancy <= 4
+        assert 1.0 <= stats.mean_leaf_occupancy <= 4.0
+
+    def test_cells_per_body_order_one(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        assert 1.0 < tree_statistics(tree).cells_per_body < 4.0
+
+
+class TestInteractionHistogram:
+    def test_bins_cover_all_particles(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        interactions = tree_forces(
+            tree, cluster.positions, cluster.masses
+        ).interactions
+        edges, counts = interaction_histogram(interactions, bins=8)
+        assert counts.sum() == cluster.n
+        assert len(edges) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            interaction_histogram(np.array([]))
+
+
+class TestRadialProfile:
+    def test_plummer_density_decreases(self, cluster):
+        radii, density = radial_profile(cluster, bins=12)
+        assert density[0] > density[-1]
+        assert (radii[:-1] < radii[1:]).all()
+
+    def test_uniform_disk_roughly_flat_core(self):
+        disk = uniform_disk(4000, seed=1)
+        _, density = radial_profile(disk, bins=6)
+        # Inner bins of a uniform disk agree within sampling noise.
+        inner = density[:4]
+        assert inner.max() / inner.min() < 1.6
+
+    def test_bad_bins_raise(self, cluster):
+        with pytest.raises(ConfigurationError):
+            radial_profile(cluster, bins=0)
+
+
+class TestVirialRatio:
+    def test_virialized_plummer_near_one_3d(self):
+        # The Plummer distribution-function sampling is exact in 3-D.
+        cluster3 = plummer_sphere(1000, dim=3, seed=5)
+        assert virial_ratio(cluster3, softening=0.01) == pytest.approx(1.0, abs=0.1)
+
+    def test_2d_plummer_is_bound_and_warm(self, cluster):
+        # The 2-D variant reuses the 3-D speeds heuristically: bound and
+        # near equilibrium, but not exactly virialized.
+        assert 0.5 < virial_ratio(cluster, softening=0.01) < 1.2
+
+    def test_cold_system_is_zero(self):
+        cold = plummer_sphere(300, dim=2, virial=False, seed=6)
+        assert virial_ratio(cold, softening=0.01) == pytest.approx(0.0, abs=1e-12)
+
+
+def perturbed_plasma(n, seed=3, amplitude=0.08):
+    particles = uniform_cube(n, thermal_speed=0.0, seed=seed)
+    x = particles.positions[:, 0]
+    particles.positions[:, 0] = np.mod(
+        x + amplitude / (2 * np.pi) * np.sin(2 * np.pi * x), 1.0
+    )
+    return particles
+
+
+class TestEnergyHistory:
+    def test_series_lengths(self):
+        sim = PicSimulation(Grid3D(8), perturbed_plasma(1024), dt_max=0.05)
+        history = energy_history(sim.run(5))
+        assert history.times.shape == history.field.shape == (5,)
+        assert (history.total == history.field + history.kinetic).all()
+
+    def test_total_energy_roughly_conserved(self):
+        sim = PicSimulation(Grid3D(8), perturbed_plasma(4096), dt_max=0.05)
+        history = energy_history(sim.run(40))
+        assert history.max_drift() < 0.2
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            energy_history([])
+
+
+class TestPlasmaFrequency:
+    def test_estimate_near_unity(self):
+        # Unit box / unit charge-mass plasma: omega_p = 1 up to grid
+        # dispersion and spectral resolution.
+        sim = PicSimulation(Grid3D(8), perturbed_plasma(4096), dt_max=0.1)
+        history = energy_history(sim.run(160))
+        omega = estimate_plasma_frequency(history)
+        assert 0.6 < omega < 1.3
+
+    def test_too_few_samples_raise(self):
+        sim = PicSimulation(Grid3D(8), perturbed_plasma(256), dt_max=0.05)
+        history = energy_history(sim.run(4))
+        with pytest.raises(ConfigurationError):
+            estimate_plasma_frequency(history)
+
+
+class TestVelocityAndDensityDiagnostics:
+    def test_velocity_moments(self):
+        particles = uniform_cube(2000, thermal_speed=0.2, seed=7)
+        particles.velocities[:, 0] += 0.5
+        moments = velocity_moments(particles)
+        assert moments["drift"][0] == pytest.approx(0.5, abs=0.02)
+        assert moments["thermal"][1] == pytest.approx(0.2, abs=0.02)
+        assert moments["rms_speed"] > 0.5
+
+    def test_density_spectrum_sees_seeded_mode(self):
+        grid = Grid3D(16)
+        particles = perturbed_plasma(32768, amplitude=0.15)
+        spectrum = density_mode_spectrum(grid, particles, axis=0, modes=4)
+        # Mode 1 dominates the seeded sinusoidal perturbation.
+        assert spectrum[0] > 4 * spectrum[1:].max()
+
+    def test_uniform_plasma_has_flat_spectrum(self):
+        grid = Grid3D(16)
+        particles = uniform_cube(16384, seed=8)
+        spectrum = density_mode_spectrum(grid, particles, axis=0, modes=4)
+        assert spectrum.max() < 0.05
+
+    def test_bad_args_raise(self):
+        grid = Grid3D(8)
+        particles = uniform_cube(100, seed=9)
+        with pytest.raises(ConfigurationError):
+            density_mode_spectrum(grid, particles, axis=5)
+        with pytest.raises(ConfigurationError):
+            density_mode_spectrum(grid, particles, modes=0)

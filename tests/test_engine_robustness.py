@@ -1,0 +1,207 @@
+"""Failure-injection and robustness tests for the discrete-event engine:
+programs that misbehave must fail loudly and diagnosably, never hang or
+corrupt state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+)
+from repro.machines import ANY_SOURCE, Engine, Machine, barrier, bcast
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork, FullyConnected
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+class TestDeadlockDiagnostics:
+    def test_ring_of_recvs_reports_every_rank(self):
+        def prog(ctx):
+            _ = yield ctx.recv((ctx.rank + 1) % ctx.nranks)
+
+        with pytest.raises(DeadlockError) as err:
+            Engine(ideal_machine(4)).run(prog)
+        assert set(err.value.waiting) == {0, 1, 2, 3}
+
+    def test_partial_deadlock_names_only_blocked_ranks(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                _ = yield ctx.recv(0, tag=77)  # never sent
+            else:
+                yield ctx.compute(flops=1)
+            return None
+
+        with pytest.raises(DeadlockError) as err:
+            Engine(ideal_machine(3)).run(prog)
+        assert set(err.value.waiting) == {2}
+
+    def test_mismatched_collective_order_deadlocks(self):
+        """Rank 1 skips a broadcast the others join: SPMD violation."""
+
+        def prog(ctx):
+            if ctx.rank != 1:
+                _ = yield from bcast(ctx, "x" if ctx.rank == 0 else None, root=0)
+            return None
+
+        with pytest.raises(DeadlockError):
+            Engine(ideal_machine(4)).run(prog)
+
+    def test_message_to_wrong_tag_deadlocks_not_misdelivers(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, "payload", tag=5)
+            else:
+                _ = yield ctx.recv(0, tag=6)
+
+        with pytest.raises(DeadlockError):
+            Engine(ideal_machine(2)).run(prog)
+
+
+class TestProgramErrors:
+    def test_user_exception_propagates(self):
+        def prog(ctx):
+            yield ctx.compute(flops=1)
+            raise ValueError("domain fault on rank %d" % ctx.rank)
+
+        with pytest.raises(ValueError, match="domain fault"):
+            Engine(ideal_machine(2)).run(prog)
+
+    def test_yielding_garbage_is_a_simulation_error(self):
+        def prog(ctx):
+            yield "not an op"
+
+        with pytest.raises(SimulationError):
+            Engine(ideal_machine(1)).run(prog)
+
+    def test_yielding_none_is_a_simulation_error(self):
+        def prog(ctx):
+            yield None
+
+        with pytest.raises(SimulationError):
+            Engine(ideal_machine(1)).run(prog)
+
+    def test_negative_rank_recv_rejected(self):
+        def prog(ctx):
+            _ = yield ctx.recv(-7)
+
+        with pytest.raises(CommunicationError):
+            Engine(ideal_machine(2)).run(prog)
+
+    def test_any_source_is_allowed(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 42)
+                return None
+            return (yield ctx.recv(ANY_SOURCE))
+
+        assert Engine(ideal_machine(2)).run(prog).results[1] == 42
+
+
+class TestEngineReuse:
+    def test_engine_is_reusable_after_failure(self):
+        engine = Engine(ideal_machine(2))
+
+        def deadlocking(ctx):
+            _ = yield ctx.recv(1 - ctx.rank)
+
+        with pytest.raises(DeadlockError):
+            engine.run(deadlocking)
+
+        def healthy(ctx):
+            yield from barrier(ctx)
+            return ctx.rank
+
+        assert engine.run(healthy).results == [0, 1]
+
+    def test_network_counters_reset_between_runs(self):
+        engine = Engine(ideal_machine(2))
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, np.zeros(10))
+            else:
+                _ = yield ctx.recv(0)
+            return None
+
+        first = engine.run(prog)
+        second = engine.run(prog)
+        assert first.messages_sent == second.messages_sent == 1
+        assert first.bytes_sent == second.bytes_sent
+
+    def test_runs_are_deterministic(self):
+        engine = Engine(ideal_machine(5))
+
+        def prog(ctx):
+            total = yield from bcast(ctx, ctx.nranks if ctx.rank == 0 else None)
+            yield ctx.compute(flops=1e5 * (ctx.rank + 1))
+            return total
+
+        a = engine.run(prog)
+        b = engine.run(prog)
+        assert a.elapsed_s == b.elapsed_s
+        assert a.finish_times == b.finish_times
+
+
+class TestStressShapes:
+    def test_many_ranks_many_messages(self):
+        """A 32-rank all-pairs exchange completes and conserves counts."""
+        nranks = 32
+
+        def prog(ctx):
+            for dst in range(ctx.nranks):
+                if dst != ctx.rank:
+                    yield ctx.send(dst, (ctx.rank, dst), tag=3)
+            received = 0
+            for src in range(ctx.nranks):
+                if src != ctx.rank:
+                    payload = yield ctx.recv(src, tag=3)
+                    assert payload == (src, ctx.rank)
+                    received += 1
+            return received
+
+        result = Engine(ideal_machine(nranks)).run(prog)
+        assert result.results == [nranks - 1] * nranks
+        assert result.messages_sent == nranks * (nranks - 1)
+
+    def test_zero_byte_messages(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, None)
+            else:
+                payload = yield ctx.recv(0)
+                assert payload is None
+            return None
+
+        Engine(ideal_machine(2)).run(prog)
+
+    def test_deeply_interleaved_tags(self):
+        """Messages on many tags between one pair stay correctly sorted."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                for tag in range(20):
+                    yield ctx.send(1, tag * 100, tag=tag)
+                return None
+            values = []
+            for tag in reversed(range(20)):
+                values.append((yield ctx.recv(0, tag=tag)))
+            return values
+
+        result = Engine(ideal_machine(2)).run(prog)
+        assert result.results[1] == [tag * 100 for tag in reversed(range(20))]

@@ -1,0 +1,104 @@
+"""Tests for engine event tracing and the timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.machines import Engine, Machine
+from repro.machines.cpu import CpuModel
+from repro.machines.engine import TraceEvent
+from repro.machines.network import ContentionNetwork, FullyConnected
+from repro.perf import format_timeline
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+def two_rank_prog(ctx):
+    yield ctx.compute(flops=1e6)
+    if ctx.rank == 0:
+        yield ctx.send(1, np.zeros(100))
+    else:
+        _ = yield ctx.recv(0)
+    yield ctx.compute(intops=1e5, redundant=True)
+    return None
+
+
+class TestTracing:
+    def test_disabled_by_default(self):
+        run = Engine(ideal_machine(2)).run(two_rank_prog)
+        assert run.trace is None
+
+    def test_records_all_event_kinds(self):
+        run = Engine(ideal_machine(2), record_trace=True).run(two_rank_prog)
+        kinds = {e.kind for e in run.trace}
+        assert kinds == {"compute", "send", "recv", "redundancy"}
+
+    def test_intervals_ordered_and_within_run(self):
+        run = Engine(ideal_machine(2), record_trace=True).run(two_rank_prog)
+        for event in run.trace:
+            assert 0.0 <= event.start_s <= event.end_s <= run.elapsed_s + 1e-12
+
+    def test_send_event_carries_peer_and_size(self):
+        run = Engine(ideal_machine(2), record_trace=True).run(two_rank_prog)
+        sends = [e for e in run.trace if e.kind == "send"]
+        assert sends == [
+            TraceEvent(
+                rank=0,
+                kind="send",
+                start_s=sends[0].start_s,
+                end_s=sends[0].end_s,
+                peer=1,
+                nbytes=800,
+            )
+        ]
+
+    def test_recv_event_matches_sender(self):
+        run = Engine(ideal_machine(2), record_trace=True).run(two_rank_prog)
+        recvs = [e for e in run.trace if e.kind == "recv"]
+        assert len(recvs) == 1
+        assert recvs[0].rank == 1 and recvs[0].peer == 0
+
+    def test_per_rank_events_do_not_overlap(self):
+        run = Engine(ideal_machine(2), record_trace=True).run(two_rank_prog)
+        for rank in range(2):
+            events = sorted(
+                (e for e in run.trace if e.rank == rank), key=lambda e: e.start_s
+            )
+            for a, b in zip(events, events[1:]):
+                assert a.end_s <= b.start_s + 1e-12
+
+    def test_trace_reset_between_runs(self):
+        engine = Engine(ideal_machine(2), record_trace=True)
+        first = engine.run(two_rank_prog)
+        second = engine.run(two_rank_prog)
+        assert len(first.trace) == len(second.trace)
+
+
+class TestTimelineRender:
+    def test_renders_rows_per_rank(self):
+        run = Engine(ideal_machine(3), record_trace=True).run(_simple)
+        text = format_timeline("title", run, width=40)
+        assert "title" in text
+        assert text.count("|") == 2 * 3  # two bars per rank row
+        assert "#" in text
+
+    def test_untraced_run_raises(self):
+        run = Engine(ideal_machine(2)).run(two_rank_prog)
+        with pytest.raises(ValueError):
+            format_timeline("t", run)
+
+
+def _simple(ctx):
+    yield ctx.compute(flops=1e6 * (1 + ctx.rank))
+    return None

@@ -1,0 +1,160 @@
+"""Tests for wavelet texture features and benchmark-suite composition."""
+
+import numpy as np
+import pytest
+
+from repro.data import checkerboard, landsat_like_scene
+from repro.errors import ConfigurationError, TraceError
+from repro.wavelet import (
+    daubechies_filter,
+    mallat_decompose_2d,
+    orientation_dominance,
+    signature_distance,
+    subband_energies,
+    texture_signature,
+)
+from repro.workload import (
+    ParallelWorkload,
+    coverage_radius,
+    nas_suite,
+    oracle_schedule,
+    redundant_pairs,
+    select_representatives,
+    similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return landsat_like_scene((128, 128))
+
+
+def stripes(axis: int, period: float = 8.0, side: int = 128) -> np.ndarray:
+    wave = np.sin(np.arange(side) * 2 * np.pi / period) * 100.0
+    img = np.tile(wave[:, None], (1, side))
+    return img if axis == 0 else img.T
+
+
+class TestSubbandEnergies:
+    def test_keys_cover_all_levels(self, scene):
+        pyramid = mallat_decompose_2d(scene, daubechies_filter(4), 3)
+        energies = subband_energies(pyramid)
+        assert set(energies) == {
+            "ll", "lh1", "hl1", "hh1", "lh2", "hl2", "hh2", "lh3", "hl3", "hh3",
+        }
+        assert all(v >= 0 for v in energies.values())
+
+    def test_smooth_scene_energy_decays_with_level(self, scene):
+        """Natural-scene detail energy grows toward coarse scales
+        (1/f statistics) — the finest band is the weakest."""
+        pyramid = mallat_decompose_2d(scene, daubechies_filter(4), 3)
+        energies = subband_energies(pyramid)
+        assert energies["hh1"] < energies["hh3"]
+
+
+class TestTextureSignature:
+    def test_deterministic_and_self_distance_zero(self, scene):
+        a = texture_signature(scene)
+        b = texture_signature(scene)
+        np.testing.assert_array_equal(a, b)
+        assert signature_distance(a, b) == 0.0
+
+    def test_length(self, scene):
+        assert texture_signature(scene, levels=3).shape == (1 + 3 * 3,)
+
+    def test_discriminates_texture_classes(self, scene):
+        smooth = texture_signature(scene)
+        busy = texture_signature(checkerboard((128, 128), period=1))
+        striped = texture_signature(stripes(0))
+        assert signature_distance(smooth, busy) > 0.3
+        assert signature_distance(busy, striped) > 0.3
+
+    def test_contrast_scaling_is_mild_under_log(self, scene):
+        base = texture_signature(scene)
+        scaled = texture_signature(scene * 2.0)
+        assert signature_distance(base, scaled) < 0.35
+
+    def test_shape_mismatch_raises(self, scene):
+        with pytest.raises(ConfigurationError):
+            signature_distance(np.ones(4), np.ones(5))
+
+
+class TestOrientationDominance:
+    def test_horizontal_stripes(self):
+        assert orientation_dominance(stripes(0)) == "horizontal"
+
+    def test_vertical_stripes(self):
+        assert orientation_dominance(stripes(1)) == "vertical"
+
+    def test_fine_checkerboard_is_diagonal(self):
+        assert orientation_dominance(checkerboard((128, 128), period=1)) == "diagonal"
+
+    def test_natural_scene_isotropic(self, scene):
+        assert orientation_dominance(scene) == "isotropic"
+
+    def test_constant_image_isotropic(self):
+        assert orientation_dominance(np.full((64, 64), 9.0)) == "isotropic"
+
+
+class TestSuiteComposition:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return [oracle_schedule(t).workload for t in nas_suite(0.4)]
+
+    def test_redundant_pairs_sorted_and_thresholded(self, workloads):
+        pairs = redundant_pairs(workloads, threshold=0.5)
+        distances = [d for _, _, d in pairs]
+        assert distances == sorted(distances)
+        assert all(d < 0.5 for d in distances)
+
+    def test_known_redundancy_detected(self, workloads):
+        """buk & cgm are the suite's closest pair family (Table 8)."""
+        pairs = redundant_pairs(workloads, threshold=0.5)
+        indexed = {(i, j) for i, j, _ in pairs}
+        assert (2, 4) in indexed or (4, 2) in indexed  # cgm=2, buk=4
+
+    def test_bad_threshold_raises(self, workloads):
+        with pytest.raises(TraceError):
+            redundant_pairs(workloads, threshold=0.0)
+
+    def test_select_representatives_count_and_uniqueness(self, workloads):
+        chosen = select_representatives(workloads, 4)
+        assert len(chosen) == len(set(chosen)) == 4
+
+    def test_selection_spreads_out(self, workloads):
+        """The selected subset's minimum pairwise distance beats a
+        same-size prefix of the suite."""
+        chosen = select_representatives(workloads, 4)
+
+        def min_pairwise(indices):
+            return min(
+                similarity(workloads[a], workloads[b])
+                for a in indices
+                for b in indices
+                if a < b
+            )
+
+        assert min_pairwise(chosen) >= min_pairwise([0, 1, 2, 3])
+
+    def test_select_all_and_one(self, workloads):
+        assert len(select_representatives(workloads, len(workloads))) == len(workloads)
+        assert len(select_representatives(workloads, 1)) == 1
+
+    def test_bad_k_raises(self, workloads):
+        with pytest.raises(TraceError):
+            select_representatives(workloads, 0)
+        with pytest.raises(TraceError):
+            select_representatives(workloads, 99)
+
+    def test_coverage_radius_zero_when_suite_contains_targets(self, workloads):
+        assert coverage_radius(workloads, workloads) == pytest.approx(0.0)
+
+    def test_coverage_radius_grows_for_disjoint_target(self, workloads):
+        outlier = ParallelWorkload.from_counts(
+            "fp-monster", [(0, 0, 500, 0, 0)], [10]
+        )
+        assert coverage_radius(workloads, [outlier]) > 0.5
+
+    def test_empty_raises(self, workloads):
+        with pytest.raises(TraceError):
+            coverage_radius([], workloads)

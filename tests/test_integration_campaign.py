@@ -1,0 +1,175 @@
+"""End-to-end integration: a miniature version of the whole JNNIE
+campaign — every subsystem exercised through its public API in one pass,
+cross-checking the parallel paths against sequential references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import landsat_like_scene, plummer_sphere, two_galaxies, uniform_cube
+from repro.machines import Engine, paragon, t3d
+from repro.machines.simd import MasParMachine, maspar_mp2
+from repro.nbody import (
+    NBodySimulation,
+    run_parallel_nbody,
+    tree_statistics,
+    build_tree,
+)
+from repro.pic import Grid3D, PicSimulation, run_parallel_pic
+from repro.wavelet import (
+    daubechies_filter,
+    mallat_decompose_2d,
+    mallat_reconstruct_2d,
+    register_translation,
+    texture_signature,
+)
+from repro.wavelet.parallel import (
+    run_spmd_reconstruct,
+    run_spmd_wavelet,
+    simd_mallat_decompose,
+)
+from repro.workload import (
+    nas_suite,
+    oracle_schedule,
+    select_representatives,
+    similarity_matrix,
+    smoothability,
+)
+
+
+class TestAppendixACampaign:
+    def test_wavelet_study_end_to_end(self):
+        """Scene -> parallel decomposition on both machines -> parallel
+        reconstruction -> registration of a shifted copy."""
+        scene = landsat_like_scene((128, 128))
+        bank = daubechies_filter(4)
+
+        # Coarse-grain MIMD path.
+        forward = run_spmd_wavelet(paragon(8), scene, bank, 2)
+        reference = mallat_decompose_2d(scene, bank, 2)
+        np.testing.assert_allclose(
+            forward.pyramid.approximation, reference.approximation, atol=1e-9
+        )
+        backward = run_spmd_reconstruct(paragon(8), forward.pyramid, bank)
+        np.testing.assert_allclose(backward.image, scene, atol=1e-8)
+
+        # Fine-grain SIMD path.
+        simd = simd_mallat_decompose(
+            MasParMachine(maspar_mp2(pe_side=32)), scene, bank, 2
+        )
+        np.testing.assert_allclose(
+            simd.pyramid.details[0].hh, reference.details[0].hh, atol=1e-9
+        )
+        # The SIMD array is far faster than the message-passing machine.
+        assert simd.elapsed_s < forward.run.elapsed_s
+
+        # Application layer: registration over the pyramid.
+        shifted = np.roll(scene, (-10, 24), axis=(0, 1))
+        result = register_translation(scene, shifted)
+        assert result.shift == (10, -24)
+
+        # Application layer: texture signatures are stable.
+        assert texture_signature(scene).shape == (10,)
+
+
+class TestAppendixBCampaign:
+    def test_nbody_study_end_to_end(self):
+        galaxies = two_galaxies(512, seed=11)
+        # Sequential reference trajectory quality.
+        sequential = NBodySimulation(galaxies.copy(), dt=0.005, theta=0.5)
+        initial_energy = sequential.energy()
+        sequential.run(4)
+        assert abs(sequential.energy() - initial_energy) < 0.1 * abs(initial_energy)
+
+        # Parallel on both machines; Paragon slower than T3D, both correct.
+        paragon_run = run_parallel_nbody(
+            paragon(8, protocol="nx"), galaxies.copy(), steps=2, dt=0.005
+        )
+        t3d_run = run_parallel_nbody(t3d(8), galaxies.copy(), steps=2, dt=0.005)
+        np.testing.assert_allclose(
+            paragon_run.particles.positions, t3d_run.particles.positions, atol=1e-9
+        )
+        assert t3d_run.run.elapsed_s < paragon_run.run.elapsed_s
+
+        # Tree shape is sane.
+        tree = build_tree(galaxies.positions, galaxies.masses)
+        stats = tree_statistics(tree)
+        assert stats.leaves >= galaxies.n // 2
+
+    def test_pic_study_end_to_end(self):
+        grid = Grid3D(8)
+        plasma = uniform_cube(512, thermal_speed=0.05, seed=12)
+        sequential = PicSimulation(grid, plasma.copy(), dt_max=0.02)
+        sequential.run(2)
+
+        for machine in (paragon(4, protocol="nx"), t3d(4)):
+            parallel = run_parallel_pic(machine, grid, plasma.copy(), steps=2, dt_max=0.02)
+            np.testing.assert_allclose(
+                parallel.particles.positions, sequential.particles.positions, atol=1e-9
+            )
+
+    def test_parallel_nbody_in_three_dimensions(self):
+        """The octree path through the full parallel stack."""
+        cluster = plummer_sphere(256, dim=3, seed=13)
+        outcome = run_parallel_nbody(
+            paragon(4, protocol="nx"), cluster.copy(), steps=2, dt=0.005
+        )
+        # Sequential reference with the identical scheme.
+        from repro.nbody import tree_forces
+
+        pos = cluster.positions.copy()
+        vel = cluster.velocities.copy()
+        for _ in range(2):
+            tree = build_tree(pos, cluster.masses)
+            acc = tree_forces(tree, pos, cluster.masses, theta=0.6).accelerations
+            vel = vel + acc * 0.005
+            pos = pos + vel * 0.005
+        np.testing.assert_allclose(outcome.particles.positions, pos, atol=1e-9)
+        assert tree.children.shape[1] == 8  # genuinely an octree
+
+
+class TestAppendixCCampaign:
+    def test_workload_study_end_to_end(self):
+        suite = nas_suite(0.3)
+        workloads = [oracle_schedule(trace).workload for trace in suite]
+        matrix = similarity_matrix(workloads)
+        # Symmetric with a zero diagonal, values in [0, 1].
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix.max() <= 1.0 + 1e-12
+
+        # Smoothability justifies centroids for every member.
+        values = [smoothability(trace).smoothability for trace in suite]
+        assert min(values) > 0.5
+
+        # Suite design: four representatives cover the eight kernels.
+        chosen = select_representatives(workloads, 4)
+        assert len(chosen) == 4
+
+
+class TestCrossCutting:
+    def test_budgets_account_for_elapsed_time(self):
+        """For every subsystem's parallel run, per-rank budget components
+        sum exactly to the elapsed time."""
+        scene = landsat_like_scene((64, 64))
+        runs = []
+        runs.append(
+            run_spmd_wavelet(paragon(4), scene, daubechies_filter(4), 1).run
+        )
+        runs.append(
+            run_parallel_nbody(
+                paragon(4, protocol="nx"),
+                plummer_sphere(128, dim=2, seed=14),
+                steps=1,
+            ).run
+        )
+        runs.append(
+            run_parallel_pic(
+                paragon(4, protocol="nx"),
+                Grid3D(8),
+                uniform_cube(256, seed=15),
+                steps=1,
+            ).run
+        )
+        for run in runs:
+            for budget in run.budgets:
+                assert budget.total_s == pytest.approx(run.elapsed_s, rel=1e-9)

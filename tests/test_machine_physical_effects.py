@@ -1,0 +1,103 @@
+"""Tests for the Section 5.4 'physical effects' model (cooling-gradient
+node speed variability)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines import Engine, Machine, cooling_gradient_factors, paragon
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork, Mesh2D
+
+
+class TestCoolingGradient:
+    def test_span_matches_variability(self):
+        factors = cooling_gradient_factors(variability=0.07)
+        assert min(factors) == pytest.approx(0.93)
+        assert max(factors) == pytest.approx(1.0)
+
+    def test_monotone_with_distance_from_cooling(self):
+        factors = cooling_gradient_factors(width=4, height=4, variability=0.1)
+        rows = [factors[r * 4] for r in range(4)]
+        assert rows == sorted(rows)
+
+    def test_zero_variability_is_uniform(self):
+        factors = cooling_gradient_factors(variability=0.0)
+        assert set(factors) == {1.0}
+
+    def test_bad_variability_raises(self):
+        with pytest.raises(ConfigurationError):
+            cooling_gradient_factors(variability=1.5)
+
+
+class TestMachineSpeedFactors:
+    def _machine(self, speed_factors):
+        return Machine(
+            name="m",
+            cpu=CpuModel(1e6, 1e6, 1e6),
+            network=ContentionNetwork(topology=Mesh2D(2, 2)),
+            placement=[0, 1, 2, 3],
+            speed_factors=speed_factors,
+        )
+
+    def test_slow_node_takes_longer(self):
+        machine = self._machine([0.5, 1.0, 1.0, 1.0])
+
+        def prog(ctx):
+            yield ctx.compute(flops=1e6)
+            return None
+
+        result = Engine(machine).run(prog)
+        assert result.finish_times[0] == pytest.approx(2.0)
+        assert result.finish_times[1] == pytest.approx(1.0)
+
+    def test_dict_factors_by_node(self):
+        machine = self._machine({2: 0.5})
+        assert machine.rank_speed == [1.0, 1.0, 0.5, 1.0]
+
+    def test_default_uniform(self):
+        machine = self._machine(None)
+        assert machine.rank_speed == [1.0] * 4
+
+    def test_nonpositive_factor_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._machine([1.0, 0.0, 1.0, 1.0])
+
+    def test_short_list_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._machine([1.0, 1.0])
+
+    def test_speed_variability_creates_imbalance(self):
+        """Uniform work on a thermally graded machine shows up as
+        imbalance overhead — the Section 5.4 observation that the same
+        problem ran at different speeds on different partitions."""
+        machine = paragon(32, protocol="nx", cooling_variability=0.07)
+
+        def prog(ctx):
+            yield ctx.compute(flops=4e6)
+            return None
+
+        result = Engine(machine).run(prog)
+        spread = max(result.finish_times) / min(result.finish_times) - 1.0
+        assert 0.03 < spread <= 0.08
+        assert max(b.imbalance_s for b in result.budgets) > 0.0
+
+    def test_partition_position_changes_runtime(self):
+        """The same 4-node job runs measurably slower on the partition
+        nearest the cooling system."""
+        factors = cooling_gradient_factors(variability=0.07)
+        base = dict(
+            cpu=CpuModel(4e6, 2.24e6, 5.5e6),
+            network=ContentionNetwork(topology=Mesh2D(4, 16)),
+            speed_factors=factors,
+        )
+        cold = Machine(name="cold", placement=[0, 1, 2, 3], **base)
+        warm = Machine(name="warm", placement=[60, 61, 62, 63], **base)
+
+        def prog(ctx):
+            yield ctx.compute(flops=4e6)
+            return None
+
+        cold_time = Engine(cold).run(prog).elapsed_s
+        warm_time = Engine(warm).run(prog).elapsed_s
+        assert cold_time > warm_time
+        assert cold_time / warm_time == pytest.approx(1.0 / 0.93, rel=0.01)

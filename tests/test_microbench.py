@@ -1,0 +1,78 @@
+"""Tests for the communication microbenchmarks — and through them, that
+the calibrated machine models behave like their parameters claim."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines import (
+    bisection_exchange,
+    paragon,
+    ping_pong,
+    ring_bandwidth,
+    t3d,
+    workstation,
+)
+
+
+class TestPingPong:
+    def test_alpha_beta_reflect_spec(self):
+        machine = paragon(8, protocol="nx")
+        model = ping_pong(machine)
+        # alpha should sit near the spec's latency + software overheads
+        # (0.12 ms network + 2 x 0.05 ms software).
+        assert 100e-6 < model.alpha_s < 800e-6
+        # beta is bounded by the 30 MB/s channel but reduced by the
+        # serialized copy costs on both ends.
+        assert 10e6 < model.beta_bytes_per_s < 30e6
+
+    def test_pvm_slower_than_nx(self):
+        pvm = ping_pong(paragon(8, protocol="pvm"))
+        nx = ping_pong(paragon(8, protocol="nx"))
+        assert pvm.alpha_s > nx.alpha_s
+        assert pvm.beta_bytes_per_s < nx.beta_bytes_per_s
+
+    def test_prediction_interpolates_samples(self):
+        model = ping_pong(t3d(4))
+        for nbytes, measured in model.samples:
+            assert model.predict(nbytes) == pytest.approx(measured, rel=0.5)
+
+    def test_time_grows_with_size(self):
+        model = ping_pong(paragon(4, protocol="nx"))
+        times = [t for _, t in model.samples]
+        assert times == sorted(times)
+
+    def test_needs_two_ranks(self):
+        with pytest.raises(ConfigurationError):
+            ping_pong(workstation())
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ping_pong(paragon(4), src=2, dst=2)
+
+
+class TestAggregatePatterns:
+    def test_ring_exceeds_single_channel(self):
+        """Neighbor exchanges run concurrently on disjoint channels, so
+        aggregate ring bandwidth beats one channel's rate."""
+        machine = paragon(16, protocol="nx")
+        assert ring_bandwidth(machine) > 30e6
+
+    def test_mesh_bisection_below_ring(self):
+        """Cross-machine pairs share the few bisection channels of the
+        4-wide mesh; aggregate rate drops below the neighbor ring's."""
+        machine = paragon(16, protocol="nx")
+        assert bisection_exchange(machine) < ring_bandwidth(machine)
+
+    def test_torus_bisection_healthy(self):
+        """The T3D torus has enough bisection links that the exchange
+        keeps most of the ring rate."""
+        machine = t3d(16)
+        assert bisection_exchange(machine) > 0.6 * ring_bandwidth(machine)
+
+    def test_odd_rank_bisection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bisection_exchange(paragon(5))
+
+    def test_ring_needs_two(self):
+        with pytest.raises(ConfigurationError):
+            ring_bandwidth(workstation())

@@ -1,0 +1,284 @@
+"""Tests for force evaluation, partitioning, and integration."""
+
+import numpy as np
+import pytest
+
+from repro.data import plummer_sphere, uniform_disk
+from repro.errors import ConfigurationError
+from repro.nbody import (
+    NBodySimulation,
+    build_tree,
+    costzones_partition,
+    direct_forces,
+    force_op_cost,
+    leapfrog_step,
+    orb_partition,
+    partition_balance,
+    tree_forces,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return plummer_sphere(400, dim=2, seed=3)
+
+
+class TestDirectForces:
+    def test_two_body_attraction(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0]])
+        masses = np.array([1.0, 1.0])
+        result = direct_forces(pos, masses, softening=0.0)
+        # Unit masses at distance 1: |a| = 1 toward the other body.
+        np.testing.assert_allclose(result.accelerations[0], [1.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(result.accelerations[1], [-1.0, 0.0], atol=1e-12)
+
+    def test_momentum_conservation(self, cluster):
+        result = direct_forces(cluster.positions, cluster.masses)
+        total_force = (cluster.masses[:, None] * result.accelerations).sum(axis=0)
+        np.testing.assert_allclose(total_force, 0.0, atol=1e-10)
+
+    def test_potential_negative(self, cluster):
+        assert direct_forces(cluster.positions, cluster.masses).potential < 0
+
+    def test_interaction_count(self, cluster):
+        result = direct_forces(cluster.positions, cluster.masses)
+        assert result.total_interactions == cluster.n * (cluster.n - 1)
+
+
+class TestTreeForces:
+    def test_accuracy_improves_with_smaller_theta(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        exact = direct_forces(cluster.positions, cluster.masses).accelerations
+        errors = []
+        for theta in (1.2, 0.6, 0.3):
+            approx = tree_forces(
+                tree, cluster.positions, cluster.masses, theta=theta
+            ).accelerations
+            errors.append(
+                np.median(
+                    np.linalg.norm(approx - exact, axis=1)
+                    / np.linalg.norm(exact, axis=1)
+                )
+            )
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 0.01
+
+    def test_cost_decreases_with_larger_theta(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        small = tree_forces(tree, cluster.positions, cluster.masses, theta=0.3)
+        large = tree_forces(tree, cluster.positions, cluster.masses, theta=1.2)
+        assert large.total_interactions < small.total_interactions
+
+    def test_subquadratic_interactions(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        result = tree_forces(tree, cluster.positions, cluster.masses, theta=0.6)
+        assert result.total_interactions < 0.6 * cluster.n * (cluster.n - 1)
+
+    def test_targets_subset_matches_full(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        full = tree_forces(tree, cluster.positions, cluster.masses, theta=0.6)
+        subset = np.arange(50, 120)
+        part = tree_forces(
+            tree, cluster.positions, cluster.masses, theta=0.6, targets=subset
+        )
+        np.testing.assert_allclose(
+            part.accelerations, full.accelerations[subset], atol=1e-12
+        )
+        np.testing.assert_array_equal(part.interactions, full.interactions[subset])
+
+    def test_bad_theta_raises(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        with pytest.raises(ConfigurationError):
+            tree_forces(tree, cluster.positions, cluster.masses, theta=0.0)
+
+    def test_op_cost_scales_with_interactions(self):
+        assert force_op_cost(2000).total() == pytest.approx(2 * force_op_cost(1000).total())
+
+
+class TestPartitioning:
+    def test_costzones_covers_all_particles(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        zones = costzones_partition(tree, np.ones(cluster.n), 5)
+        combined = np.sort(np.concatenate(zones))
+        np.testing.assert_array_equal(combined, np.arange(cluster.n))
+
+    def test_costzones_balances_nonuniform_costs(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        rng = np.random.default_rng(0)
+        costs = rng.exponential(1.0, cluster.n)
+        zones = costzones_partition(tree, costs, 4)
+        assert partition_balance(zones, costs) < 1.3
+
+    def test_costzones_zones_contiguous_in_tree_order(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        zones = costzones_partition(tree, np.ones(cluster.n), 3)
+        rank_of = np.empty(cluster.n, dtype=int)
+        for r, z in enumerate(zones):
+            rank_of[z] = r
+        in_order = rank_of[tree.order]
+        assert (np.diff(in_order) >= 0).all()
+
+    def test_costzones_single_rank(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        zones = costzones_partition(tree, np.ones(cluster.n), 1)
+        assert len(zones) == 1 and zones[0].size == cluster.n
+
+    def test_costzones_bad_args(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        with pytest.raises(ConfigurationError):
+            costzones_partition(tree, np.ones(cluster.n), 0)
+        with pytest.raises(ConfigurationError):
+            costzones_partition(tree, np.ones(3), 2)
+
+    def test_orb_covers_all(self, cluster):
+        zones = orb_partition(cluster.positions, np.ones(cluster.n), 8)
+        combined = np.sort(np.concatenate(zones))
+        np.testing.assert_array_equal(combined, np.arange(cluster.n))
+
+    def test_orb_requires_power_of_two(self, cluster):
+        with pytest.raises(ConfigurationError):
+            orb_partition(cluster.positions, np.ones(cluster.n), 6)
+
+    def test_orb_balance(self, cluster):
+        costs = np.ones(cluster.n)
+        zones = orb_partition(cluster.positions, costs, 4)
+        assert partition_balance(zones, costs) < 1.2
+
+
+class TestIntegration:
+    def test_leapfrog_energy_drift_bounded(self):
+        """Leapfrog on a soft two-body orbit conserves energy to O(dt^2)."""
+        pos = np.array([[0.5, 0.0], [-0.5, 0.0]])
+        vel = np.array([[0.0, 0.35], [0.0, -0.35]])
+        masses = np.array([0.5, 0.5])
+        softening = 0.05
+
+        def forces(p):
+            return direct_forces(p, masses, softening=softening).accelerations
+
+        def energy(p, v):
+            kinetic = 0.5 * (masses * (v**2).sum(axis=1)).sum()
+            return kinetic + direct_forces(p, masses, softening=softening).potential
+
+        initial = energy(pos, vel)
+        acc = forces(pos)
+        for _ in range(200):
+            pos, vel, acc = leapfrog_step(pos, vel, acc, 0.01, forces)
+        assert abs(energy(pos, vel) - initial) < 5e-4 * abs(initial)
+
+    def test_leapfrog_reversibility(self):
+        pos = np.array([[0.5, 0.1], [-0.5, -0.1]])
+        vel = np.array([[0.0, 0.3], [0.0, -0.3]])
+        masses = np.array([0.5, 0.5])
+
+        def forces(p):
+            return direct_forces(p, masses, softening=0.05).accelerations
+
+        acc = forces(pos)
+        p1, v1, a1 = leapfrog_step(pos, vel, acc, 0.02, forces)
+        # Reverse: negate velocities and step again.
+        p2, v2, _ = leapfrog_step(p1, -v1, a1, 0.02, forces)
+        np.testing.assert_allclose(p2, pos, atol=1e-12)
+
+    def test_bad_dt_raises(self):
+        with pytest.raises(ConfigurationError):
+            leapfrog_step(np.zeros((1, 2)), np.zeros((1, 2)), np.zeros((1, 2)), 0.0, lambda p: p)
+
+
+class TestSimulation:
+    def test_runs_and_records_history(self):
+        sim = NBodySimulation(uniform_disk(100, seed=2), dt=0.01)
+        stats = sim.run(3)
+        assert len(stats) == 3 == len(sim.history)
+        assert stats[0].total_interactions > 0
+        assert stats[-1].step == 3
+
+    def test_momentum_drift_small(self):
+        # The Barnes-Hut monopole approximation is not pairwise-symmetric,
+        # so momentum is conserved only to the force-approximation level.
+        ps = uniform_disk(150, seed=3)
+        sim = NBodySimulation(ps, dt=0.005, theta=0.4)
+        before = ps.momentum()
+        sim.run(5)
+        typical = float(np.abs(ps.velocities).sum() / ps.n)
+        drift = float(np.abs(ps.momentum() - before).max())
+        assert drift < 0.05 * max(typical, 1e-12)
+
+    def test_energy_roughly_conserved(self):
+        sim = NBodySimulation(plummer_sphere(150, dim=2, seed=4), dt=0.002, theta=0.3)
+        initial = sim.energy()
+        sim.run(10)
+        assert abs(sim.energy() - initial) < 0.05 * abs(initial)
+
+    def test_bad_dt_raises(self):
+        with pytest.raises(ConfigurationError):
+            NBodySimulation(uniform_disk(10), dt=-1.0)
+
+
+class TestQuadrupole:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_quadrupole_beats_monopole_at_equal_theta(self, dim):
+        """The paper's '(perhaps with quadrupole and higher moments)'
+        refinement: higher-order moments cut the far-field error at the
+        same opening angle."""
+        ps = plummer_sphere(400, dim=dim, seed=8)
+        exact = direct_forces(ps.positions, ps.masses).accelerations
+
+        def median_error(multipole):
+            tree = build_tree(ps.positions, ps.masses, multipole=multipole)
+            approx = tree_forces(tree, ps.positions, ps.masses, theta=0.8)
+            return np.median(
+                np.linalg.norm(approx.accelerations - exact, axis=1)
+                / np.linalg.norm(exact, axis=1)
+            )
+
+        assert median_error("quadrupole") < 0.5 * median_error("monopole")
+
+    def test_quadrupole_same_interaction_count(self):
+        """The acceptance test is unchanged: only accuracy improves."""
+        ps = plummer_sphere(300, dim=2, seed=9)
+        mono = build_tree(ps.positions, ps.masses, multipole="monopole")
+        quad = build_tree(ps.positions, ps.masses, multipole="quadrupole")
+        a = tree_forces(mono, ps.positions, ps.masses, theta=0.7)
+        b = tree_forces(quad, ps.positions, ps.masses, theta=0.7)
+        assert a.total_interactions == b.total_interactions
+
+    def test_quadrupole_tensors_traceless(self):
+        ps = plummer_sphere(200, dim=3, seed=10)
+        tree = build_tree(ps.positions, ps.masses, multipole="quadrupole")
+        traces = np.trace(tree.quadrupole, axis1=1, axis2=2)
+        np.testing.assert_allclose(traces, 0.0, atol=1e-9)
+
+    def test_single_body_cell_has_zero_quadrupole(self):
+        pos = np.array([[0.25, 0.25], [0.75, 0.75]])
+        tree = build_tree(pos, np.ones(2), multipole="quadrupole")
+        for cell in range(tree.ncells):
+            if tree.is_leaf(cell) and tree.leaf_count[cell] == 1:
+                np.testing.assert_allclose(tree.quadrupole[cell], 0.0, atol=1e-12)
+
+    def test_monopole_tree_has_no_quadrupole(self):
+        ps = plummer_sphere(100, dim=2, seed=11)
+        tree = build_tree(ps.positions, ps.masses)
+        assert tree.quadrupole is None
+
+    def test_unknown_multipole_raises(self):
+        ps = plummer_sphere(10, dim=2, seed=12)
+        with pytest.raises(ConfigurationError):
+            build_tree(ps.positions, ps.masses, multipole="octupole")
+
+    def test_parallel_run_with_quadrupole_matches_sequential(self):
+        """The quadrupole tree ships through the manager-worker leapfrog
+        path and matches the sequential quadrupole simulation."""
+        from repro.machines import paragon
+        from repro.nbody import NBodySimulation, run_parallel_nbody
+
+        ps = plummer_sphere(160, dim=2, seed=13)
+        seq = NBodySimulation(ps.copy(), dt=0.005, multipole="quadrupole")
+        seq.run(2)
+        out = run_parallel_nbody(
+            paragon(4, protocol="nx"), ps.copy(), steps=2, dt=0.005,
+            integrator="leapfrog", multipole="quadrupole",
+        )
+        np.testing.assert_allclose(
+            out.particles.positions, seq.particles.positions, atol=1e-9
+        )

@@ -1,0 +1,145 @@
+"""Tests for the parallel N-body programs against the sequential scheme."""
+
+import numpy as np
+import pytest
+
+from repro.data import plummer_sphere
+from repro.errors import ConfigurationError
+from repro.machines import paragon, t3d
+from repro.nbody import build_tree, run_parallel_nbody, tree_forces
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return plummer_sphere(192, dim=2, seed=9)
+
+
+def sequential_reference(particles, steps, dt=0.01, theta=0.6, softening=1e-3):
+    """The same semi-implicit Euler scheme the parallel code uses."""
+    pos = particles.positions.copy()
+    vel = particles.velocities.copy()
+    for _ in range(steps):
+        tree = build_tree(pos, particles.masses)
+        acc = tree_forces(
+            tree, pos, particles.masses, theta=theta, softening=softening
+        ).accelerations
+        vel = vel + acc * dt
+        pos = pos + vel * dt
+    return pos, vel
+
+
+class TestManagerWorker:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_matches_sequential(self, cluster, nranks):
+        expected_pos, expected_vel = sequential_reference(cluster, 2)
+        out = run_parallel_nbody(paragon(nranks), cluster.copy(), steps=2)
+        np.testing.assert_allclose(out.particles.positions, expected_pos, atol=1e-9)
+        np.testing.assert_allclose(out.particles.velocities, expected_vel, atol=1e-9)
+
+    def test_interactions_recorded(self, cluster):
+        out = run_parallel_nbody(paragon(4), cluster.copy(), steps=3)
+        assert len(out.interactions_per_step) == 3
+        assert all(i > cluster.n for i in out.interactions_per_step)
+
+    def test_orb_partition_variant(self, cluster):
+        out = run_parallel_nbody(paragon(4), cluster.copy(), steps=1, partition="orb")
+        expected_pos, _ = sequential_reference(cluster, 1)
+        np.testing.assert_allclose(out.particles.positions, expected_pos, atol=1e-9)
+
+    def test_manager_comm_grows_with_ranks(self, cluster):
+        """The centralized tree broadcast is the scaling bottleneck the
+        paper attributes the manager-worker imbalance to."""
+        small = run_parallel_nbody(paragon(2), cluster.copy(), steps=1)
+        large = run_parallel_nbody(paragon(8), cluster.copy(), steps=1)
+        assert large.run.bytes_sent > small.run.bytes_sent
+
+    def test_t3d_faster_than_paragon(self, cluster):
+        """Appendix B Tables 1-2: the integer-heavy N-body runs much
+        faster on the Alpha."""
+        paragon_run = run_parallel_nbody(paragon(4), cluster.copy(), steps=1)
+        t3d_run = run_parallel_nbody(t3d(4), cluster.copy(), steps=1)
+        assert t3d_run.run.elapsed_s < paragon_run.run.elapsed_s / 3
+
+    def test_unknown_model_raises(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_parallel_nbody(paragon(2), cluster.copy(), steps=1, model="peer2peer")
+
+    def test_unknown_partition_raises(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_parallel_nbody(paragon(2), cluster.copy(), steps=1, partition="hilbert")
+
+
+class TestReplicated:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_sequential(self, cluster, nranks):
+        expected_pos, expected_vel = sequential_reference(cluster, 2)
+        out = run_parallel_nbody(
+            paragon(nranks), cluster.copy(), steps=2, model="replicated"
+        )
+        np.testing.assert_allclose(out.particles.positions, expected_pos, atol=1e-9)
+        np.testing.assert_allclose(out.particles.velocities, expected_vel, atol=1e-9)
+
+    def test_replicated_trades_comm_for_redundancy(self, cluster):
+        """Appendix B §5.3: duplication reduces communication at the price
+        of redundancy overhead."""
+        mw = run_parallel_nbody(paragon(4), cluster.copy(), steps=2)
+        rep = run_parallel_nbody(
+            paragon(4), cluster.copy(), steps=2, model="replicated"
+        )
+        assert rep.run.mean_budget().redundancy_s > mw.run.mean_budget().redundancy_s
+        assert rep.run.bytes_sent < mw.run.bytes_sent
+
+
+class TestLeapfrogIntegrator:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_sequential_kdk_simulation(self, cluster, nranks):
+        """The leapfrog option reproduces NBodySimulation bit-for-bit —
+        the strongest cross-check between the parallel and sequential
+        stacks."""
+        from repro.nbody import NBodySimulation
+
+        sequential = NBodySimulation(cluster.copy(), dt=0.005)
+        sequential.run(3)
+        out = run_parallel_nbody(
+            paragon(nranks), cluster.copy(), steps=3, dt=0.005,
+            integrator="leapfrog",
+        )
+        np.testing.assert_allclose(
+            out.particles.positions, sequential.particles.positions, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            out.particles.velocities, sequential.particles.velocities, atol=1e-9
+        )
+
+    def test_leapfrog_conserves_energy_better_than_euler(self, cluster):
+        """The symplectic KDK scheme drifts less over many steps."""
+        from repro.nbody import direct_forces
+
+        def total_energy(particles):
+            potential = direct_forces(
+                particles.positions, particles.masses, softening=1e-3
+            ).potential
+            return particles.kinetic_energy() + potential
+
+        initial = total_energy(cluster)
+        drifts = {}
+        for integrator in ("euler", "leapfrog"):
+            out = run_parallel_nbody(
+                paragon(2), cluster.copy(), steps=20, dt=0.01,
+                integrator=integrator,
+            )
+            drifts[integrator] = abs(total_energy(out.particles) - initial)
+        assert drifts["leapfrog"] <= drifts["euler"] * 1.5
+
+    def test_unknown_integrator_raises(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_parallel_nbody(
+                paragon(2), cluster.copy(), steps=1, integrator="rk4"
+            )
+
+    def test_costs_feed_costzones_each_round(self, cluster):
+        out = run_parallel_nbody(
+            paragon(4), cluster.copy(), steps=2, integrator="leapfrog"
+        )
+        assert len(out.interactions_per_step) == 2
+        assert all(i > cluster.n for i in out.interactions_per_step)

@@ -1,0 +1,117 @@
+"""Tests for Barnes-Hut tree construction."""
+
+import numpy as np
+import pytest
+
+from repro.data import plummer_sphere, uniform_cube
+from repro.errors import ConfigurationError
+from repro.nbody import build_tree
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return plummer_sphere(300, dim=2, seed=1)
+
+
+class TestConstruction:
+    def test_root_encloses_all_bodies(self, cluster):
+        """Paper property 1."""
+        tree = build_tree(cluster.positions, cluster.masses)
+        lo = tree.center[0] - tree.half_width[0]
+        hi = tree.center[0] + tree.half_width[0]
+        assert (cluster.positions >= lo).all()
+        assert (cluster.positions <= hi).all()
+
+    def test_leaf_capacity_respected(self, cluster):
+        """Paper property 2: no terminal cell over capacity."""
+        for capacity in (1, 4):
+            tree = build_tree(cluster.positions, cluster.masses, leaf_capacity=capacity)
+            leaf_mask = tree.leaf_start >= 0
+            assert tree.leaf_count[leaf_mask].max() <= capacity
+
+    def test_every_body_in_exactly_one_leaf(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        assert sorted(tree.order.tolist()) == list(range(cluster.n))
+
+    def test_order_covers_leaves(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        total = int(tree.leaf_count[tree.leaf_start >= 0].sum())
+        assert total == cluster.n
+
+    def test_internal_cells_have_children(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        for cell in range(tree.ncells):
+            if not tree.is_leaf(cell):
+                assert (tree.children[cell] >= 0).any()
+
+    def test_root_mass_is_total(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        assert tree.mass[0] == pytest.approx(cluster.total_mass)
+
+    def test_root_com_is_global_com(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        np.testing.assert_allclose(tree.com[0], cluster.center_of_mass(), atol=1e-12)
+
+    def test_child_masses_sum_to_parent(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        for cell in range(tree.ncells):
+            if not tree.is_leaf(cell):
+                child_mass = sum(
+                    tree.mass[c] for c in tree.children[cell] if c >= 0
+                )
+                assert child_mass == pytest.approx(tree.mass[cell])
+
+    def test_children_geometry_nested(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        for cell in range(tree.ncells):
+            for child in tree.children[cell]:
+                if child >= 0:
+                    assert tree.half_width[child] == pytest.approx(
+                        tree.half_width[cell] / 2
+                    )
+
+    def test_leaf_capacity_reduces_cells(self, cluster):
+        fine = build_tree(cluster.positions, cluster.masses, leaf_capacity=1)
+        coarse = build_tree(cluster.positions, cluster.masses, leaf_capacity=8)
+        assert coarse.ncells < fine.ncells
+
+    def test_3d_octree(self):
+        ps = uniform_cube(200, dim=3, seed=0)
+        tree = build_tree(ps.positions, ps.masses)
+        assert tree.dim == 3
+        assert tree.children.shape[1] == 8
+        assert tree.mass[0] == pytest.approx(1.0)
+
+    def test_single_body(self):
+        tree = build_tree(np.array([[0.5, 0.5]]), np.array([2.0]))
+        assert tree.ncells == 1
+        assert tree.is_leaf(0)
+        assert tree.mass[0] == 2.0
+
+    def test_coincident_bodies_respect_capacity_fallback(self):
+        # Two bodies at the same point cannot be separated; capacity 2 holds them.
+        pos = np.zeros((2, 2))
+        tree = build_tree(pos, np.ones(2), leaf_capacity=2)
+        assert tree.ncells == 1
+
+    def test_depth_positive(self, cluster):
+        tree = build_tree(cluster.positions, cluster.masses)
+        assert tree.depth() >= 1
+
+    def test_serialization_roundtrip(self, cluster):
+        from repro.nbody import BarnesHutTree
+
+        tree = build_tree(cluster.positions, cluster.masses)
+        rebuilt = BarnesHutTree.from_arrays(tree.dim, tree.arrays())
+        np.testing.assert_array_equal(rebuilt.com, tree.com)
+        assert rebuilt.serialized_nbytes() == tree.serialized_nbytes()
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            build_tree(np.zeros((3, 4)), np.ones(3))
+        with pytest.raises(ConfigurationError):
+            build_tree(np.zeros((3, 2)), np.ones(4))
+        with pytest.raises(ConfigurationError):
+            build_tree(np.zeros((0, 2)), np.ones(0))
+        with pytest.raises(ConfigurationError):
+            build_tree(np.zeros((3, 2)), np.ones(3), leaf_capacity=0)

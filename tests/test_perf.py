@@ -1,0 +1,124 @@
+"""Tests for the perf metrics and report rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines import Engine, Machine
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork, FullyConnected
+from repro.perf import (
+    ScalingCurve,
+    ScalingPoint,
+    format_budget,
+    format_speedup_series,
+    format_table,
+    linear_extrapolate,
+)
+
+
+class TestScalingCurve:
+    def test_speedup_relative_to_p1(self):
+        curve = ScalingCurve(
+            "test",
+            [ScalingPoint(1, 8.0), ScalingPoint(2, 4.0), ScalingPoint(4, 2.5)],
+        )
+        speedups = dict(curve.speedup())
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[2] == pytest.approx(2.0)
+        assert speedups[4] == pytest.approx(3.2)
+
+    def test_efficiency(self):
+        curve = ScalingCurve("t", [ScalingPoint(1, 4.0), ScalingPoint(4, 2.0)])
+        eff = dict(curve.efficiency())
+        assert eff[4] == pytest.approx(0.5)
+
+    def test_explicit_serial_reference(self):
+        curve = ScalingCurve("t", [ScalingPoint(8, 1.0)], serial_s=6.0)
+        assert dict(curve.speedup())[8] == pytest.approx(6.0)
+
+    def test_points_sorted(self):
+        curve = ScalingCurve(
+            "t", [ScalingPoint(4, 1.0), ScalingPoint(1, 3.0), ScalingPoint(2, 2.0)]
+        )
+        assert [p.nranks for p in curve.points] == [1, 2, 4]
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScalingCurve("t", [ScalingPoint(4, 1.0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScalingCurve("t", [])
+
+
+class TestExtrapolation:
+    def test_linear_fit(self):
+        # time = 2 * size + 1
+        assert linear_extrapolate([1, 2, 3], [3, 5, 7], 10) == pytest.approx(21.0)
+
+    def test_paper_style_projection(self):
+        """Appendix B Table 1: project 1M-particle time from 256K/512K."""
+        projected = linear_extrapolate(
+            [262144, 524288], [13.35, 24.41], 1048576
+        )
+        assert projected == pytest.approx(45.93, abs=1.0)
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ConfigurationError):
+            linear_extrapolate([1], [2], 3)
+
+
+class TestFormatting:
+    def test_table_contains_cells(self):
+        text = format_table("Title", ["a", "b"], [[1, 2.5], ["x", 0.001]])
+        assert "Title" in text
+        assert "2.5" in text
+        assert "x" in text
+
+    def test_speedup_series(self):
+        text = format_speedup_series("Fig", {"snake": [(2, 1.9), (4, 3.4)]})
+        assert "snake" in text and "P=4" in text
+
+    def test_budget_render(self):
+        machine = Machine(
+            name="m",
+            cpu=CpuModel(1e9, 1e9, 1e9),
+            network=ContentionNetwork(topology=FullyConnected(2)),
+            placement=[0, 1],
+        )
+
+        def prog(ctx):
+            yield ctx.compute(flops=1e6 * (1 + ctx.rank))
+            return None
+
+        run = Engine(machine).run(prog)
+        text = format_budget("Budget", run)
+        assert "work" in text and "imbalance" in text and "%" in text
+
+
+class TestFormatProfile:
+    def test_renders_and_scales(self):
+        from repro.perf import format_profile
+
+        text = format_profile("profile", [0, 1, 2, 4, 8])
+        assert "profile" in text and "peak=8" in text
+        assert "|" in text
+
+    def test_resamples_long_series(self):
+        from repro.perf import format_profile
+
+        text = format_profile("p", list(range(1000)), width=32)
+        body = text.splitlines()[1]
+        assert len(body.strip().strip("|").split("peak")[0]) <= 40
+
+    def test_empty_raises(self):
+        from repro.perf import format_profile
+
+        with pytest.raises(ValueError):
+            format_profile("p", [])
+
+    def test_constant_zero_series(self):
+        from repro.perf import format_profile
+
+        text = format_profile("p", [0.0, 0.0, 0.0])
+        assert "peak=1" in text  # guarded peak

@@ -1,0 +1,166 @@
+"""Tests for the PIC field pipeline: grid, deposit, Poisson, gather."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform_cube
+from repro.errors import ConfigurationError
+from repro.pic import (
+    Grid3D,
+    cic_weights,
+    deposit_cic,
+    electric_field,
+    gather_field,
+    poisson_spectrum_multiplier,
+    solve_poisson,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid3D(8)
+
+
+class TestGrid:
+    def test_spacing(self):
+        assert Grid3D(16, extent=2.0).spacing == pytest.approx(0.125)
+
+    def test_wrap_positions(self, grid):
+        wrapped = grid.wrap_positions(np.array([[1.25, -0.25, 0.5]]))
+        np.testing.assert_allclose(wrapped, [[0.25, 0.75, 0.5]])
+
+    def test_bad_m_raises(self):
+        with pytest.raises(ConfigurationError):
+            Grid3D(1)
+
+    def test_bad_extent_raises(self):
+        with pytest.raises(ConfigurationError):
+            Grid3D(8, extent=0.0)
+
+    def test_laplacian_eigenvalues_nonpositive(self, grid):
+        eigenvalues = grid.laplacian_eigenvalues()
+        assert eigenvalues.max() <= 1e-12
+        assert eigenvalues[0, 0, 0] == pytest.approx(0.0)
+
+    def test_fd_laplacian_of_constant_is_zero(self, grid):
+        np.testing.assert_allclose(grid.fd_laplacian(np.full((8, 8, 8), 3.0)), 0.0)
+
+    def test_fd_gradient_of_linear_mode(self, grid):
+        # A single Fourier mode's central difference has known amplitude.
+        x = np.arange(8) * grid.spacing
+        field = np.sin(2 * np.pi * x)[:, None, None] * np.ones((1, 8, 8))
+        gradient = grid.fd_gradient(field)
+        expected_amp = np.sin(2 * np.pi * grid.spacing) / grid.spacing
+        assert np.abs(gradient[0]).max() == pytest.approx(expected_amp, rel=1e-9)
+        np.testing.assert_allclose(gradient[1], 0.0, atol=1e-12)
+
+
+class TestDeposit:
+    def test_charge_conservation(self, grid):
+        ps = uniform_cube(500, seed=0)
+        rho = deposit_cic(grid, ps.positions, ps.masses)
+        assert rho.sum() * grid.cell_volume() == pytest.approx(ps.masses.sum())
+
+    def test_particle_at_grid_point_deposits_locally(self, grid):
+        pos = np.array([[2 * grid.spacing, 3 * grid.spacing, 4 * grid.spacing]])
+        rho = deposit_cic(grid, pos, np.array([1.0]))
+        assert rho[2, 3, 4] * grid.cell_volume() == pytest.approx(1.0)
+        assert np.count_nonzero(rho) == 1
+
+    def test_midpoint_particle_splits_evenly(self, grid):
+        pos = np.array([[1.5, 1.5, 1.5]]) * grid.spacing
+        rho = deposit_cic(grid, pos, np.array([1.0]))
+        nonzero = rho[rho != 0]
+        assert nonzero.size == 8
+        np.testing.assert_allclose(nonzero * grid.cell_volume(), 0.125)
+
+    def test_wraparound_deposit(self, grid):
+        # A particle in the last cell shares charge with index 0 planes.
+        pos = np.array([[grid.extent - grid.spacing / 2, 0.0, 0.0]])
+        rho = deposit_cic(grid, pos, np.array([1.0]))
+        assert rho[0, 0, 0] > 0
+        assert rho[grid.m - 1, 0, 0] > 0
+
+    def test_weights_shapes(self, grid):
+        base, frac = cic_weights(grid, np.random.default_rng(0).random((10, 3)))
+        assert base.shape == (10, 3) and frac.shape == (10, 3)
+        assert (0 <= base).all() and (base < grid.m).all()
+        assert (0 <= frac).all() and (frac < 1).all()
+
+    def test_bad_positions_raise(self, grid):
+        with pytest.raises(ConfigurationError):
+            cic_weights(grid, np.zeros((5, 2)))
+
+    def test_mismatched_charges_raise(self, grid):
+        with pytest.raises(ConfigurationError):
+            deposit_cic(grid, np.zeros((5, 3)), np.ones(4))
+
+
+class TestPoisson:
+    def test_solution_inverts_fd_laplacian(self, grid):
+        rng = np.random.default_rng(1)
+        rho = rng.standard_normal((8, 8, 8))
+        phi = solve_poisson(grid, rho)
+        np.testing.assert_allclose(
+            grid.fd_laplacian(phi), -(rho - rho.mean()), atol=1e-10
+        )
+
+    def test_mean_mode_removed(self, grid):
+        phi = solve_poisson(grid, np.full((8, 8, 8), 5.0))
+        np.testing.assert_allclose(phi, 0.0, atol=1e-12)
+
+    def test_solution_has_zero_mean(self, grid):
+        rng = np.random.default_rng(2)
+        phi = solve_poisson(grid, rng.standard_normal((8, 8, 8)))
+        assert abs(phi.mean()) < 1e-12
+
+    def test_point_charge_symmetry(self, grid):
+        rho = grid.zeros()
+        rho[4, 4, 4] = 1.0
+        phi = solve_poisson(grid, rho)
+        # Symmetric neighbors of the charge see equal potential.
+        assert phi[3, 4, 4] == pytest.approx(phi[5, 4, 4])
+        assert phi[4, 3, 4] == pytest.approx(phi[4, 5, 4])
+
+    def test_multiplier_zero_at_dc(self, grid):
+        assert poisson_spectrum_multiplier(grid)[0, 0, 0] == 0.0
+
+    def test_wrong_shape_raises(self, grid):
+        with pytest.raises(ConfigurationError):
+            solve_poisson(grid, np.zeros((4, 4, 4)))
+
+
+class TestGather:
+    def test_gather_at_grid_points_is_exact(self, grid):
+        rng = np.random.default_rng(3)
+        field = rng.standard_normal((3, 8, 8, 8))
+        idx = np.array([[1, 2, 3], [0, 7, 4]])
+        pos = idx * grid.spacing
+        values = gather_field(grid, field, pos)
+        for p, (i, j, k) in enumerate(idx):
+            np.testing.assert_allclose(values[p], field[:, i, j, k], atol=1e-12)
+
+    def test_gather_interpolates_linear_field(self, grid):
+        # E_x = x is reproduced exactly by trilinear interpolation between
+        # grid points (within a cell, away from the wrap seam).
+        x = np.arange(8)[:, None, None] * grid.spacing * np.ones((1, 8, 8))
+        field = np.stack([x, np.zeros_like(x), np.zeros_like(x)])
+        pos = np.array([[0.4, 0.3, 0.2]]) * grid.extent
+        value = gather_field(grid, field, pos)
+        assert value[0, 0] == pytest.approx(0.4 * grid.extent, rel=1e-9)
+
+    def test_no_self_force(self, grid):
+        """Matched CIC scatter/gather: a single particle exerts no force
+        on itself."""
+        pos = np.array([[0.37, 0.52, 0.61]])
+        rho = deposit_cic(grid, pos, np.array([-1.0]))
+        phi = solve_poisson(grid, rho)
+        efield = electric_field(grid, phi)
+        force = gather_field(grid, efield, pos)
+        # The symmetric discretization cancels the self-term to near zero
+        # relative to typical field magnitudes.
+        assert np.abs(force).max() < 1e-6 * np.abs(efield).max()
+
+    def test_wrong_field_shape_raises(self, grid):
+        with pytest.raises(ConfigurationError):
+            gather_field(grid, np.zeros((2, 8, 8, 8)), np.zeros((1, 3)))

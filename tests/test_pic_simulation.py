@@ -1,0 +1,189 @@
+"""Tests for the PIC push, sequential driver, and parallel program."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform_cube
+from repro.errors import ConfigurationError
+from repro.machines import paragon
+from repro.pic import (
+    Grid3D,
+    PicSimulation,
+    adaptive_dt,
+    particle_share,
+    push_particles,
+    run_parallel_pic,
+    slab_bounds,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid3D(8)
+
+
+class TestPush:
+    def test_adaptive_dt_caps_displacement(self, grid):
+        velocities = np.array([[4.0, 0.0, 0.0]])
+        dt = adaptive_dt(grid, velocities, dt_max=1.0, max_cell_fraction=0.5)
+        assert dt * 4.0 <= 0.5 * grid.spacing + 1e-12
+
+    def test_adaptive_dt_cold_particles_use_max(self, grid):
+        assert adaptive_dt(grid, np.zeros((5, 3)), dt_max=0.25) == 0.25
+
+    def test_adaptive_dt_bad_args(self, grid):
+        with pytest.raises(ConfigurationError):
+            adaptive_dt(grid, np.zeros((1, 3)), dt_max=0.0)
+        with pytest.raises(ConfigurationError):
+            adaptive_dt(grid, np.zeros((1, 3)), dt_max=1.0, max_cell_fraction=2.0)
+
+    def test_push_wraps_positions(self, grid):
+        pos = np.array([[0.99, 0.5, 0.5]])
+        vel = np.array([[1.0, 0.0, 0.0]])
+        new_pos, _ = push_particles(
+            grid, pos, vel, np.zeros((1, 3)), np.ones(1), dt=0.05
+        )
+        assert 0.0 <= new_pos[0, 0] < grid.extent
+
+    def test_push_updates_velocity_first(self, grid):
+        pos = np.zeros((1, 3)) + 0.5
+        vel = np.zeros((1, 3))
+        forces = np.array([[1.0, 0.0, 0.0]])
+        new_pos, new_vel = push_particles(grid, pos, vel, forces, np.ones(1), dt=0.1)
+        assert new_vel[0, 0] == pytest.approx(0.1)
+        assert new_pos[0, 0] == pytest.approx(0.5 + 0.01)  # moved by v_new * dt
+
+
+class TestSequentialSimulation:
+    def test_runs_and_tracks_diagnostics(self, grid):
+        sim = PicSimulation(grid, uniform_cube(300, thermal_speed=0.05, seed=0))
+        stats = sim.run(3)
+        assert len(stats) == 3
+        assert all(s.dt > 0 for s in stats)
+        assert all(s.field_energy >= 0 for s in stats)
+
+    def test_total_charge_constant(self, grid):
+        sim = PicSimulation(grid, uniform_cube(200, thermal_speed=0.05, seed=1))
+        charges = [s.total_charge for s in sim.run(4)]
+        np.testing.assert_allclose(charges, charges[0], rtol=1e-10)
+
+    def test_cold_uniform_plasma_stays_quiet(self, grid):
+        """A cold, near-uniform plasma has tiny fields and should not blow
+        up: kinetic energy stays near zero."""
+        sim = PicSimulation(grid, uniform_cube(2000, thermal_speed=0.0, seed=2))
+        stats = sim.run(5)
+        assert stats[-1].kinetic_energy < 1e-3
+
+    def test_requires_3d_particles(self, grid):
+        with pytest.raises(ConfigurationError):
+            PicSimulation(grid, uniform_cube(10, dim=2))
+
+    def test_bad_dt_max(self, grid):
+        with pytest.raises(ConfigurationError):
+            PicSimulation(grid, uniform_cube(10), dt_max=0.0)
+
+
+class TestHelpers:
+    def test_particle_share_covers_all(self):
+        slices = [particle_share(103, 4, r) for r in range(4)]
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(103))
+
+    def test_slab_bounds(self):
+        assert slab_bounds(8, 4, 2) == (4, 6)
+        with pytest.raises(ConfigurationError):
+            slab_bounds(8, 3, 0)
+
+
+class TestParallelPic:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_sequential(self, grid, nranks):
+        ps = uniform_cube(256, thermal_speed=0.05, seed=3)
+        seq = PicSimulation(grid, ps.copy(), dt_max=0.01)
+        seq.run(2)
+        out = run_parallel_pic(paragon(nranks), grid, ps.copy(), steps=2, dt_max=0.01)
+        np.testing.assert_allclose(
+            out.particles.positions, seq.particles.positions, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            out.particles.velocities, seq.particles.velocities, atol=1e-9
+        )
+
+    def test_gssum_variant_matches(self, grid):
+        ps = uniform_cube(128, thermal_speed=0.05, seed=4)
+        prefix = run_parallel_pic(paragon(4), grid, ps.copy(), steps=1, global_sum="prefix")
+        naive = run_parallel_pic(paragon(4), grid, ps.copy(), steps=1, global_sum="gssum")
+        np.testing.assert_allclose(
+            prefix.particles.positions, naive.particles.positions, atol=1e-9
+        )
+
+    def test_gssum_sends_more_messages(self, grid):
+        """The Appendix B finding behind the custom global sum."""
+        ps = uniform_cube(128, thermal_speed=0.05, seed=5)
+        prefix = run_parallel_pic(paragon(8), grid, ps.copy(), steps=1)
+        naive = run_parallel_pic(paragon(8), grid, ps.copy(), steps=1, global_sum="gssum")
+        assert naive.run.messages_sent > prefix.run.messages_sent
+
+    def test_replicated_poisson_matches(self, grid):
+        ps = uniform_cube(128, thermal_speed=0.05, seed=6)
+        slab = run_parallel_pic(paragon(4), grid, ps.copy(), steps=1, poisson="slab")
+        replicated = run_parallel_pic(
+            paragon(4), grid, ps.copy(), steps=1, poisson="replicated"
+        )
+        np.testing.assert_allclose(
+            slab.particles.positions, replicated.particles.positions, atol=1e-8
+        )
+
+    def test_replicated_poisson_books_redundancy(self, grid):
+        ps = uniform_cube(128, thermal_speed=0.05, seed=7)
+        out = run_parallel_pic(
+            paragon(4), grid, ps.copy(), steps=1, poisson="replicated"
+        )
+        assert out.run.mean_budget().redundancy_s > 0
+
+    def test_adaptive_dt_agrees_across_ranks(self, grid):
+        ps = uniform_cube(256, thermal_speed=0.3, seed=8)
+        out = run_parallel_pic(paragon(4), grid, ps.copy(), steps=3, dt_max=0.5)
+        seq = PicSimulation(grid, ps.copy(), dt_max=0.5)
+        seq_stats = seq.run(3)
+        np.testing.assert_allclose(out.dts, [s.dt for s in seq_stats], rtol=1e-12)
+
+    def test_bad_options_raise(self, grid):
+        ps = uniform_cube(64, seed=9)
+        with pytest.raises(ConfigurationError):
+            run_parallel_pic(paragon(2), grid, ps, steps=1, global_sum="tree99")
+        with pytest.raises(ConfigurationError):
+            run_parallel_pic(paragon(2), grid, ps, steps=1, poisson="multigrid")
+
+
+class TestSlabFallback:
+    def test_non_divisible_rank_count_falls_back_to_replicated(self, grid):
+        """grid.m=8 over 3 ranks cannot slab-decompose; the program falls
+        back to the replicated solve and stays numerically exact."""
+        ps = uniform_cube(192, thermal_speed=0.05, seed=21)
+        seq = PicSimulation(grid, ps.copy(), dt_max=0.01)
+        seq.run(2)
+        out = run_parallel_pic(paragon(3), grid, ps.copy(), steps=2, dt_max=0.01)
+        np.testing.assert_allclose(
+            out.particles.positions, seq.particles.positions, atol=1e-9
+        )
+        # The fallback books duplication redundancy, as the replicated
+        # solve must.
+        assert out.run.mean_budget().redundancy_s > 0
+
+    def test_uneven_particle_shares_handled(self, grid):
+        ps = uniform_cube(203, thermal_speed=0.05, seed=22)  # 203 % 4 != 0
+        seq = PicSimulation(grid, ps.copy(), dt_max=0.01)
+        seq.run(1)
+        out = run_parallel_pic(paragon(4), grid, ps.copy(), steps=1, dt_max=0.01)
+        assert out.particles.n == 203
+        np.testing.assert_allclose(
+            out.particles.positions, seq.particles.positions, atol=1e-9
+        )
+
+    def test_single_rank_no_comm_paths(self, grid):
+        ps = uniform_cube(64, seed=23)
+        out = run_parallel_pic(paragon(1), grid, ps.copy(), steps=1)
+        assert out.run.messages_sent <= 2  # only the trivial self-gather

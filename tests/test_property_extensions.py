@@ -1,0 +1,153 @@
+"""Property-based tests for the extension modules (registration,
+features, machine fit, suite composition, trace I/O)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import landsat_like_scene
+from repro.wavelet import (
+    phase_correlation,
+    register_translation,
+    signature_distance,
+    texture_signature,
+)
+from repro.workload import (
+    INSTRUCTION_TYPES,
+    ParallelWorkload,
+    Trace,
+    coverage_radius,
+    load_trace,
+    oracle_schedule,
+    save_trace,
+    select_representatives,
+    sustained_rate,
+    typed_list_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return landsat_like_scene((64, 64))
+
+
+class TestRegistrationProperties:
+    @given(dy=st.integers(-30, 30), dx=st.integers(-30, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_phase_correlation_inverts_roll(self, scene, dy, dx):
+        target = np.roll(scene, (-dy, -dx), axis=(0, 1))
+        assert phase_correlation(scene, target) == (dy, dx)
+
+    @given(dy=st.integers(-20, 20), dx=st.integers(-20, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_register_translation_inverts_roll(self, scene, dy, dx):
+        target = np.roll(scene, (-dy, -dx), axis=(0, 1))
+        result = register_translation(scene, target)
+        assert result.shift == (dy, dx)
+
+    @given(dy=st.integers(-10, 10), dx=st.integers(-10, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_antisymmetry(self, scene, dy, dx):
+        """Registering in the other direction negates the shift (modulo
+        the circular representative)."""
+        target = np.roll(scene, (-dy, -dx), axis=(0, 1))
+        forward = register_translation(scene, target).shift
+        backward = register_translation(target, scene).shift
+        assert (forward[0] + backward[0]) % 64 == 0
+        assert (forward[1] + backward[1]) % 64 == 0
+
+
+class TestSignatureProperties:
+    @given(scale=st.floats(0.25, 4.0), shift_rows=st.integers(0, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_signature_translation_invariant(self, scene, scale, shift_rows):
+        """Circular translation leaves subband energies unchanged only
+        for even shifts of the full pyramid depth; energies are still
+        nearly invariant for arbitrary shifts of natural imagery."""
+        base = texture_signature(scene, levels=2)
+        shifted = texture_signature(np.roll(scene, shift_rows, axis=0), levels=2)
+        assert signature_distance(base, shifted) < 0.1
+
+    @given(noise=st.floats(0.0, 0.02))
+    @settings(max_examples=20, deadline=None)
+    def test_signature_stable_under_small_noise(self, scene, noise):
+        rng = np.random.default_rng(0)
+        noisy = scene + rng.standard_normal(scene.shape) * noise * scene.std()
+        assert signature_distance(
+            texture_signature(scene), texture_signature(noisy)
+        ) < 0.25
+
+
+class TestTypedScheduleProperties:
+    @given(
+        n=st.integers(1, 60),
+        units=st.lists(st.integers(1, 5), min_size=5, max_size=5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_per_type_capacity_never_exceeded(self, n, units, seed):
+        rng = np.random.default_rng(seed)
+        trace = Trace("random")
+        for i in range(n):
+            deps = (int(rng.integers(0, i)),) if i and rng.random() < 0.4 else ()
+            trace.append(INSTRUCTION_TYPES[int(rng.integers(0, 5))], deps)
+        result = typed_list_schedule(trace, units)
+        for column, limit in enumerate(units):
+            assert result.workload.levels[:, column].max() <= limit
+        assert result.workload.total_operations == n
+
+    @given(n=st.integers(2, 40), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_more_units_never_slower(self, n, seed):
+        rng = np.random.default_rng(seed)
+        trace = Trace("random")
+        for i in range(n):
+            deps = (int(rng.integers(0, i)),) if i and rng.random() < 0.4 else ()
+            trace.append(INSTRUCTION_TYPES[int(rng.integers(0, 3))], deps)
+        narrow = sustained_rate(trace, [1] * 5)
+        wide = sustained_rate(trace, [8] * 5)
+        assert wide >= narrow - 1e-12
+
+
+class TestSuiteProperties:
+    @given(k=st.integers(1, 6), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_representatives_shrink_coverage(self, k, seed):
+        rng = np.random.default_rng(seed)
+        workloads = [
+            ParallelWorkload.from_counts(
+                f"w{i}", [tuple(rng.integers(0, 9, size=5) + (i == j))
+                          for j in range(2)]
+            )
+            for i in range(6)
+        ]
+        chosen = select_representatives(workloads, k)
+        suite = [workloads[i] for i in chosen]
+        radius = coverage_radius(suite, workloads)
+        assert 0.0 <= radius <= 1.0
+        if k == len(workloads):
+            assert radius == pytest.approx(0.0)
+
+
+class TestTraceIOProperties:
+    @given(n=st.integers(1, 60), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_traces_roundtrip(self, tmp_path_factory, n, seed):
+        rng = np.random.default_rng(seed)
+        trace = Trace(f"rand{seed}")
+        for i in range(n):
+            ndeps = int(rng.integers(0, min(i, 3) + 1))
+            deps = tuple(
+                int(d) for d in rng.choice(i, size=ndeps, replace=False)
+            ) if ndeps else ()
+            trace.append(INSTRUCTION_TYPES[int(rng.integers(0, 5))], deps)
+        path = tmp_path_factory.mktemp("io") / "trace.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded.types == trace.types
+        assert loaded.deps == trace.deps
+        assert (
+            oracle_schedule(loaded).critical_path
+            == oracle_schedule(trace).critical_path
+        )

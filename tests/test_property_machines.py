@@ -1,0 +1,173 @@
+"""Property-based tests for the machine simulator and collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import Engine, Machine, allgather, allreduce, bcast, gssum_naive, reduce
+from repro.machines.cpu import CpuModel
+from repro.machines.network import ContentionNetwork, FullyConnected, Mesh2D, Torus3D
+from repro.machines.specs import snake_placement
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+class TestCollectiveProperties:
+    @given(
+        nranks=st.integers(1, 12),
+        values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=12, max_size=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_equals_serial_sum(self, nranks, values):
+        local = values[:nranks]
+
+        def prog(ctx):
+            total = yield from allreduce(ctx, local[ctx.rank])
+            return total
+
+        results = Engine(ideal_machine(nranks)).run(prog).results
+        # Pairwise summation order differs from serial, so compare with a
+        # floating-point tolerance.
+        expected = sum(local)
+        for r in results:
+            assert r == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    @given(nranks=st.integers(1, 10), root=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_bcast_delivers_everywhere(self, nranks, root):
+        chosen = root.draw(st.integers(0, nranks - 1))
+
+        def prog(ctx):
+            payload = ("data", ctx.rank) if ctx.rank == chosen else None
+            return (yield from bcast(ctx, payload, root=chosen))
+
+        results = Engine(ideal_machine(nranks)).run(prog).results
+        assert results == [("data", chosen)] * nranks
+
+    @given(nranks=st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_allgather_order(self, nranks):
+        def prog(ctx):
+            return (yield from allgather(ctx, ctx.rank * 3))
+
+        results = Engine(ideal_machine(nranks)).run(prog).results
+        for r in results:
+            assert r == [i * 3 for i in range(nranks)]
+
+    @given(nranks=st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_gssum_matches_allreduce(self, nranks):
+        def prog(ctx):
+            a = yield from allreduce(ctx, float(ctx.rank + 1))
+            b = yield from gssum_naive(ctx, float(ctx.rank + 1))
+            return a, b
+
+        for a, b in Engine(ideal_machine(nranks)).run(prog).results:
+            assert a == pytest.approx(b)
+
+    @given(nranks=st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_reduce_max(self, nranks):
+        def prog(ctx):
+            return (yield from reduce(ctx, (ctx.rank * 7) % 5, op=max))
+
+        results = Engine(ideal_machine(nranks)).run(prog).results
+        assert results[0] == max((r * 7) % 5 for r in range(nranks))
+
+
+class TestNetworkProperties:
+    @given(
+        width=st.integers(2, 8),
+        height=st.integers(2, 8),
+        pair=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mesh_route_length_is_manhattan(self, width, height, pair):
+        mesh = Mesh2D(width, height)
+        src = pair.draw(st.integers(0, mesh.num_nodes - 1))
+        dst = pair.draw(st.integers(0, mesh.num_nodes - 1))
+        sx, sy = mesh.coord(src)
+        dx, dy = mesh.coord(dst)
+        assert mesh.hops(src, dst) == abs(sx - dx) + abs(sy - dy)
+
+    @given(
+        dims=st.tuples(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5)),
+        pair=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_torus_route_within_half_extents(self, dims, pair):
+        torus = Torus3D(*dims)
+        src = pair.draw(st.integers(0, torus.num_nodes - 1))
+        dst = pair.draw(st.integers(0, torus.num_nodes - 1))
+        bound = sum(d // 2 for d in dims)
+        assert torus.hops(src, dst) <= bound
+
+    @given(
+        nbytes=st.integers(0, 10**7),
+        start=st.floats(0, 10, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_monotone_in_time(self, nbytes, start):
+        net = ContentionNetwork(topology=Mesh2D(4, 4))
+        done = net.transfer(0, 5, nbytes, start)
+        assert done >= start
+
+    @given(nranks=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_snake_placement_adjacent(self, nranks):
+        """Consecutive ranks are always at physical distance one."""
+        mesh = Mesh2D(4, 16)
+        nodes = snake_placement(nranks)
+        for a, b in zip(nodes, nodes[1:]):
+            assert mesh.hops(a, b) == 1
+
+
+class TestEngineProperties:
+    @given(
+        nranks=st.integers(1, 8),
+        flops=st.lists(st.floats(1, 1e7), min_size=8, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_elapsed_is_max_finish_time(self, nranks, flops):
+        def prog(ctx):
+            yield ctx.compute(flops=flops[ctx.rank])
+            return None
+
+        result = Engine(ideal_machine(nranks)).run(prog)
+        assert result.elapsed_s == pytest.approx(max(result.finish_times))
+        # Imbalance + finish time is constant across ranks.
+        for budget, finish in zip(result.budgets, result.finish_times):
+            assert finish + budget.imbalance_s == pytest.approx(result.elapsed_s)
+
+    @given(nranks=st.integers(2, 8), n_msgs=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_message_conservation(self, nranks, n_msgs):
+        """Every sent message is received exactly once."""
+
+        def prog(ctx):
+            nxt = (ctx.rank + 1) % ctx.nranks
+            prev = (ctx.rank - 1) % ctx.nranks
+            got = []
+            for i in range(n_msgs):
+                yield ctx.send(nxt, (ctx.rank, i))
+                got.append((yield ctx.recv(prev)))
+            return got
+
+        result = Engine(ideal_machine(nranks)).run(prog)
+        for rank, got in enumerate(result.results):
+            prev = (rank - 1) % nranks
+            assert got == [(prev, i) for i in range(n_msgs)]
+        assert result.messages_sent == nranks * n_msgs

@@ -1,0 +1,163 @@
+"""Property-based tests for N-body, PIC, and workload invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import uniform_cube
+from repro.nbody import build_tree, costzones_partition, direct_forces, tree_forces
+from repro.pic import Grid3D, deposit_cic, gather_field, solve_poisson
+from repro.workload import (
+    ParallelWorkload,
+    Trace,
+    list_schedule,
+    oracle_schedule,
+    similarity,
+)
+
+
+def random_positions(draw, n, dim, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, dim)) * 2.0 - 1.0
+
+
+class TestNBodyProperties:
+    @given(n=st.integers(2, 80), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_partitions_bodies(self, n, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((n, 2))
+        tree = build_tree(positions, np.ones(n))
+        assert sorted(tree.order.tolist()) == list(range(n))
+        assert tree.mass[0] == pytest.approx(n)
+
+    @given(n=st.integers(3, 60), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_small_theta_approaches_direct(self, n, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((n, 2))
+        masses = rng.random(n) + 0.1
+        tree = build_tree(positions, masses)
+        approx = tree_forces(tree, positions, masses, theta=0.05, softening=0.01)
+        exact = direct_forces(positions, masses, softening=0.01)
+        scale = np.abs(exact.accelerations).max() + 1e-12
+        assert np.abs(approx.accelerations - exact.accelerations).max() < 0.05 * scale
+
+    @given(
+        n=st.integers(4, 100),
+        nranks=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_costzones_is_a_partition(self, n, nranks, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.random((n, 2))
+        tree = build_tree(positions, np.ones(n))
+        costs = rng.exponential(1.0, n) + 0.01
+        zones = costzones_partition(tree, costs, nranks)
+        assert len(zones) == nranks
+        combined = np.sort(np.concatenate([z for z in zones]))
+        np.testing.assert_array_equal(combined, np.arange(n))
+
+
+class TestPicProperties:
+    @given(
+        n=st.integers(1, 200),
+        m=st.sampled_from([4, 8]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_deposit_conserves_charge(self, n, m, seed):
+        grid = Grid3D(m)
+        rng = np.random.default_rng(seed)
+        positions = rng.random((n, 3))
+        charges = rng.standard_normal(n)
+        rho = deposit_cic(grid, positions, charges)
+        assert rho.sum() * grid.cell_volume() == pytest.approx(
+            charges.sum(), rel=1e-9, abs=1e-12
+        )
+
+    @given(m=st.sampled_from([4, 8]), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_inverts_laplacian(self, m, seed):
+        grid = Grid3D(m)
+        rng = np.random.default_rng(seed)
+        rho = rng.standard_normal((m, m, m))
+        phi = solve_poisson(grid, rho)
+        np.testing.assert_allclose(
+            grid.fd_laplacian(phi), -(rho - rho.mean()), atol=1e-8
+        )
+
+    @given(
+        m=st.sampled_from([4, 8]),
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gather_bounded_by_field_extrema(self, m, seed, n):
+        """Trilinear interpolation never overshoots the grid extrema."""
+        grid = Grid3D(m)
+        rng = np.random.default_rng(seed)
+        field = rng.standard_normal((3, m, m, m))
+        positions = rng.random((n, 3))
+        values = gather_field(grid, field, positions)
+        for component in range(3):
+            assert values[:, component].max() <= field[component].max() + 1e-12
+            assert values[:, component].min() >= field[component].min() - 1e-12
+
+
+class TestWorkloadProperties:
+    @given(
+        n=st.integers(1, 120),
+        fan=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_oracle_schedule_respects_dependencies(self, n, fan, seed):
+        rng = np.random.default_rng(seed)
+        trace = Trace("random")
+        types = ("intops", "memops", "fpops", "branchops")
+        for i in range(n):
+            ndeps = min(i, int(rng.integers(0, fan + 1)))
+            deps = tuple(int(d) for d in rng.choice(i, size=ndeps, replace=False)) if ndeps else ()
+            trace.append(types[int(rng.integers(0, 4))], deps)
+        result = oracle_schedule(trace)
+        # Work is conserved and parallelism is at least 1.
+        assert result.workload.total_operations == n
+        assert result.workload.average_parallelism >= 1.0
+        assert result.critical_path <= n
+
+    @given(
+        n=st.integers(2, 80),
+        capacity=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_never_exceeded(self, n, capacity, seed):
+        rng = np.random.default_rng(seed)
+        trace = Trace("random")
+        for i in range(n):
+            deps = (int(rng.integers(0, i)),) if i and rng.random() < 0.5 else ()
+            trace.append("intops", deps)
+        result = list_schedule(trace, capacity)
+        assert result.workload.parallelism_profile().max() <= capacity
+        assert result.critical_path >= oracle_schedule(trace).critical_path
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)),
+            min_size=1,
+            max_size=8,
+        ).filter(lambda rs: any(any(r) for r in rs)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_metric_axioms(self, rows):
+        wl = ParallelWorkload.from_counts("w", rows)
+        doubled = ParallelWorkload.from_counts("w2", [tuple(2 * v for v in r) for r in rows])
+        # Identity and bounds.
+        assert similarity(wl, wl) == pytest.approx(0.0, abs=1e-12)
+        value = similarity(wl, doubled)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        # Doubling every count halves... the normalized distance is 0.5.
+        assert value == pytest.approx(0.5, abs=1e-9)

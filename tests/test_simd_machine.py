@@ -1,0 +1,145 @@
+"""Tests for the MasPar SIMD machine model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines.simd import (
+    CutAndStack,
+    Hierarchical,
+    MasParMachine,
+    MasParSpec,
+    maspar_mp1,
+    maspar_mp2,
+)
+
+
+class TestSpec:
+    def test_num_pes(self):
+        assert maspar_mp2().num_pes == 16384
+        assert maspar_mp2(pe_side=64).num_pes == 4096
+
+    def test_seconds_conversion(self):
+        spec = maspar_mp2()
+        assert spec.seconds(spec.clock_hz) == pytest.approx(1.0)
+
+    def test_mp1_arithmetic_slower(self):
+        assert maspar_mp1().c_mac > maspar_mp2().c_mac
+
+    def test_mp1_network_costs_match_mp2(self):
+        assert maspar_mp1().c_xnet_hop == maspar_mp2().c_xnet_hop
+
+    def test_bad_pe_side_raises(self):
+        with pytest.raises(ConfigurationError):
+            MasParSpec(name="bad", pe_side=0)
+
+    def test_bad_clock_raises(self):
+        with pytest.raises(ConfigurationError):
+            MasParSpec(name="bad", clock_hz=0)
+
+
+class TestVirtualizationCosts:
+    def test_layers_floor_at_one(self):
+        virt = Hierarchical(maspar_mp2())
+        assert virt.layers(10) == 1
+
+    def test_layers_scale_with_elements(self):
+        virt = Hierarchical(maspar_mp2())
+        assert virt.layers(16384 * 16) == 16
+
+    def test_hierarchical_short_shift_cheaper_than_cut_and_stack(self):
+        """The locality result: within-subimage shifts stay in PE memory."""
+        spec = maspar_mp2()
+        hier = Hierarchical(spec)
+        stack = CutAndStack(spec)
+        elements = spec.num_pes * 16  # 4x4 subimages
+        assert hier.shift_cycles(elements, 1) < stack.shift_cycles(elements, 1)
+
+    def test_hierarchical_cost_grows_with_distance(self):
+        virt = Hierarchical(maspar_mp2())
+        elements = maspar_mp2().num_pes * 16
+        costs = [virt.shift_cycles(elements, d) for d in (1, 2, 4, 8)]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_zero_distance_is_free(self):
+        spec = maspar_mp2()
+        assert Hierarchical(spec).shift_cycles(100, 0) == 0.0
+        assert CutAndStack(spec).shift_cycles(100, 0) == 0.0
+
+    def test_router_serializes_per_cluster(self):
+        spec = maspar_mp2()
+        virt = Hierarchical(spec)
+        small = virt.router_cycles(spec.num_pes)
+        large = virt.router_cycles(spec.num_pes * 4)
+        assert large > small
+        assert large - spec.c_router_setup == pytest.approx(
+            4 * (small - spec.c_router_setup)
+        )
+
+
+class TestMachineOps:
+    def test_broadcast_returns_scalar_and_charges(self):
+        machine = MasParMachine(maspar_mp2())
+        value = machine.broadcast(3.25)
+        assert value == 3.25
+        assert machine.stats.broadcast_cycles > 0
+
+    def test_mac_is_in_place(self):
+        machine = MasParMachine(maspar_mp2())
+        acc = np.zeros((4, 4))
+        data = np.ones((4, 4))
+        machine.mac(acc, data, 2.0)
+        np.testing.assert_allclose(acc, 2.0)
+        assert machine.stats.mac_cycles > 0
+
+    def test_mac_shape_mismatch_raises(self):
+        machine = MasParMachine(maspar_mp2())
+        with pytest.raises(ConfigurationError):
+            machine.mac(np.zeros((2, 2)), np.zeros((3, 3)), 1.0)
+
+    def test_shift_is_toroidal_left(self):
+        machine = MasParMachine(maspar_mp2())
+        data = np.arange(4.0)[None, :]
+        shifted = machine.shift(data, 1, axis=1)
+        np.testing.assert_allclose(shifted[0], [1, 2, 3, 0])
+
+    def test_router_decimate_keeps_even(self):
+        machine = MasParMachine(maspar_mp2())
+        data = np.arange(8.0)[None, :]
+        out = machine.router_decimate(data, axis=1)
+        np.testing.assert_allclose(out[0], [0, 2, 4, 6])
+        assert machine.stats.router_cycles > 0
+
+    def test_reset_clears_counters(self):
+        machine = MasParMachine(maspar_mp2())
+        machine.broadcast(1.0)
+        machine.reset()
+        assert machine.stats.total_cycles == 0
+
+    def test_elapsed_seconds(self):
+        machine = MasParMachine(maspar_mp2())
+        machine.broadcast(1.0)
+        assert machine.elapsed_s == pytest.approx(
+            maspar_mp2().c_bcast / maspar_mp2().clock_hz
+        )
+
+    def test_unknown_virtualization_raises(self):
+        with pytest.raises(ConfigurationError):
+            MasParMachine(maspar_mp2(), virtualization="diagonal")
+
+    def test_stats_fractions(self):
+        machine = MasParMachine(maspar_mp2())
+        machine.broadcast(1.0)
+        fractions = machine.stats.fractions()
+        assert fractions["broadcast"] == pytest.approx(1.0)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_stats_fractions_empty(self):
+        assert sum(SimdStatsEmpty().fractions().values()) == 0.0
+
+
+def SimdStatsEmpty():
+    from repro.machines.simd import SimdStats
+
+    return SimdStats()

@@ -1,0 +1,81 @@
+"""Tests for the DWT operation-count cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wavelet.cost import OpCount, dwt_level_cost, dwt_total_cost, filter_pass_cost
+
+
+class TestOpCount:
+    def test_add(self):
+        total = OpCount(1, 2, 3) + OpCount(10, 20, 30)
+        assert (total.flops, total.intops, total.memops) == (11, 22, 33)
+
+    def test_scale(self):
+        scaled = OpCount(1, 2, 3) * 2
+        assert (scaled.flops, scaled.intops, scaled.memops) == (2, 4, 6)
+        scaled = 3 * OpCount(1, 0, 0)
+        assert scaled.flops == 3
+
+    def test_total(self):
+        assert OpCount(1, 2, 3).total() == 6
+
+    def test_default_is_zero(self):
+        assert OpCount().total() == 0
+
+
+class TestFilterPassCost:
+    def test_flops_formula(self):
+        cost = filter_pass_cost(100, 8)
+        assert cost.flops == 100 * 15  # m multiplies + m-1 adds
+
+    def test_memops_formula(self):
+        cost = filter_pass_cost(100, 4)
+        assert cost.memops == 100 * 5  # m reads + 1 write
+
+    def test_zero_outputs(self):
+        assert filter_pass_cost(0, 8).total() == 0
+
+    def test_negative_outputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            filter_pass_cost(-1, 2)
+
+    def test_zero_filter_raises(self):
+        with pytest.raises(ConfigurationError):
+            filter_pass_cost(10, 0)
+
+
+class TestLevelCost:
+    def test_level_output_count(self):
+        # One level emits 2*r*c filtered samples (row pass r*c, col pass r*c).
+        cost = dwt_level_cost(8, 8, 2)
+        per_sample = filter_pass_cost(1, 2)
+        assert cost.flops == 2 * 64 * per_sample.flops
+
+    def test_odd_shape_raises(self):
+        with pytest.raises(ConfigurationError):
+            dwt_level_cost(7, 8, 2)
+
+
+class TestTotalCost:
+    def test_single_level_equals_level_cost(self):
+        assert dwt_total_cost(16, 16, 4, 1).flops == dwt_level_cost(16, 16, 4).flops
+
+    def test_levels_accumulate_geometrically(self):
+        one = dwt_total_cost(16, 16, 2, 1).flops
+        two = dwt_total_cost(16, 16, 2, 2).flops
+        assert two == one + dwt_level_cost(8, 8, 2).flops
+        # Each extra level adds a quarter of the previous level's work.
+        assert two < 1.3 * one
+
+    def test_paper_configuration_ordering(self):
+        """F8/L1 must out-cost F4/L2 which out-costs F2/L4 — the compute
+        ordering behind Table 1's rows."""
+        f8l1 = dwt_total_cost(512, 512, 8, 1).total()
+        f4l2 = dwt_total_cost(512, 512, 4, 2).total()
+        f2l4 = dwt_total_cost(512, 512, 2, 4).total()
+        assert f8l1 > f4l2 > f2l4
+
+    def test_zero_levels_raises(self):
+        with pytest.raises(ConfigurationError):
+            dwt_total_cost(16, 16, 2, 0)

@@ -1,0 +1,115 @@
+"""Tests for wavelet shrinkage denoising."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wavelet import (
+    daubechies_filter,
+    denoise_1d,
+    estimate_noise_sigma,
+    soft_threshold,
+)
+
+
+def noisy_signal(n=1024, noise=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 1, n, endpoint=False)
+    clean = np.sin(2 * np.pi * 5 * t) + 0.5 * np.sign(np.sin(2 * np.pi * 2 * t))
+    return clean, clean + rng.standard_normal(n) * noise
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        out = soft_threshold(np.array([3.0, -3.0, 0.5, -0.5]), 1.0)
+        np.testing.assert_allclose(out, [2.0, -2.0, 0.0, 0.0])
+
+    def test_zero_threshold_is_identity(self):
+        data = np.array([1.0, -2.0, 0.3])
+        np.testing.assert_array_equal(soft_threshold(data, 0.0), data)
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ConfigurationError):
+            soft_threshold(np.ones(3), -1.0)
+
+    def test_continuity_at_threshold(self):
+        # Soft rule is continuous: values at +-threshold map to zero.
+        out = soft_threshold(np.array([1.0, -1.0]), 1.0)
+        np.testing.assert_allclose(out, [0.0, 0.0])
+
+
+class TestNoiseEstimate:
+    def test_recovers_gaussian_sigma(self):
+        rng = np.random.default_rng(1)
+        noise = rng.standard_normal(8192) * 0.7
+        assert estimate_noise_sigma(noise) == pytest.approx(0.7, rel=0.1)
+
+    def test_robust_to_sparse_outliers(self):
+        rng = np.random.default_rng(2)
+        noise = rng.standard_normal(8192) * 0.5
+        noise[::100] += 50.0  # 1% gross outliers
+        assert estimate_noise_sigma(noise) == pytest.approx(0.5, rel=0.15)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            estimate_noise_sigma(np.array([]))
+
+
+class TestDenoise1d:
+    def test_improves_mse(self):
+        clean, noisy = noisy_signal()
+        denoised = denoise_1d(noisy)
+        assert ((denoised - clean) ** 2).mean() < 0.4 * ((noisy - clean) ** 2).mean()
+
+    def test_clean_signal_nearly_unchanged(self):
+        clean, _ = noisy_signal(noise=0.0)
+        denoised = denoise_1d(clean, threshold=0.0)
+        np.testing.assert_allclose(denoised, clean, atol=1e-9)
+
+    def test_explicit_threshold_and_bank(self):
+        clean, noisy = noisy_signal()
+        denoised = denoise_1d(
+            noisy, bank=daubechies_filter(4), levels=3, threshold=0.5
+        )
+        assert denoised.shape == noisy.shape
+
+    def test_huge_threshold_flattens_details(self):
+        clean, noisy = noisy_signal()
+        flattened = denoise_1d(noisy, levels=2, threshold=1e9)
+        # Only the level-2 approximation survives: much smoother.
+        assert np.abs(np.diff(flattened)).mean() < np.abs(np.diff(noisy)).mean() / 2
+
+    def test_2d_input_raises(self):
+        with pytest.raises(ConfigurationError):
+            denoise_1d(np.ones((4, 4)))
+
+    def test_bad_levels_raise(self):
+        with pytest.raises(ConfigurationError):
+            denoise_1d(np.ones(64), levels=99)
+
+
+class TestDenoise2d:
+    def test_improves_mse_on_noisy_scene(self):
+        from repro.data import landsat_like_scene
+        from repro.wavelet import denoise_2d
+
+        rng = np.random.default_rng(3)
+        clean = landsat_like_scene((128, 128))
+        noisy = clean + rng.standard_normal(clean.shape) * clean.std()
+        denoised = denoise_2d(noisy)
+        assert ((denoised - clean) ** 2).mean() < 0.5 * ((noisy - clean) ** 2).mean()
+
+    def test_zero_threshold_is_identity(self):
+        from repro.data import landsat_like_scene
+        from repro.wavelet import denoise_2d
+
+        clean = landsat_like_scene((64, 64))
+        np.testing.assert_allclose(denoise_2d(clean, threshold=0.0), clean, atol=1e-8)
+
+    def test_bad_input_raises(self):
+        from repro.wavelet import denoise_2d
+
+        with pytest.raises(ConfigurationError):
+            denoise_2d(np.ones(64))
+        with pytest.raises(ConfigurationError):
+            denoise_2d(np.ones((64, 64)), levels=99)

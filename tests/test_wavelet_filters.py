@@ -1,0 +1,77 @@
+"""Tests for the orthonormal filter banks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wavelet import (
+    SUPPORTED_LENGTHS,
+    FilterBank,
+    daubechies_filter,
+    filter_bank_for_length,
+    haar_filter,
+    quadrature_mirror,
+)
+
+
+class TestQuadratureMirror:
+    def test_haar_mirror(self):
+        low = np.array([1.0, 1.0]) / np.sqrt(2)
+        high = quadrature_mirror(low)
+        np.testing.assert_allclose(high, [1.0 / np.sqrt(2), -1.0 / np.sqrt(2)])
+
+    def test_mirror_sums_to_zero(self):
+        for length in SUPPORTED_LENGTHS:
+            bank = filter_bank_for_length(length)
+            assert abs(bank.highpass.sum()) < 1e-10
+
+    def test_mirror_is_orthogonal_to_lowpass(self):
+        for length in SUPPORTED_LENGTHS:
+            bank = filter_bank_for_length(length)
+            assert abs(bank.lowpass @ bank.highpass) < 1e-10
+
+
+class TestFilterBankConstruction:
+    def test_supported_lengths(self):
+        assert SUPPORTED_LENGTHS == (2, 4, 8)
+
+    @pytest.mark.parametrize("length", [2, 4, 8])
+    def test_orthonormality(self, length):
+        assert filter_bank_for_length(length).is_orthonormal()
+
+    @pytest.mark.parametrize("length", [2, 4, 8])
+    def test_lowpass_sums_to_sqrt2(self, length):
+        bank = filter_bank_for_length(length)
+        assert bank.lowpass.sum() == pytest.approx(np.sqrt(2.0), abs=1e-10)
+
+    def test_haar_equals_length_2(self):
+        np.testing.assert_allclose(
+            haar_filter().lowpass, filter_bank_for_length(2).lowpass
+        )
+
+    def test_names(self):
+        assert haar_filter().name == "haar"
+        assert daubechies_filter(8).name == "daub8"
+
+    def test_length_property(self):
+        assert daubechies_filter(4).length == 4
+
+    def test_unsupported_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            daubechies_filter(7)  # odd lengths have no orthonormal bank
+
+    def test_mismatched_pair_raises(self):
+        with pytest.raises(ConfigurationError):
+            FilterBank(np.ones(4), np.ones(2))
+
+    def test_odd_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            FilterBank(np.ones(3), np.ones(3))
+
+    def test_2d_filter_raises(self):
+        with pytest.raises(ConfigurationError):
+            FilterBank(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_non_orthonormal_detected(self):
+        bank = FilterBank(np.array([1.0, 1.0]), np.array([1.0, -1.0]))
+        assert not bank.is_orthonormal()  # not unit norm

@@ -1,0 +1,210 @@
+"""Tests for the coarse-grain SPMD and fine-grain SIMD parallel wavelet
+decompositions: both must reproduce the sequential transform exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.machines import paragon
+from repro.machines.simd import MasParMachine, maspar_mp2
+from repro.wavelet import daubechies_filter, filter_bank_for_length, mallat_decompose_2d
+from repro.wavelet.parallel import (
+    BlockDecomposition,
+    StripeDecomposition,
+    factor_grid,
+    run_spmd_wavelet,
+    simd_mallat_decompose,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    # 128 rows so 8 ranks can carry 4 levels (128 = 8 ranks * 2^4); the
+    # rectangular shape also exercises non-square handling.
+    return np.random.default_rng(11).random((128, 64)) * 255
+
+
+def assert_pyramids_equal(a, b, atol=1e-10):
+    np.testing.assert_allclose(a.approximation, b.approximation, atol=atol)
+    assert a.levels == b.levels
+    for ta, tb in zip(a.details, b.details):
+        np.testing.assert_allclose(ta.lh, tb.lh, atol=atol)
+        np.testing.assert_allclose(ta.hl, tb.hl, atol=atol)
+        np.testing.assert_allclose(ta.hh, tb.hh, atol=atol)
+
+
+class TestStripeDecomposition:
+    def test_row_ranges_partition(self):
+        decomp = StripeDecomposition(64, 64, 4, 2)
+        ranges = [decomp.row_range(r) for r in range(4)]
+        assert ranges[0] == (0, 16)
+        assert ranges[-1] == (48, 64)
+
+    def test_rows_halve_per_level(self):
+        decomp = StripeDecomposition(64, 64, 4, 2)
+        assert decomp.local_rows(0) == 16
+        assert decomp.local_rows(1) == 8
+
+    def test_neighbors_wrap(self):
+        decomp = StripeDecomposition(64, 64, 4, 1)
+        assert decomp.south_neighbor(3) == 0
+        assert decomp.north_neighbor(0) == 3
+
+    def test_indivisible_raises(self):
+        with pytest.raises(DecompositionError):
+            StripeDecomposition(100, 64, 3, 2)
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(DecompositionError):
+            StripeDecomposition(64, 64, 4, 1).row_range(4)
+
+
+class TestBlockDecomposition:
+    def test_factor_grid_square(self):
+        assert factor_grid(16) == (4, 4)
+        assert factor_grid(8) == (2, 4)
+        assert factor_grid(7) == (1, 7)
+
+    def test_block_ranges(self):
+        decomp = BlockDecomposition(64, 64, 2, 2, 1)
+        (r0, r1), (c0, c1) = decomp.block_ranges(3)
+        assert (r0, r1, c0, c1) == (32, 64, 32, 64)
+
+    def test_neighbors(self):
+        decomp = BlockDecomposition(64, 64, 2, 2, 1)
+        assert decomp.east_neighbor(0) == 1
+        assert decomp.east_neighbor(1) == 0  # wraps within the grid row
+        assert decomp.south_neighbor(0) == 2
+        assert decomp.north_neighbor(0) == 2  # wraps
+
+    def test_indivisible_raises(self):
+        with pytest.raises(DecompositionError):
+            BlockDecomposition(64, 64, 3, 2, 2)
+
+
+class TestSpmdStriped:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    @pytest.mark.parametrize("length,levels", [(8, 1), (4, 2), (2, 4)])
+    def test_matches_sequential(self, image, nranks, length, levels):
+        bank = filter_bank_for_length(length)
+        reference = mallat_decompose_2d(image, bank, levels)
+        outcome = run_spmd_wavelet(paragon(nranks), image, bank, levels)
+        assert_pyramids_equal(outcome.pyramid, reference)
+
+    def test_naive_placement_also_correct(self, image):
+        bank = daubechies_filter(4)
+        reference = mallat_decompose_2d(image, bank, 2)
+        outcome = run_spmd_wavelet(paragon(8, "naive"), image, bank, 2)
+        assert_pyramids_equal(outcome.pyramid, reference)
+
+    def test_without_staging_faster(self, image):
+        bank = daubechies_filter(4)
+        staged = run_spmd_wavelet(paragon(8), image, bank, 2)
+        bare = run_spmd_wavelet(
+            paragon(8), image, bank, 2, distribute=False, collect=False
+        )
+        assert bare.run.elapsed_s < staged.run.elapsed_s
+        assert bare.pyramid is None
+
+    def test_stripe_too_small_raises(self, image):
+        bank = daubechies_filter(8)
+        # 128 rows / 32 ranks = 4-row stripes < the 8-tap filter at level 1.
+        with pytest.raises(DecompositionError):
+            run_spmd_wavelet(paragon(32), image, bank, 1)
+
+    def test_unknown_decomposition_raises(self, image):
+        with pytest.raises(DecompositionError):
+            run_spmd_wavelet(paragon(2), image, daubechies_filter(4), 1, decomposition="spiral")
+
+    def test_more_ranks_less_work_each(self, image):
+        bank = daubechies_filter(4)
+        r2 = run_spmd_wavelet(paragon(2), image, bank, 1).run
+        r8 = run_spmd_wavelet(paragon(8), image, bank, 1).run
+        assert r8.budgets[0].work_s < r2.budgets[0].work_s
+
+    def test_comm_grows_with_levels(self, image):
+        """Section 5's observation: deeper decompositions communicate more."""
+        bank = daubechies_filter(2)
+        one = run_spmd_wavelet(
+            paragon(8), image, bank, 1, distribute=False, collect=False
+        ).run.mean_comm_s()
+        four = run_spmd_wavelet(
+            paragon(8), image, bank, 4, distribute=False, collect=False
+        ).run.mean_comm_s()
+        assert four > one
+
+
+class TestSpmdBlock:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_sequential(self, image, nranks):
+        bank = daubechies_filter(4)
+        reference = mallat_decompose_2d(image, bank, 2)
+        outcome = run_spmd_wavelet(
+            paragon(nranks), image, bank, 2, decomposition="block"
+        )
+        assert_pyramids_equal(outcome.pyramid, reference)
+
+    def test_block_sends_more_messages_than_striped(self, image):
+        """Figure 3's point: block needs two guard exchanges per level."""
+        bank = daubechies_filter(2)
+        striped = run_spmd_wavelet(
+            paragon(4), image, bank, 2, distribute=False, collect=False
+        ).run.messages_sent
+        block = run_spmd_wavelet(
+            paragon(4),
+            image,
+            bank,
+            2,
+            decomposition="block",
+            distribute=False,
+            collect=False,
+        ).run.messages_sent
+        assert block > striped
+
+
+class TestSimdAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["systolic", "dilution"])
+    @pytest.mark.parametrize("length,levels", [(8, 1), (4, 2), (2, 4)])
+    def test_matches_sequential(self, image, algorithm, length, levels):
+        bank = filter_bank_for_length(length)
+        reference = mallat_decompose_2d(image, bank, levels)
+        machine = MasParMachine(maspar_mp2(pe_side=32))
+        outcome = simd_mallat_decompose(machine, image, bank, levels, algorithm=algorithm)
+        assert_pyramids_equal(outcome.pyramid, reference, atol=1e-9)
+
+    def test_dilution_avoids_router(self, image):
+        machine = MasParMachine(maspar_mp2(pe_side=32))
+        outcome = simd_mallat_decompose(
+            machine, image, daubechies_filter(4), 2, algorithm="dilution"
+        )
+        assert outcome.stats.router_cycles == 0.0
+
+    def test_systolic_uses_router(self, image):
+        machine = MasParMachine(maspar_mp2(pe_side=32))
+        outcome = simd_mallat_decompose(
+            machine, image, daubechies_filter(4), 2, algorithm="systolic"
+        )
+        assert outcome.stats.router_cycles > 0.0
+
+    def test_hierarchical_beats_cut_and_stack(self, image):
+        """The virtualization comparison of [Chan95]: hierarchical locality
+        wins when the image over-subscribes the PE array."""
+        bank = daubechies_filter(8)
+        hier = simd_mallat_decompose(
+            MasParMachine(maspar_mp2(pe_side=16), "hierarchical"), image, bank, 1
+        )
+        stack = simd_mallat_decompose(
+            MasParMachine(maspar_mp2(pe_side=16), "cut_and_stack"), image, bank, 1
+        )
+        assert hier.elapsed_s < stack.elapsed_s
+
+    def test_unknown_algorithm_raises(self, image):
+        machine = MasParMachine(maspar_mp2(pe_side=32))
+        with pytest.raises(Exception):
+            simd_mallat_decompose(machine, image, daubechies_filter(4), 1, algorithm="wavefront")
+
+    def test_counters_reset_between_runs(self, image):
+        machine = MasParMachine(maspar_mp2(pe_side=32))
+        first = simd_mallat_decompose(machine, image, daubechies_filter(4), 1)
+        second = simd_mallat_decompose(machine, image, daubechies_filter(4), 1)
+        assert first.elapsed_s == pytest.approx(second.elapsed_s)

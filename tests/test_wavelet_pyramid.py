@@ -1,0 +1,121 @@
+"""Tests for multi-level pyramids and reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wavelet import (
+    daubechies_filter,
+    haar_filter,
+    mallat_decompose_2d,
+    mallat_reconstruct_2d,
+)
+
+
+@pytest.fixture
+def image():
+    return np.random.default_rng(7).random((64, 64)) * 255
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("length,levels", [(8, 1), (4, 2), (2, 4)])
+    def test_paper_configurations(self, image, length, levels):
+        """The three filter/level pairs the paper's experiments sweep."""
+        bank = daubechies_filter(length)
+        pyr = mallat_decompose_2d(image, bank, levels=levels)
+        assert pyr.levels == levels
+        assert pyr.approximation.shape == (64 // 2**levels, 64 // 2**levels)
+
+    def test_detail_shapes_shrink(self, image):
+        pyr = mallat_decompose_2d(image, haar_filter(), levels=3)
+        assert [t.shape for t in pyr.details] == [(32, 32), (16, 16), (8, 8)]
+
+    def test_critically_sampled(self, image):
+        pyr = mallat_decompose_2d(image, haar_filter(), levels=3)
+        assert pyr.coefficient_count() == image.size
+
+    def test_original_shape(self, image):
+        pyr = mallat_decompose_2d(image, haar_filter(), levels=2)
+        assert pyr.original_shape == (64, 64)
+
+    def test_total_energy_conserved(self, image):
+        for length in (2, 4, 8):
+            pyr = mallat_decompose_2d(image, daubechies_filter(length), levels=2)
+            assert pyr.total_energy() == pytest.approx((image**2).sum(), rel=1e-12)
+
+    def test_too_many_levels_raises(self, image):
+        with pytest.raises(ConfigurationError):
+            mallat_decompose_2d(image, daubechies_filter(8), levels=5)
+
+    def test_zero_levels_raises(self, image):
+        with pytest.raises(ConfigurationError):
+            mallat_decompose_2d(image, haar_filter(), levels=0)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ConfigurationError):
+            mallat_decompose_2d(np.ones(64), haar_filter(), levels=1)
+
+    def test_filter_name_recorded(self, image):
+        pyr = mallat_decompose_2d(image, daubechies_filter(8), levels=1)
+        assert pyr.filter_name == "daub8"
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("length,levels", [(8, 1), (4, 2), (2, 4), (8, 2)])
+    def test_perfect_reconstruction(self, image, length, levels):
+        bank = daubechies_filter(length)
+        pyr = mallat_decompose_2d(image, bank, levels=levels)
+        rec = mallat_reconstruct_2d(pyr, bank)
+        np.testing.assert_allclose(rec, image, atol=1e-9)
+
+    def test_wrong_bank_does_not_reconstruct(self, image):
+        pyr = mallat_decompose_2d(image, daubechies_filter(8), levels=1)
+        rec = mallat_reconstruct_2d(pyr, haar_filter())
+        assert np.abs(rec - image).max() > 1.0
+
+    def test_mismatched_detail_shape_raises(self, image):
+        pyr = mallat_decompose_2d(image, haar_filter(), levels=2)
+        bad = type(pyr)(
+            approximation=pyr.approximation[:4, :4],
+            details=pyr.details,
+            filter_name=pyr.filter_name,
+        )
+        with pytest.raises(ConfigurationError):
+            mallat_reconstruct_2d(bad, haar_filter())
+
+
+class TestCompression:
+    def test_keep_all_is_identity(self, image):
+        pyr = mallat_decompose_2d(image, daubechies_filter(4), levels=2)
+        kept = pyr.compression_candidates(1.0)
+        np.testing.assert_allclose(kept.details[0].hh, pyr.details[0].hh)
+
+    def test_thresholding_zeroes_coefficients(self, image):
+        pyr = mallat_decompose_2d(image, daubechies_filter(4), levels=2)
+        kept = pyr.compression_candidates(0.1)
+        total = sum(
+            int((band != 0).sum())
+            for t in kept.details
+            for band in (t.lh, t.hl, t.hh)
+        )
+        original = sum(
+            band.size for t in pyr.details for band in (t.lh, t.hl, t.hh)
+        )
+        assert total <= int(original * 0.11) + 3
+
+    def test_reconstruction_error_decreases_with_kept_fraction(self, image):
+        bank = daubechies_filter(4)
+        pyr = mallat_decompose_2d(image, bank, levels=2)
+        errors = []
+        for fraction in (0.02, 0.2, 1.0):
+            rec = mallat_reconstruct_2d(pyr.compression_candidates(fraction), bank)
+            errors.append(float(((rec - image) ** 2).mean()))
+        assert errors[0] >= errors[1] >= errors[2]
+        assert errors[2] == pytest.approx(0.0, abs=1e-15)
+
+    def test_bad_fraction_raises(self, image):
+        pyr = mallat_decompose_2d(image, haar_filter(), levels=1)
+        with pytest.raises(ConfigurationError):
+            pyr.compression_candidates(0.0)
+        with pytest.raises(ConfigurationError):
+            pyr.compression_candidates(1.5)

@@ -1,0 +1,116 @@
+"""Tests for wavelet-based image registration and extended filter banks."""
+
+import numpy as np
+import pytest
+
+from repro.data import landsat_like_scene
+from repro.errors import ConfigurationError
+from repro.wavelet import (
+    daubechies_filter,
+    mallat_decompose_2d,
+    mallat_reconstruct_2d,
+    phase_correlation,
+    register_translation,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return landsat_like_scene((128, 128))
+
+
+class TestPhaseCorrelation:
+    def test_recovers_exact_circular_shift(self, scene):
+        target = np.roll(scene, (-5, 9), axis=(0, 1))
+        assert phase_correlation(scene, target) == (5, -9)
+
+    def test_zero_shift(self, scene):
+        assert phase_correlation(scene, scene) == (0, 0)
+
+    def test_large_shift_wraps_to_signed(self, scene):
+        target = np.roll(scene, (-100, 0), axis=(0, 1))
+        dy, dx = phase_correlation(scene, target)
+        # 100 forward == 28 backward on a 128 row image.
+        assert (dy, dx) == (-28, 0)
+
+    def test_shape_mismatch_raises(self, scene):
+        with pytest.raises(ConfigurationError):
+            phase_correlation(scene, scene[:64])
+
+
+class TestRegisterTranslation:
+    @pytest.mark.parametrize("shift", [(3, -7), (40, 25), (-60, 50), (0, 0)])
+    def test_exact_recovery(self, scene, shift):
+        target = np.roll(scene, (-shift[0], -shift[1]), axis=(0, 1))
+        result = register_translation(scene, target)
+        assert result.shift == shift
+        assert result.score == pytest.approx(1.0, abs=1e-9)
+
+    def test_path_refines_coarse_to_fine(self, scene):
+        target = np.roll(scene, (-40, -24), axis=(0, 1))
+        result = register_translation(scene, target)
+        assert len(result.path) >= 2
+        # The final path entry is the answer; earlier ones are coarser.
+        assert result.path[-1] == result.shift
+
+    def test_robust_to_noise(self, scene):
+        rng = np.random.default_rng(5)
+        target = np.roll(scene, (-12, 6), axis=(0, 1))
+        noisy = target + rng.standard_normal(target.shape) * 0.05 * scene.std()
+        result = register_translation(scene, noisy)
+        assert result.shift == (12, -6)
+        assert result.score > 0.9
+
+    def test_explicit_levels_and_bank(self, scene):
+        target = np.roll(scene, (-8, -8), axis=(0, 1))
+        result = register_translation(
+            scene, target, bank=daubechies_filter(4), levels=2
+        )
+        assert result.shift == (8, 8)
+
+    def test_bad_levels_raise(self, scene):
+        with pytest.raises(ConfigurationError):
+            register_translation(scene, scene, levels=99)
+
+    def test_shape_mismatch_raises(self, scene):
+        with pytest.raises(ConfigurationError):
+            register_translation(scene, scene[:, :64])
+
+
+class TestExtendedDaubechies:
+    @pytest.mark.parametrize("length", [6, 10, 12, 16, 20, 28])
+    def test_factorized_banks_are_orthonormal(self, length):
+        assert daubechies_filter(length).is_orthonormal(tol=1e-7)
+
+    @pytest.mark.parametrize("length", [6, 12, 20])
+    def test_perfect_reconstruction(self, length):
+        bank = daubechies_filter(length)
+        image = np.random.default_rng(1).random((64, 64))
+        pyramid = mallat_decompose_2d(image, bank, 1)
+        np.testing.assert_allclose(
+            mallat_reconstruct_2d(pyramid, bank), image, atol=1e-8
+        )
+
+    def test_derived_matches_tabulated(self):
+        from repro.wavelet.filters import _DB2, _DB4, _daubechies_scaling
+
+        np.testing.assert_allclose(_daubechies_scaling(2), _DB2, atol=1e-10)
+        np.testing.assert_allclose(_daubechies_scaling(4), _DB4, atol=1e-6)
+
+    def test_vanishing_moments(self):
+        """A length-2p Daubechies high-pass annihilates polynomials of
+        degree < p."""
+        for length, order in ((4, 2), (8, 4), (12, 6)):
+            bank = daubechies_filter(length)
+            n = np.arange(length, dtype=np.float64)
+            for degree in range(order):
+                moment = (bank.highpass * n**degree).sum()
+                assert abs(moment) < 1e-6, (length, degree)
+
+    def test_out_of_range_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            daubechies_filter(30)
+        with pytest.raises(ConfigurationError):
+            daubechies_filter(5)
+        with pytest.raises(ConfigurationError):
+            daubechies_filter(0)

@@ -1,0 +1,92 @@
+"""Tests for the striped 1-D parallel transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.machines import paragon
+from repro.wavelet import dwt_1d, filter_bank_for_length, idwt_1d
+from repro.wavelet.parallel import run_spmd_dwt_1d
+
+
+@pytest.fixture(scope="module")
+def signal():
+    return np.random.default_rng(33).random(512) * 2 - 1
+
+
+class TestSpmd1d:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    @pytest.mark.parametrize("length,levels", [(8, 1), (4, 2), (2, 4)])
+    def test_matches_sequential(self, signal, nranks, length, levels):
+        bank = filter_bank_for_length(length)
+        ref_approx, ref_details = dwt_1d(signal, bank, levels)
+        out = run_spmd_dwt_1d(paragon(nranks), signal, bank, levels)
+        np.testing.assert_allclose(out.approximation, ref_approx, atol=1e-12)
+        for mine, ref in zip(out.details, ref_details):
+            np.testing.assert_allclose(mine, ref, atol=1e-12)
+
+    def test_roundtrip_through_sequential_inverse(self, signal):
+        bank = filter_bank_for_length(4)
+        out = run_spmd_dwt_1d(paragon(4), signal, bank, 2)
+        reconstructed = idwt_1d(out.approximation, out.details, bank)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-10)
+
+    def test_comm_grows_with_levels(self, signal):
+        bank = filter_bank_for_length(2)
+        one = run_spmd_dwt_1d(
+            paragon(8), signal, bank, 1, distribute=False
+        ).run.messages_sent
+        four = run_spmd_dwt_1d(
+            paragon(8), signal, bank, 4, distribute=False
+        ).run.messages_sent
+        assert four > one
+
+    def test_indivisible_length_raises(self, signal):
+        bank = filter_bank_for_length(2)
+        with pytest.raises(DecompositionError):
+            run_spmd_dwt_1d(paragon(3), signal[:500], bank, 2)
+
+    def test_segment_shorter_than_filter_raises(self, signal):
+        bank = filter_bank_for_length(8)
+        # 512 / 32 = 16 -> level 2 segments are 8... level 3 segments 4 < 8.
+        with pytest.raises(DecompositionError):
+            run_spmd_dwt_1d(paragon(32), signal, bank, 3)
+
+    def test_budget_has_work_and_comm(self, signal):
+        bank = filter_bank_for_length(4)
+        out = run_spmd_dwt_1d(paragon(8), signal, bank, 2)
+        budget = out.run.mean_budget()
+        assert budget.work_s > 0
+        assert budget.comm_s > 0
+
+
+class TestSpmd1dReconstruction:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    @pytest.mark.parametrize("length,levels", [(8, 1), (4, 2), (2, 4)])
+    def test_roundtrip_exact(self, signal, nranks, length, levels):
+        from repro.wavelet.parallel import run_spmd_idwt_1d
+
+        bank = filter_bank_for_length(length)
+        approx, details = dwt_1d(signal, bank, levels)
+        _, reconstructed = run_spmd_idwt_1d(paragon(nranks), approx, details, bank)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-10)
+
+    def test_full_parallel_pipeline(self, signal):
+        """Decompose and reconstruct both on the simulated machine."""
+        from repro.wavelet.parallel import run_spmd_idwt_1d
+
+        bank = filter_bank_for_length(4)
+        forward = run_spmd_dwt_1d(paragon(4), signal, bank, 2)
+        _, reconstructed = run_spmd_idwt_1d(
+            paragon(4), forward.approximation, forward.details, bank
+        )
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-10)
+
+    def test_too_many_ranks_raise(self, signal):
+        from repro.wavelet.parallel import run_spmd_idwt_1d
+
+        bank = filter_bank_for_length(8)
+        approx, details = dwt_1d(signal, bank, 3)
+        # 64-sample approximation over 32 ranks -> 2-sample segments < guard 4.
+        with pytest.raises(DecompositionError):
+            run_spmd_idwt_1d(paragon(32), approx, details, bank)

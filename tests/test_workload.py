@@ -1,0 +1,296 @@
+"""Tests for the workload characterization subsystem (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workload import (
+    INSTRUCTION_TYPES,
+    Instruction,
+    ParallelWorkload,
+    Trace,
+    centroid,
+    dense_size,
+    frobenius_similarity,
+    list_schedule,
+    nas_suite,
+    oracle_schedule,
+    parallelism_matrix,
+    similarity,
+    similarity_matrix,
+    smoothability,
+    toy_workloads,
+)
+
+
+def chain_trace(n=6, itype="intops"):
+    trace = Trace("chain")
+    prev = None
+    for _ in range(n):
+        prev = trace.append(itype, (prev,) if prev is not None else ())
+    return trace
+
+
+def wide_trace(width=8, itype="fpops"):
+    trace = Trace("wide")
+    for _ in range(width):
+        trace.append(itype)
+    return trace
+
+
+class TestTrace:
+    def test_append_returns_index(self):
+        trace = Trace()
+        assert trace.append("intops") == 0
+        assert trace.append("memops", (0,)) == 1
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TraceError):
+            Trace().append("vectorops")
+
+    def test_forward_dependency_raises(self):
+        trace = Trace()
+        trace.append("intops")
+        with pytest.raises(TraceError):
+            trace.append("intops", (5,))
+
+    def test_type_mix(self):
+        trace = Trace()
+        trace.append("intops")
+        trace.append("intops")
+        trace.append("fpops")
+        trace.append("memops")
+        mix = trace.type_mix()
+        assert mix[INSTRUCTION_TYPES.index("intops")] == pytest.approx(0.5)
+
+    def test_instruction_validation(self):
+        with pytest.raises(TraceError):
+            Instruction("bogus")
+
+
+class TestOracleSchedule:
+    def test_chain_has_unit_parallelism(self):
+        result = oracle_schedule(chain_trace(6))
+        assert result.critical_path == 6
+        assert result.workload.average_parallelism == pytest.approx(1.0)
+
+    def test_independent_ops_pack_into_one_cycle(self):
+        result = oracle_schedule(wide_trace(8))
+        assert result.critical_path == 1
+        assert result.workload.average_parallelism == pytest.approx(8.0)
+
+    def test_diamond_dependency(self):
+        trace = Trace()
+        a = trace.append("intops")
+        b = trace.append("fpops", (a,))
+        c = trace.append("memops", (a,))
+        trace.append("intops", (b, c))
+        result = oracle_schedule(trace)
+        assert result.critical_path == 3
+        # Cycle 2 holds both b and c.
+        assert result.workload.parallelism_profile()[1] == 2
+
+    def test_type_counts_preserved(self):
+        trace = chain_trace(4, "memops")
+        workload = oracle_schedule(trace).workload
+        assert workload.levels[:, INSTRUCTION_TYPES.index("memops")].sum() == 4
+        assert workload.total_operations == 4
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceError):
+            oracle_schedule(Trace())
+
+
+class TestListSchedule:
+    def test_capacity_limits_width(self):
+        result = list_schedule(wide_trace(8), capacity=2)
+        assert result.critical_path == 4
+        assert result.workload.parallelism_profile().max() <= 2
+
+    def test_unlimited_capacity_matches_oracle(self):
+        trace = chain_trace(5)
+        assert (
+            list_schedule(trace, capacity=1e9).critical_path
+            == oracle_schedule(trace).critical_path
+        )
+
+    def test_average_delay_positive_when_constrained(self):
+        result = list_schedule(wide_trace(8), capacity=2)
+        assert result.average_delay > 0
+
+    def test_respects_dependencies(self):
+        trace = Trace()
+        a = trace.append("intops")
+        trace.append("intops", (a,))
+        result = list_schedule(trace, capacity=10)
+        assert result.critical_path == 2
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(TraceError):
+            list_schedule(chain_trace(2), capacity=0)
+
+
+class TestParallelWorkload:
+    def test_from_counts_with_repeats(self):
+        wl = ParallelWorkload.from_counts("w", [(1, 2, 0)], [3])
+        assert wl.cycles == 3
+        assert wl.total_operations == 9
+
+    def test_zero_padding(self):
+        wl = ParallelWorkload.from_counts("w", [(1, 1)])
+        assert wl.levels.shape == (1, len(INSTRUCTION_TYPES))
+
+    def test_centroid_is_mean(self):
+        wl = ParallelWorkload.from_counts("w", [(2, 0, 0), (0, 2, 0)])
+        np.testing.assert_allclose(wl.centroid()[:3], [1.0, 1.0, 0.0])
+
+    def test_bad_repeats_raise(self):
+        with pytest.raises(TraceError):
+            ParallelWorkload.from_counts("w", [(1,)], [0])
+        with pytest.raises(TraceError):
+            ParallelWorkload.from_counts("w", [(1,)], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(TraceError):
+            ParallelWorkload("w", np.zeros((0, 5)))
+
+
+class TestSimilarity:
+    def test_identical_workloads_score_zero(self):
+        wl = ParallelWorkload.from_counts("w", [(1, 2, 3)], [4])
+        assert similarity(wl, wl) == pytest.approx(0.0)
+
+    def test_orthogonal_workloads_score_one(self):
+        a = ParallelWorkload.from_counts("a", [(5, 0, 0)])
+        b = ParallelWorkload.from_counts("b", [(0, 7, 0)])
+        assert similarity(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        toys = toy_workloads()
+        assert similarity(toys[0], toys[2]) == pytest.approx(
+            similarity(toys[2], toys[0])
+        )
+
+    def test_range(self):
+        toys = toy_workloads()
+        matrix = similarity_matrix(toys)
+        assert (matrix >= 0).all() and (matrix <= 1.0 + 1e-12).all()
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_all_zero_comparison_raises(self):
+        z = ParallelWorkload.from_counts("z", [(0, 0, 0)])
+        with pytest.raises(TraceError):
+            similarity(z, z)
+
+    def test_paper_toy_values(self):
+        """The readable entries of Appendix C Table 4."""
+        toys = toy_workloads()
+        assert similarity(toys[0], toys[1]) == pytest.approx(0.45318, abs=5e-4)
+        assert similarity(toys[0], toys[2]) == pytest.approx(0.8425, abs=5e-3)
+        assert similarity(toys[0], toys[3]) == pytest.approx(0.8751, abs=5e-3)
+
+    def test_wl5_similar_to_wl1_in_vector_space_only(self):
+        """The paper's central contrast: WL1 & WL5 behave almost the same
+        (low vector-space distance) yet share no identical parallel
+        instructions (parallelism-matrix distance stays high)."""
+        toys = toy_workloads()
+        assert similarity(toys[0], toys[4]) < 0.2
+        assert frobenius_similarity(toys[0], toys[4]) > 0.5
+
+
+class TestParallelismMatrix:
+    def test_histogram_fractions_sum_to_one(self):
+        wl = toy_workloads()[0]
+        histogram = parallelism_matrix(wl)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_identical_workloads_distance_zero(self):
+        wl = toy_workloads()[1]
+        assert frobenius_similarity(wl, wl) == pytest.approx(0.0)
+
+    def test_paper_wl1_wl2_value(self):
+        toys = toy_workloads()
+        assert frobenius_similarity(toys[0], toys[1]) == pytest.approx(0.424, abs=2e-3)
+
+    def test_insensitive_to_similar_but_unequal_rows(self):
+        """The baseline's failure mode: scaling every row leaves zero
+        overlap, so the distance saturates even though the workloads are
+        near-proportional."""
+        a = ParallelWorkload.from_counts("a", [(2, 2, 0)], [4])
+        b = ParallelWorkload.from_counts("b", [(3, 3, 0)], [4])
+        assert frobenius_similarity(a, b) == pytest.approx(1.0)
+        assert similarity(a, b) < 0.4
+
+    def test_dense_size_is_product_of_maxima(self):
+        wl = ParallelWorkload.from_counts("w", [(3, 1, 0), (1, 2, 0)])
+        assert dense_size(wl) == 4 * 3 * 1 * 1 * 1
+
+
+class TestSmoothability:
+    def test_flat_profile_is_perfectly_smoothable(self):
+        trace = Trace("flat")
+        prev_level = [trace.append("intops") for _ in range(4)]
+        for _ in range(5):
+            prev_level = [trace.append("intops", (p,)) for p in prev_level]
+        result = smoothability(trace)
+        assert result.smoothability == pytest.approx(1.0)
+
+    def test_bursty_profile_scores_below_one(self):
+        trace = Trace("bursty")
+        head = trace.append("intops")
+        chain = head
+        for _ in range(10):
+            chain = trace.append("intops", (chain,))
+        for _ in range(30):  # a final wide burst
+            trace.append("fpops", (chain,))
+        result = smoothability(trace)
+        assert result.smoothability < 0.9
+
+    def test_result_fields_consistent(self):
+        result = smoothability(chain_trace(8))
+        assert result.cpl_limited >= result.cpl_unlimited
+        assert 0 < result.smoothability <= 1.0
+
+
+class TestNasSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return nas_suite(0.5)
+
+    def test_eight_kernels(self, suite):
+        assert [t.name for t in suite] == [
+            "embar", "mgrid", "cgm", "fftpde", "buk", "applu", "appsp", "appbt",
+        ]
+
+    def test_parallelism_ordering(self, suite):
+        """Table 7's magnitude ladder: buk and cgm narrow, the CFD codes
+        wide, appsp the widest."""
+        par = {
+            t.name: oracle_schedule(t).workload.average_parallelism for t in suite
+        }
+        assert par["buk"] < par["cgm"] < par["embar"]
+        assert par["applu"] < par["appsp"]
+        assert par["appbt"] < par["appsp"]
+        assert par["appsp"] == max(par.values())
+
+    def test_buk_is_integer_dominated(self, suite):
+        buk = next(t for t in suite if t.name == "buk")
+        mix = buk.type_mix()
+        assert mix[INSTRUCTION_TYPES.index("intops")] > 0.5
+
+    def test_mgrid_is_smoothest(self, suite):
+        values = {t.name: smoothability(t).smoothability for t in suite}
+        assert values["mgrid"] == max(values.values())
+        assert values["mgrid"] > 0.9
+
+    def test_similar_pairs_match_paper_qualitatively(self, suite):
+        """Table 8's headline pairs: buk-cgm similar, cgm-fftpde nearly
+        orthogonal in magnitude."""
+        workloads = {t.name: oracle_schedule(t).workload for t in suite}
+        assert similarity(workloads["buk"], workloads["cgm"]) < 0.55
+        assert similarity(workloads["cgm"], workloads["fftpde"]) > 0.85
+
+    def test_deterministic(self):
+        a = nas_suite(0.3)
+        b = nas_suite(0.3)
+        assert all(x.types == y.types for x, y in zip(a, b))

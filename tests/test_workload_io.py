@@ -1,0 +1,78 @@
+"""Tests for trace/workload persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workload import (
+    ParallelWorkload,
+    Trace,
+    load_trace,
+    load_workload,
+    oracle_schedule,
+    save_trace,
+    save_workload,
+    similarity,
+)
+from repro.workload.kernels import cgm
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        original = cgm(rows=8)
+        path = tmp_path / "trace.npz"
+        save_trace(path, original)
+        loaded = load_trace(path)
+        assert loaded.name == original.name
+        assert loaded.types == original.types
+        assert loaded.deps == original.deps
+
+    def test_roundtrip_preserves_schedule(self, tmp_path):
+        original = cgm(rows=6)
+        path = tmp_path / "trace.npz"
+        save_trace(path, original)
+        loaded = load_trace(path)
+        a = oracle_schedule(original)
+        b = oracle_schedule(loaded)
+        assert a.critical_path == b.critical_path
+        np.testing.assert_array_equal(a.workload.levels, b.workload.levels)
+
+    def test_empty_deps_ok(self, tmp_path):
+        trace = Trace("flat")
+        for _ in range(5):
+            trace.append("intops")
+        path = tmp_path / "flat.npz"
+        save_trace(path, trace)
+        assert load_trace(path).deps == [()] * 5
+
+    def test_corrupt_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            format=np.int64(99),
+            name=np.array("x"),
+            types=np.zeros(1, dtype=np.int16),
+            dep_offsets=np.zeros(2, dtype=np.int64),
+            dep_targets=np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestWorkloadRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        workload = oracle_schedule(cgm(rows=6)).workload
+        path = tmp_path / "wl.npz"
+        save_workload(path, workload)
+        loaded = load_workload(path)
+        assert loaded.name == workload.name
+        np.testing.assert_array_equal(loaded.levels, workload.levels)
+        assert similarity(loaded, workload) == pytest.approx(0.0)
+
+    def test_corrupt_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path, format=np.int64(42), name=np.array("x"), levels=np.ones((1, 5))
+        )
+        with pytest.raises(TraceError):
+            load_workload(path)

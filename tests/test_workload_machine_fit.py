@@ -1,0 +1,118 @@
+"""Tests for the typed-scheduling machine-fit analysis."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workload import (
+    INSTRUCTION_TYPES,
+    Trace,
+    oracle_schedule,
+    required_units,
+    sustained_rate,
+    typed_list_schedule,
+)
+from repro.workload.kernels import buk, embar
+
+
+def wide_mixed_trace(width=12):
+    trace = Trace("mixed")
+    for i in range(width):
+        trace.append("intops")
+        trace.append("fpops")
+    return trace
+
+
+class TestTypedListSchedule:
+    def test_per_type_limits_respected(self):
+        trace = wide_mixed_trace(12)
+        result = typed_list_schedule(trace, {"intops": 3, "memops": 1, "fpops": 2,
+                                             "controlops": 1, "branchops": 1})
+        int_col = INSTRUCTION_TYPES.index("intops")
+        fp_col = INSTRUCTION_TYPES.index("fpops")
+        assert result.workload.levels[:, int_col].max() <= 3
+        assert result.workload.levels[:, fp_col].max() <= 2
+
+    def test_unconstrained_matches_oracle(self):
+        trace = wide_mixed_trace(8)
+        generous = {t: 1000 for t in INSTRUCTION_TYPES}
+        assert (
+            typed_list_schedule(trace, generous).critical_path
+            == oracle_schedule(trace).critical_path
+        )
+
+    def test_one_unit_serializes_each_type(self):
+        trace = wide_mixed_trace(6)
+        result = typed_list_schedule(trace, {t: 1 for t in INSTRUCTION_TYPES})
+        # 6 int + 6 fp, different types can share a cycle: CPL = 6.
+        assert result.critical_path == 6
+
+    def test_sequence_units_accepted(self):
+        trace = wide_mixed_trace(4)
+        result = typed_list_schedule(trace, [2, 1, 2, 1, 1])
+        assert result.critical_path == 2
+
+    def test_dependencies_respected(self):
+        trace = Trace()
+        a = trace.append("intops")
+        trace.append("intops", (a,))
+        result = typed_list_schedule(trace, {t: 100 for t in INSTRUCTION_TYPES})
+        assert result.critical_path == 2
+
+    def test_bad_units_raise(self):
+        trace = wide_mixed_trace(2)
+        with pytest.raises(TraceError):
+            typed_list_schedule(trace, {"vectorops": 2})
+        with pytest.raises(TraceError):
+            typed_list_schedule(trace, {t: 0 for t in INSTRUCTION_TYPES})
+        with pytest.raises(TraceError):
+            typed_list_schedule(trace, [1, 2, 3])
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceError):
+            typed_list_schedule(Trace(), {t: 1 for t in INSTRUCTION_TYPES})
+
+
+class TestMachineFit:
+    def test_required_units_ceil_of_centroid(self):
+        trace = wide_mixed_trace(10)
+        workload = oracle_schedule(trace).workload
+        units = required_units(workload)
+        assert units["intops"] == 10
+        assert units["memops"] == 1  # floor of one unit even when unused
+
+    def test_headroom_scales(self):
+        trace = wide_mixed_trace(10)
+        workload = oracle_schedule(trace).workload
+        assert required_units(workload, headroom=2.0)["intops"] == 20
+
+    def test_bad_headroom_raises(self):
+        workload = oracle_schedule(wide_mixed_trace(2)).workload
+        with pytest.raises(TraceError):
+            required_units(workload, headroom=0.0)
+
+    def test_centroid_provisioning_sustains_near_oracle_rate(self):
+        """The paper's claim: units == centroid sustain close to peak for
+        a smooth workload."""
+        trace = embar(chains=60)
+        schedule = oracle_schedule(trace)
+        units = required_units(schedule.workload)
+        achieved = sustained_rate(trace, units)
+        assert achieved > 0.55 * schedule.average_parallelism
+
+    def test_starving_the_dominant_unit_hurts(self):
+        trace = buk(n=200)
+        workload = oracle_schedule(trace).workload
+        units = required_units(workload)
+        baseline = sustained_rate(trace, units)
+        starved = dict(units)
+        starved["intops"] = max(1, units["intops"] // 4)
+        assert sustained_rate(trace, starved) < 0.8 * baseline
+
+    def test_starving_a_rare_unit_is_free(self):
+        trace = buk(n=200)  # essentially no FP ops
+        workload = oracle_schedule(trace).workload
+        units = required_units(workload)
+        baseline = sustained_rate(trace, units)
+        starved = dict(units)
+        starved["fpops"] = 1
+        assert sustained_rate(trace, starved) == pytest.approx(baseline, rel=0.05)
