@@ -14,6 +14,10 @@ writing code:
     Characterize the NAS-like suite (centroids, similarity, smoothability).
 ``table1``
     Regenerate Appendix A Table 1.
+``trace``
+    Causal analysis of one traced run: wildcard-race certification,
+    critical-path lower bound and slack, optional Chrome/Perfetto
+    trace-event JSON export (``--out``).
 """
 
 from __future__ import annotations
@@ -68,6 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--scale", type=float, default=1.0)
 
     sub.add_parser("table1", help="regenerate Appendix A Table 1")
+
+    trace = sub.add_parser(
+        "trace", help="causal analysis: races, critical path, Chrome trace export"
+    )
+    trace.add_argument(
+        "--program", default="wavelet", choices=("wavelet", "nbody", "pic")
+    )
+    trace.add_argument("--size", type=int, default=512, help="image side (wavelet)")
+    trace.add_argument("--filter", type=int, default=8, choices=(2, 4, 8), dest="filter_length")
+    trace.add_argument("--levels", type=int, default=1)
+    trace.add_argument("--bodies", type=int, default=1024, help="bodies (nbody)")
+    trace.add_argument("--particles", type=int, default=4096, help="particles (pic)")
+    trace.add_argument("--grid", type=int, default=16, dest="grid_m")
+    trace.add_argument("--steps", type=int, default=1, help="steps (nbody/pic)")
+    trace.add_argument("--procs", type=int, default=16)
+    trace.add_argument("--machine", default="paragon", choices=("paragon", "t3d"))
+    trace.add_argument("--placement", default="snake", choices=("snake", "naive"))
+    trace.add_argument("--out", default=None, help="write Chrome trace-event JSON here")
     return parser
 
 
@@ -249,12 +271,96 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _traced_run(args):
+    """Run the selected program with tracing on and return its RunResult."""
+    from repro.machines.engine import Engine
+
+    if args.program == "wavelet":
+        from repro.data import landsat_like_scene
+        from repro.machines import paragon, t3d
+        from repro.wavelet import filter_bank_for_length
+        from repro.wavelet.parallel.decomposition import StripeDecomposition
+        from repro.wavelet.parallel.spmd import striped_wavelet_program
+
+        # Appendix A's wavelet study ran over PVM (the Fig. 5 calibration);
+        # the nbody/pic programs below use the NX regime like Appendix B.
+        if args.machine == "paragon":
+            machine = paragon(args.procs, args.placement, protocol="pvm")
+        else:
+            machine = t3d(args.procs)
+        image = landsat_like_scene((args.size, args.size))
+        bank = filter_bank_for_length(args.filter_length)
+        decomp = StripeDecomposition(args.size, args.size, args.procs, args.levels)
+        label = f"{args.size}x{args.size} F{args.filter_length}/L{args.levels} wavelet"
+        run = Engine(machine, record_trace=True).run(
+            striped_wavelet_program, image, bank, args.levels, decomp
+        )
+    elif args.program == "nbody":
+        from repro.data import plummer_sphere
+        from repro.nbody import run_parallel_nbody
+
+        machine = _mimd_machine(args.machine, args.procs, args.placement)
+        particles = plummer_sphere(args.bodies, dim=2, seed=0)
+        label = f"{args.bodies}-body manager-worker"
+        run = run_parallel_nbody(
+            machine, particles, steps=args.steps, record_trace=True
+        ).run
+    else:
+        from repro.data import uniform_cube
+        from repro.pic import Grid3D, run_parallel_pic
+
+        machine = _mimd_machine(args.machine, args.procs, args.placement)
+        particles = uniform_cube(args.particles, thermal_speed=0.05, seed=0)
+        label = f"{args.particles}-particle PIC"
+        run = run_parallel_pic(
+            machine, Grid3D(args.grid_m), particles, steps=args.steps,
+            record_trace=True, collect=False,
+        ).run
+    return machine, label, run
+
+
+def _cmd_trace(args) -> int:
+    from repro.machines.causality import (
+        HappensBeforeGraph,
+        certify_deterministic,
+        write_chrome_trace,
+    )
+    from repro.perf import format_critical_path
+
+    machine, label, run = _traced_run(args)
+    print(f"traced {label} on {machine.name}: {len(run.trace)} events, "
+          f"{run.messages_sent} messages")
+
+    graph = HappensBeforeGraph(run.trace)
+    report = certify_deterministic(graph)
+    if report.deterministic:
+        print(
+            f"race detector: {report.wildcard_recvs} wildcard recv(s), 0 hazards "
+            "-> message matching is interleaving-independent"
+        )
+    else:
+        print(
+            f"race detector: {len(report.races)} nondeterminism hazard(s) over "
+            f"{report.wildcard_recvs} wildcard recv(s)"
+        )
+        for race in report.races:
+            print(f"  {race.describe()}")
+
+    print(format_critical_path("critical path", graph.critical_path(run.elapsed_s)))
+
+    if args.out:
+        doc = write_chrome_trace(args.out, run, machine_name=machine.name)
+        print(f"wrote {len(doc['traceEvents'])} trace events to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "wavelet": _cmd_wavelet,
     "nbody": _cmd_nbody,
     "pic": _cmd_pic,
     "workload": _cmd_workload,
     "table1": _cmd_table1,
+    "trace": _cmd_trace,
 }
 
 

@@ -41,3 +41,8 @@ class DecompositionError(ReproError, ValueError):
 
 class TraceError(ReproError, ValueError):
     """A workload trace is malformed (unknown opcode, bad operands)."""
+
+
+class CausalityError(ReproError, ValueError):
+    """An engine trace cannot support the requested causal analysis
+    (missing trace, unknown event indices, unmatched message linkage)."""

@@ -21,6 +21,7 @@ from repro.machines.api import (
     alltoall,
     barrier,
     bcast,
+    exercise_collectives,
     gather,
     gssum_naive,
     reduce,
@@ -98,4 +99,5 @@ __all__ = [
     "scatter",
     "alltoall",
     "sendrecv",
+    "exercise_collectives",
 ]

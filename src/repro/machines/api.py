@@ -37,6 +37,7 @@ __all__ = [
     "scatter",
     "alltoall",
     "sendrecv",
+    "exercise_collectives",
 ]
 
 COLLECTIVE_TAG_BASE = 900_000
@@ -255,3 +256,33 @@ def sendrecv(
     yield ctx.send(dst, senddata, tag=tag)
     received = yield ctx.recv(src, tag=tag)
     return received
+
+
+def exercise_collectives(ctx: RankContext, value=None):
+    """Run every collective in this library once and return the results.
+
+    The sweep the certification tests trace: with ``value`` defaulting to
+    the rank index, runs ``bcast``, ``reduce``, ``allreduce``,
+    ``gssum_naive``, ``gather``, ``allgather``, ``scatter``, ``alltoall``,
+    ``barrier``, and a ring ``sendrecv``, returning a dict keyed by
+    collective name.  Used with the causality race detector to certify
+    that no collective relies on wildcard matching
+    (``tests/test_causality_collectives.py``).
+    """
+    rank, n = ctx.rank, ctx.nranks
+    if value is None:
+        value = rank
+    out = {}
+    out["bcast"] = yield from bcast(ctx, value if rank == 0 else None, root=0)
+    out["reduce"] = yield from reduce(ctx, value, root=0)
+    out["allreduce"] = yield from allreduce(ctx, value)
+    out["gssum_naive"] = yield from gssum_naive(ctx, value)
+    out["gather"] = yield from gather(ctx, value, root=0)
+    out["allgather"] = yield from allgather(ctx, value)
+    out["scatter"] = yield from scatter(
+        ctx, list(range(n)) if rank == 0 else None, root=0
+    )
+    out["alltoall"] = yield from alltoall(ctx, [(rank, dst) for dst in range(n)])
+    yield from barrier(ctx)
+    out["sendrecv"] = yield from sendrecv(ctx, (rank + 1) % n, value, (rank - 1) % n)
+    return out

@@ -1,0 +1,161 @@
+"""Deadlock diagnosis: wait-for graph reconstruction and cycle naming.
+
+The engine raises :class:`~repro.errors.DeadlockError` when every
+unfinished rank is parked in a receive no message can satisfy; the error
+carries each stuck rank's posted operation.  This module turns that raw
+state into an explanation: the wait-for graph (rank ``r`` waits on rank
+``s`` when ``r``'s posted receive names ``s`` as its source — or, for an
+``ANY_SOURCE`` receive, on every other stuck rank, since any of them
+could in principle unblock it), the cycle through it if one exists, and a
+human-readable report naming each rank's posted op.
+
+A cyclic report is the classic communication deadlock (A waits on B waits
+on A); an acyclic one is starvation — some rank waits on a peer that
+already finished without sending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CausalityError, DeadlockError
+from repro.machines.engine import ANY_SOURCE, ANY_TAG
+
+__all__ = ["PostedOp", "DeadlockReport", "wait_for_edges", "diagnose_deadlock"]
+
+
+@dataclass(frozen=True)
+class PostedOp:
+    """The receive a stuck rank was parked on when the engine gave up."""
+
+    rank: int
+    src: int
+    tag: int
+
+    def describe(self) -> str:
+        """Render as ``recv(src=..., tag=...)`` with wildcards named."""
+        src = "ANY_SOURCE" if self.src == ANY_SOURCE else str(self.src)
+        tag = "ANY_TAG" if self.tag == ANY_TAG else str(self.tag)
+        return f"recv(src={src}, tag={tag})"
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Wait-for structure of a deadlocked run.
+
+    ``cycle`` lists the ranks of the first wait-for cycle found (rotated
+    so the smallest rank leads; empty when the deadlock is starvation
+    rather than a cycle); ``posted`` maps each stuck rank to its
+    :class:`PostedOp`; ``edges`` maps each stuck rank to the ranks it
+    waits on.
+    """
+
+    posted: dict
+    edges: dict
+    cycle: tuple
+
+    @property
+    def is_cycle(self) -> bool:
+        """True when a genuine circular wait was found."""
+        return bool(self.cycle)
+
+    def describe(self) -> str:
+        """Multi-line diagnosis naming the cycle and every posted op."""
+        lines = []
+        if self.cycle:
+            arrows = " -> ".join(str(r) for r in self.cycle + (self.cycle[0],))
+            lines.append(f"wait-for cycle: {arrows}")
+        else:
+            lines.append("no wait-for cycle: starvation (a waited-on rank already finished)")
+        for rank in sorted(self.posted):
+            waits = self.edges.get(rank, ())
+            on = ", ".join(str(w) for w in waits) if waits else "nobody stuck"
+            lines.append(
+                f"  rank {rank} blocked in {self.posted[rank].describe()} "
+                f"(waits on {on})"
+            )
+        return "\n".join(lines)
+
+
+def _posted_from(waiting: dict) -> dict:
+    posted = {}
+    for rank, op in waiting.items():
+        src = getattr(op, "src", None)
+        tag = getattr(op, "tag", None)
+        if src is None and isinstance(op, tuple) and len(op) == 2:
+            src, tag = op
+        if src is None:
+            raise CausalityError(
+                f"cannot interpret posted op {op!r} for rank {rank}"
+            )
+        posted[rank] = PostedOp(rank=rank, src=int(src), tag=int(tag))
+    return posted
+
+
+def wait_for_edges(waiting: dict) -> dict:
+    """Wait-for adjacency over the stuck ranks.
+
+    ``waiting`` maps rank -> posted receive (``DeadlockError.waiting`` or
+    ``{rank: (src, tag)}``).  An ``ANY_SOURCE`` receive waits on every
+    other stuck rank.
+    """
+    posted = _posted_from(waiting)
+    stuck = set(posted)
+    edges = {}
+    for rank, op in posted.items():
+        if op.src == ANY_SOURCE:
+            edges[rank] = tuple(sorted(stuck - {rank}))
+        else:
+            edges[rank] = (op.src,) if op.src in stuck else ()
+    return edges
+
+
+def _find_cycle(edges: dict) -> tuple:
+    """First directed cycle in the wait-for graph (DFS, iterative)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rank: WHITE for rank in edges}
+    for root in sorted(edges):
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(edges[root]))]
+        trail = [root]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == GRAY:
+                    cycle = trail[trail.index(nxt):]
+                    pivot = cycle.index(min(cycle))
+                    return tuple(cycle[pivot:] + cycle[:pivot])
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(edges[nxt])))
+                    trail.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                trail.pop()
+    return ()
+
+
+def diagnose_deadlock(error_or_waiting) -> DeadlockReport:
+    """Reconstruct the wait-for graph behind a deadlock and name the
+    cycle.
+
+    Accepts the raised :class:`~repro.errors.DeadlockError` or its
+    ``waiting`` dict directly.
+    """
+    if isinstance(error_or_waiting, DeadlockError):
+        waiting = error_or_waiting.waiting
+    else:
+        waiting = dict(error_or_waiting)
+    if not waiting:
+        raise CausalityError("no stuck ranks to diagnose")
+    posted = _posted_from(waiting)
+    edges = wait_for_edges(waiting)
+    return DeadlockReport(posted=posted, edges=edges, cycle=_find_cycle(edges))

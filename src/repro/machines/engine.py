@@ -123,6 +123,19 @@ class _RecvOp:
 
 
 @dataclass(frozen=True)
+class _MsgMeta:
+    """Causality metadata carried alongside an in-flight message when the
+    engine is tracing: the send's identity and clock stamps, plus the
+    contention-free arrival time for critical-path analysis."""
+
+    msg_id: int
+    lamport: int
+    vclock: tuple
+    sent_at: float
+    min_arrive: float
+
+
+@dataclass(frozen=True)
 class _ComputeOp:
     ops: OpCount
     redundant: bool
@@ -242,6 +255,12 @@ class RankContext:
         """Receive a message.  ``yield`` evaluates to the payload."""
         if src != ANY_SOURCE and not 0 <= src < self.nranks:
             raise CommunicationError(f"recv source {src} out of range")
+        if tag != ANY_TAG and tag < 0:
+            # send() rejects negative tags, so a negative non-ANY_TAG recv
+            # can never be matched and would silently deadlock.
+            raise CommunicationError(
+                f"recv tag must be >= 0 or ANY_TAG, got {tag}"
+            )
         return _RecvOp(src=src, tag=tag)
 
     def compute(
@@ -308,6 +327,22 @@ class TraceEvent:
     the interval ``[start_s, end_s)`` is in virtual time; ``peer`` is the
     other rank for messaging events (-1 otherwise), ``nbytes`` the message
     size (0 for compute).
+
+    The remaining fields are the causality enrichment consumed by
+    :mod:`repro.machines.causality` (excluded from equality so that
+    comparisons over the classic six fields keep working):
+
+    * ``tag`` — message tag (sends: as posted; recvs: of the matched
+      message).
+    * ``msg_id`` — engine-wide monotone id assigned to each send.
+    * ``match_id`` — on a recv, the ``msg_id`` of the matched send.
+    * ``wildcard_src`` / ``wildcard_tag`` — whether the recv was posted
+      with ``ANY_SOURCE`` / ``ANY_TAG`` (nondeterminism surface).
+    * ``arrive_s`` — when the matched message arrived (recvs only).
+    * ``min_arrive_s`` — when it *would* have arrived on an uncontended
+      network (recvs only); the causal lower bound uses this.
+    * ``lamport`` / ``vclock`` — Lamport stamp and per-rank vector-clock
+      stamp of the event (one tick per recorded event, merged on recv).
     """
 
     rank: int
@@ -316,6 +351,15 @@ class TraceEvent:
     end_s: float
     peer: int = -1
     nbytes: int = 0
+    tag: int = field(default=-1, compare=False)
+    msg_id: int = field(default=-1, compare=False)
+    match_id: int = field(default=-1, compare=False)
+    wildcard_src: bool = field(default=False, compare=False)
+    wildcard_tag: bool = field(default=False, compare=False)
+    arrive_s: float = field(default=-1.0, compare=False)
+    min_arrive_s: float = field(default=-1.0, compare=False)
+    lamport: int = field(default=0, compare=False)
+    vclock: tuple = field(default=(), compare=False)
 
 
 @dataclass
@@ -370,9 +414,11 @@ class _RankState:
         "finished",
         "result",
         "pending_value",
+        "lamport",
+        "vc",
     )
 
-    def __init__(self, rank: int, gen) -> None:
+    def __init__(self, rank: int, gen, nranks: int = 0) -> None:
         self.rank = rank
         self.gen = gen
         self.clock = 0.0
@@ -383,6 +429,8 @@ class _RankState:
         self.finished = False
         self.result = None
         self.pending_value = None
+        self.lamport = 0
+        self.vc = [0] * nranks
 
 
 class Engine:
@@ -397,14 +445,24 @@ class Engine:
         self.machine = machine
         self.record_trace = record_trace
         self._trace: list = []
+        self._next_msg_id = 0
 
-    def _record(self, rank, kind, start, end, peer=-1, nbytes=0) -> None:
+    def _record(self, rank, kind, start, end, peer=-1, nbytes=0, **causal) -> None:
         if self.record_trace:
             self._trace.append(
                 TraceEvent(
-                    rank=rank, kind=kind, start_s=start, end_s=end, peer=peer, nbytes=nbytes
+                    rank=rank, kind=kind, start_s=start, end_s=end, peer=peer,
+                    nbytes=nbytes, **causal,
                 )
             )
+
+    def _stamp(self, st: "_RankState") -> tuple:
+        """Tick the rank's Lamport and vector clocks for one event and
+        return the ``(lamport, vclock)`` stamp.  Only called while
+        tracing."""
+        st.lamport += 1
+        st.vc[st.rank] += 1
+        return st.lamport, tuple(st.vc)
 
     def run(self, program, *args, **kwargs) -> RunResult:
         """Instantiate ``program(ctx, *args, **kwargs)`` on every rank and
@@ -425,6 +483,7 @@ class Engine:
         machine = self.machine
         machine.network.reset()
         self._trace = []
+        self._next_msg_id = 0
         nranks = machine.nranks
         states = []
         for rank in range(nranks):
@@ -434,7 +493,7 @@ class Engine:
                 raise ConfigurationError(
                     "rank program must be a generator function (use 'yield')"
                 )
-            states.append(_RankState(rank, gen))
+            states.append(_RankState(rank, gen, nranks if self.record_trace else 0))
 
         heap: list = []
         seq = 0
@@ -487,7 +546,7 @@ class Engine:
                 matched = self._match(st, st.waiting)
                 if matched is None:
                     return  # stay parked; a future send will wake us
-                self._complete_recv(st, matched)
+                self._complete_recv(st, st.waiting, matched)
                 st.waiting = None
                 # fall through to resume the generator with the payload
 
@@ -505,24 +564,24 @@ class Engine:
                 ]
                 start = st.clock
                 st.clock += dt
+                kind = "redundancy" if op.redundant else "compute"
                 if op.redundant:
                     st.budget.redundancy_s += dt
-                    self._record(st.rank, "redundancy", start, st.clock)
                 else:
                     st.budget.work_s += dt
-                    self._record(st.rank, "compute", start, st.clock)
+                self._record_local(st, kind, start)
             elif isinstance(op, _ElapseOp):
                 start = st.clock
                 st.clock += op.seconds
                 if op.kind == "work":
                     st.budget.work_s += op.seconds
-                    self._record(st.rank, "compute", start, st.clock)
+                    self._record_local(st, "compute", start)
                 elif op.kind == "redundancy":
                     st.budget.redundancy_s += op.seconds
-                    self._record(st.rank, "redundancy", start, st.clock)
+                    self._record_local(st, "redundancy", start)
                 else:
                     st.budget.comm_s += op.seconds
-                    self._record(st.rank, "send", start, st.clock)
+                    self._record_local(st, "send", start)
             elif isinstance(op, _MemoryOp):
                 st.resident = op.resident_bytes
             elif isinstance(op, _SendOp):
@@ -532,7 +591,7 @@ class Engine:
                 if matched is None:
                     st.waiting = op
                     return
-                self._complete_recv(st, matched)
+                self._complete_recv(st, op, matched)
             else:
                 raise SimulationError(f"rank {st.rank} yielded unknown op {op!r}")
 
@@ -541,18 +600,47 @@ class Engine:
             self._push(st, heap, in_heap)
             return
 
+    def _record_local(self, st: _RankState, kind: str, start: float) -> None:
+        """Record a non-messaging event, stamping it if tracing."""
+        if not self.record_trace:
+            return
+        lamport, vclock = self._stamp(st)
+        self._record(
+            st.rank, kind, start, st.clock, lamport=lamport, vclock=vclock
+        )
+
     def _do_send(self, st: _RankState, op: _SendOp, states, heap, in_heap) -> None:
         machine = self.machine
         overhead = machine.sw_send_overhead_s + op.nbytes / machine.copy_bytes_per_s
-        self._record(st.rank, "send", st.clock, st.clock + overhead, op.dst, op.nbytes)
+        start = st.clock
         st.clock += overhead
         st.budget.comm_s += overhead
         src_node = machine.placement[st.rank]
         dst_node = machine.placement[op.dst]
+        contention_before = machine.network.total_contention_s
         deliver = machine.network.transfer(src_node, dst_node, op.nbytes, st.clock)
+        meta = None
+        if self.record_trace:
+            # Contention-free arrival: transfer() books any wait for busy
+            # channels as contention, so subtracting the delta isolates it.
+            waited = machine.network.total_contention_s - contention_before
+            msg_id = self._next_msg_id
+            self._next_msg_id += 1
+            lamport, vclock = self._stamp(st)
+            meta = _MsgMeta(
+                msg_id=msg_id,
+                lamport=lamport,
+                vclock=vclock,
+                sent_at=st.clock,
+                min_arrive=deliver - waited,
+            )
+            self._record(
+                st.rank, "send", start, st.clock, op.dst, op.nbytes,
+                tag=op.tag, msg_id=msg_id, lamport=lamport, vclock=vclock,
+            )
         dst = states[op.dst]
         key = (st.rank, op.tag)
-        dst.mailbox.setdefault(key, []).append((deliver, _copy_payload(op.payload)))
+        dst.mailbox.setdefault(key, []).append((deliver, _copy_payload(op.payload), meta))
         if dst.waiting is not None:
             self._push(dst, heap, in_heap)
 
@@ -578,13 +666,29 @@ class Engine:
             return None
         return best_key, st.mailbox[best_key].pop(0)
 
-    def _complete_recv(self, st: _RankState, matched) -> None:
+    def _complete_recv(self, st: _RankState, op: _RecvOp, matched) -> None:
         machine = self.machine
-        (src, _tag), (arrive, payload) = matched
+        (src, tag), (arrive, payload, meta) = matched
         nbytes = payload_nbytes(payload)
         copy_time = nbytes / machine.copy_bytes_per_s
         done = max(st.clock, arrive) + machine.sw_recv_overhead_s + copy_time
-        self._record(st.rank, "recv", st.clock, done, src, nbytes)
+        if self.record_trace and meta is not None:
+            # Merge the sender's clocks before ticking: the recv event
+            # must causally dominate the matched send.
+            if meta.lamport > st.lamport:
+                st.lamport = meta.lamport
+            for i, v in enumerate(meta.vclock):
+                if v > st.vc[i]:
+                    st.vc[i] = v
+            lamport, vclock = self._stamp(st)
+            self._record(
+                st.rank, "recv", st.clock, done, src, nbytes,
+                tag=tag, match_id=meta.msg_id,
+                wildcard_src=op.src == ANY_SOURCE,
+                wildcard_tag=op.tag == ANY_TAG,
+                arrive_s=arrive, min_arrive_s=meta.min_arrive,
+                lamport=lamport, vclock=vclock,
+            )
         st.budget.comm_s += done - st.clock
         st.clock = done
         st.pending_value = payload

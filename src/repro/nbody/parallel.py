@@ -349,14 +349,16 @@ def run_parallel_nbody(
     steps: int,
     *,
     model: str = "manager_worker",
+    record_trace: bool = False,
     **kwargs,
 ) -> ParallelNBodyOutcome:
     """Run the parallel N-body simulation on a simulated machine.
 
     ``model`` selects ``"manager_worker"`` (the paper's) or
-    ``"replicated"``.  Remaining keyword arguments are forwarded to the
-    rank program (``dt``, ``theta``, ``softening``, ``leaf_capacity``,
-    ``partition``).
+    ``"replicated"``.  ``record_trace`` enables engine event tracing on
+    the returned run (timeline rendering, causality analysis).  Remaining
+    keyword arguments are forwarded to the rank program (``dt``,
+    ``theta``, ``softening``, ``leaf_capacity``, ``partition``).
     """
     programs = {
         "manager_worker": manager_worker_program,
@@ -368,7 +370,7 @@ def run_parallel_nbody(
         raise ConfigurationError(
             f"unknown model {model!r}; use 'manager_worker' or 'replicated'"
         ) from None
-    run = Engine(machine).run(program, particles, steps, **kwargs)
+    run = Engine(machine, record_trace=record_trace).run(program, particles, steps, **kwargs)
     final = run.results[0]
     out_particles = ParticleSet(
         positions=final["positions"],

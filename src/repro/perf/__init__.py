@@ -10,6 +10,7 @@ rendering of the paper's tables and figures.
 from repro.perf.metrics import ScalingCurve, ScalingPoint, linear_extrapolate
 from repro.perf.report import (
     format_budget,
+    format_critical_path,
     format_profile,
     format_speedup_series,
     format_table,
@@ -25,4 +26,5 @@ __all__ = [
     "format_speedup_series",
     "format_timeline",
     "format_profile",
+    "format_critical_path",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "format_speedup_series",
     "format_timeline",
     "format_profile",
+    "format_critical_path",
 ]
 
 
@@ -113,6 +114,25 @@ def format_timeline(title: str, run: RunResult, *, width: int = 72) -> str:
     for rank in range(run.nranks):
         lines.append(f"r{rank:<3}|{''.join(rows[rank])}|")
     lines.append("legend: # work  ~ redundancy  > send  < recv/wait  . idle")
+    return "\n".join(lines)
+
+
+def format_critical_path(title: str, analysis) -> str:
+    """Render a :class:`~repro.machines.causality.CriticalPathAnalysis`:
+    the causal lower bound, the measured elapsed time, and the slack
+    between them (time lost to contention and placement), plus the
+    work/comm/wire composition of the critical path itself."""
+    lines = [title]
+    lines.append(f"  causal lower bound {analysis.lower_bound_s:.4f}s")
+    lines.append(f"  elapsed            {analysis.elapsed_s:.4f}s")
+    lines.append(
+        f"  slack              {analysis.slack_s:.4f}s "
+        f"({analysis.slack_fraction * 100:.1f}% contention/placement loss)"
+    )
+    lines.append(
+        f"  path: {len(analysis.path)} events | work {analysis.work_s:.4f}s  "
+        f"comm {analysis.comm_s:.4f}s  wire {analysis.transit_s:.4f}s"
+    )
     return "\n".join(lines)
 
 

@@ -155,14 +155,20 @@ def run_parallel_pic(
     grid: Grid3D,
     particles: ParticleSet,
     steps: int,
+    *,
+    record_trace: bool = False,
     **kwargs,
 ) -> ParallelPicOutcome:
     """Run the worker-worker PIC code on a simulated machine.
 
-    Keyword arguments are forwarded to :func:`pic_program` (``dt_max``,
+    ``record_trace`` enables engine event tracing on the returned run
+    (timeline rendering, causality analysis).  Remaining keyword
+    arguments are forwarded to :func:`pic_program` (``dt_max``,
     ``charge_sign``, ``global_sum``, ``poisson``).
     """
-    run = Engine(machine).run(pic_program, grid, particles, steps, **kwargs)
+    run = Engine(machine, record_trace=record_trace).run(
+        pic_program, grid, particles, steps, **kwargs
+    )
     result = run.results[0]
     positions = np.vstack([p[0] for p in result["pieces"]])
     velocities = np.vstack([p[1] for p in result["pieces"]])

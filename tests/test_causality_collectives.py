@@ -1,0 +1,73 @@
+"""Race-free certification of the collectives library (ISSUE satellite):
+every collective is traced and certified free of wildcard hazards, and
+``gssum_naive`` vs the prefix ``allreduce`` — the Section 4.2.2 global-sum
+comparison — are certified individually."""
+
+import pytest
+
+from repro.machines import Engine, Machine, exercise_collectives
+from repro.machines.api import allreduce, gssum_naive
+from repro.machines.cpu import CpuModel
+from repro.machines.causality import certify_deterministic
+from repro.machines.network import ContentionNetwork, FullyConnected
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+def certified(nranks, prog, *args, **kwargs):
+    run = Engine(ideal_machine(nranks), record_trace=True).run(prog, *args, **kwargs)
+    return run, certify_deterministic(run.trace)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+def test_collectives_sweep_race_free(nranks):
+    def prog(ctx):
+        out = yield from exercise_collectives(ctx)
+        return out
+
+    run, report = certified(nranks, prog)
+    # Posting-only certification: no collective uses wildcard matching
+    # at all, so its matching cannot depend on timing.
+    assert report.wildcard_recvs == 0
+    assert report.deterministic
+    # And the values are right while we're here.
+    total = sum(range(nranks))
+    for rank, out in enumerate(run.results):
+        assert out["bcast"] == 0
+        assert out["allreduce"] == total
+        assert out["gssum_naive"] == total
+        assert out["allgather"] == list(range(nranks))
+        assert out["scatter"] == rank
+        assert out["alltoall"] == [(src, rank) for src in range(nranks)]
+        assert out["sendrecv"] == (rank - 1) % nranks
+
+
+@pytest.mark.parametrize("nranks", [2, 4, 5, 8])
+def test_gssum_naive_vs_prefix_allreduce_race_free(nranks):
+    """The paper's two global-sum algorithms agree and neither is
+    timing-sensitive, so the Fig. 7 gssum collapse is pure contention,
+    not nondeterminism."""
+
+    def prog(ctx):
+        naive = yield from gssum_naive(ctx, float(ctx.rank + 1))
+        prefix = yield from allreduce(ctx, float(ctx.rank + 1))
+        return naive, prefix
+
+    run, report = certified(nranks, prog)
+    assert report.wildcard_recvs == 0 and report.deterministic
+    expected = float(sum(range(1, nranks + 1)))
+    for naive, prefix in run.results:
+        assert naive == pytest.approx(expected)
+        assert prefix == pytest.approx(expected)

@@ -1,0 +1,130 @@
+"""Tests for the deadlock diagnostician and the recv tag-validation fix."""
+
+import pytest
+
+from repro.errors import CausalityError, CommunicationError, DeadlockError
+from repro.machines import ANY_SOURCE, ANY_TAG, Engine, Machine
+from repro.machines.cpu import CpuModel
+from repro.machines.causality import diagnose_deadlock, wait_for_edges
+from repro.machines.network import ContentionNetwork, FullyConnected
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+class TestCyclicDeadlock:
+    def test_diagnosis_names_exact_cycle(self):
+        """Every rank receives from its left neighbour before anyone
+        sends: the classic all-ranks circular wait."""
+
+        def prog(ctx):
+            left = (ctx.rank - 1) % ctx.nranks
+            _ = yield ctx.recv(left, tag=1)
+            yield ctx.send((ctx.rank + 1) % ctx.nranks, "x", tag=1)
+            return None
+
+        with pytest.raises(DeadlockError) as excinfo:
+            Engine(ideal_machine(3)).run(prog)
+        report = diagnose_deadlock(excinfo.value)
+        assert report.is_cycle
+        assert report.cycle == (0, 2, 1)  # 0 waits on 2 waits on 1 waits on 0
+        assert set(report.posted) == {0, 1, 2}
+        assert report.edges == {0: (2,), 1: (0,), 2: (1,)}
+        text = report.describe()
+        assert "wait-for cycle: 0 -> 2 -> 1 -> 0" in text
+        assert "rank 0 blocked in recv(src=2, tag=1)" in text
+
+    def test_two_rank_mutual_wait(self):
+        def prog(ctx):
+            other = 1 - ctx.rank
+            _ = yield ctx.recv(other, tag=0)
+            yield ctx.send(other, "never", tag=0)
+            return None
+
+        with pytest.raises(DeadlockError) as excinfo:
+            Engine(ideal_machine(2)).run(prog)
+        report = diagnose_deadlock(excinfo.value)
+        assert report.cycle == (0, 1)
+
+    def test_accepts_raw_waiting_dict(self):
+        report = diagnose_deadlock({0: (1, 5), 1: (0, 5)})
+        assert report.is_cycle and report.cycle == (0, 1)
+        assert report.posted[0].describe() == "recv(src=1, tag=5)"
+
+
+class TestStarvation:
+    def test_waiting_on_finished_rank_is_not_a_cycle(self):
+        """Rank 1 waits for a message rank 0 never sends; rank 0 simply
+        finishes.  Deadlock, but no circular wait."""
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                _ = yield ctx.recv(0, tag=7)
+            else:
+                yield ctx.compute(flops=10.0)
+            return None
+
+        with pytest.raises(DeadlockError) as excinfo:
+            Engine(ideal_machine(2)).run(prog)
+        report = diagnose_deadlock(excinfo.value)
+        assert not report.is_cycle
+        assert report.edges == {1: ()}
+        assert "starvation" in report.describe()
+
+    def test_any_source_waits_on_all_other_stuck_ranks(self):
+        edges = wait_for_edges(
+            {0: (ANY_SOURCE, ANY_TAG), 1: (2, 0), 2: (1, 0)}
+        )
+        assert edges[0] == (1, 2)
+        assert edges == {0: (1, 2), 1: (2,), 2: (1,)}
+        report = diagnose_deadlock(
+            {0: (ANY_SOURCE, ANY_TAG), 1: (2, 0), 2: (1, 0)}
+        )
+        assert report.cycle == (1, 2)
+        assert report.posted[0].describe() == "recv(src=ANY_SOURCE, tag=ANY_TAG)"
+
+    def test_empty_waiting_rejected(self):
+        with pytest.raises(CausalityError):
+            diagnose_deadlock({})
+
+    def test_uninterpretable_op_rejected(self):
+        with pytest.raises(CausalityError):
+            diagnose_deadlock({0: "garbage"})
+
+
+class TestRecvTagValidation:
+    """Satellite fix: a negative non-wildcard tag used to park the recv
+    forever (nothing is ever sent with a negative tag); now it raises."""
+
+    def test_negative_tag_raises_immediately(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, "x", tag=1)
+            else:
+                _ = yield ctx.recv(0, tag=-7)
+            return None
+
+        with pytest.raises(CommunicationError, match="tag"):
+            Engine(ideal_machine(2)).run(prog)
+
+    def test_any_tag_still_accepted(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, "x", tag=3)
+                return None
+            got = yield ctx.recv(0, tag=ANY_TAG)
+            return got
+
+        run = Engine(ideal_machine(2)).run(prog)
+        assert run.results[1] == "x"

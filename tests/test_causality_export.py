@@ -1,0 +1,146 @@
+"""Tests for the Chrome trace-event export and the ``trace`` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import CausalityError
+from repro.machines import Engine, Machine, paragon
+from repro.machines.cpu import CpuModel
+from repro.machines.causality import chrome_trace, write_chrome_trace
+from repro.machines.network import ContentionNetwork, FullyConnected
+from repro.wavelet import filter_bank_for_length
+from repro.wavelet.parallel.decomposition import StripeDecomposition
+from repro.wavelet.parallel.spmd import striped_wavelet_program
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+def ring_prog(ctx):
+    yield ctx.compute(flops=1e6)
+    yield ctx.send((ctx.rank + 1) % ctx.nranks, np.ones(32), tag=2)
+    _ = yield ctx.recv((ctx.rank - 1) % ctx.nranks, tag=2)
+    return None
+
+
+def wavelet_run(nranks=4, size=64):
+    image = np.random.default_rng(1).normal(size=(size, size))
+    bank = filter_bank_for_length(4)
+    decomp = StripeDecomposition(size, size, nranks, 1)
+    return Engine(paragon(nranks), record_trace=True).run(
+        striped_wavelet_program, image, bank, 1, decomp
+    )
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        run = Engine(ideal_machine(3), record_trace=True).run(ring_prog)
+        doc = chrome_trace(run, machine_name="test-machine")
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {m["name"] for m in meta}
+        assert meta[0]["args"]["name"] == "test-machine"
+        # One row (tid) per rank.
+        assert {m["tid"] for m in meta if m["name"] == "thread_name"} == {0, 1, 2}
+
+    def test_complete_events_cover_trace(self):
+        run = Engine(ideal_machine(3), record_trace=True).run(ring_prog)
+        doc = chrome_trace(run)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(run.trace)
+        for x in xs:
+            assert x["dur"] > 0
+            assert x["ts"] >= 0
+            assert x["name"] in ("compute", "send", "recv", "redundant")
+
+    def test_flow_arrows_pair_up(self):
+        run = Engine(ideal_machine(4), record_trace=True).run(ring_prog)
+        doc = chrome_trace(run)
+        starts = {e["id"] for e in doc["traceEvents"] if e["ph"] == "s"}
+        finishes = {e["id"] for e in doc["traceEvents"] if e["ph"] == "f"}
+        assert starts == finishes
+        assert len(starts) == run.messages_sent
+
+    def test_json_roundtrip_via_file(self, tmp_path):
+        run = wavelet_run()
+        out = tmp_path / "trace.json"
+        doc = write_chrome_trace(out, run)
+        loaded = json.loads(out.read_text())
+        assert loaded == json.loads(json.dumps(doc))
+        assert loaded["traceEvents"]
+
+    def test_untraced_run_rejected(self):
+        run = Engine(ideal_machine(2)).run(ring_prog)
+        with pytest.raises(CausalityError):
+            chrome_trace(run)
+
+
+class TestTraceCli:
+    def test_parser_defaults_match_a_f5(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.program == "wavelet"
+        assert args.size == 512 and args.filter_length == 8
+        assert args.procs == 16 and args.placement == "snake"
+
+    def test_wavelet_trace_reports_race_free_and_slack(self, capsys):
+        assert main(
+            ["trace", "--size", "64", "--filter", "4", "--procs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 hazards" in out
+        assert "causal lower bound" in out
+        assert "slack" in out
+
+    def test_wavelet_trace_writes_loadable_json(self, tmp_path, capsys):
+        out_file = tmp_path / "wavelet.json"
+        assert main(
+            [
+                "trace", "--size", "64", "--filter", "4", "--procs", "4",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_nbody_trace_runs(self, capsys):
+        assert main(
+            [
+                "trace", "--program", "nbody", "--bodies", "96",
+                "--procs", "2", "--steps", "1",
+            ]
+        ) == 0
+        assert "0 hazards" in capsys.readouterr().out
+
+    def test_pic_trace_runs(self, capsys):
+        assert main(
+            [
+                "trace", "--program", "pic", "--particles", "256",
+                "--grid", "8", "--procs", "2", "--steps", "1",
+            ]
+        ) == 0
+        assert "0 hazards" in capsys.readouterr().out
+
+    def test_naive_placement_accepted(self, capsys):
+        assert main(
+            [
+                "trace", "--size", "64", "--filter", "4", "--procs", "4",
+                "--placement", "naive",
+            ]
+        ) == 0
+        assert "critical path" in capsys.readouterr().out

@@ -1,0 +1,195 @@
+"""Tests for the wildcard-receive race detector over synthetic programs
+and all three SPMD applications."""
+
+import numpy as np
+
+from repro.data import plummer_sphere, uniform_cube
+from repro.machines import ANY_SOURCE, Engine, Machine, paragon
+from repro.machines.cpu import CpuModel
+from repro.machines.causality import (
+    HappensBeforeGraph,
+    certify_deterministic,
+    find_wildcard_races,
+)
+from repro.machines.network import ContentionNetwork, FullyConnected
+from repro.nbody.parallel import manager_worker_program
+from repro.pic import Grid3D
+from repro.pic.parallel import pic_program
+from repro.wavelet import filter_bank_for_length
+from repro.wavelet.parallel.decomposition import StripeDecomposition
+from repro.wavelet.parallel.spmd import striped_wavelet_program
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+def traced(nranks, prog, *args, **kwargs):
+    return Engine(ideal_machine(nranks), record_trace=True).run(prog, *args, **kwargs)
+
+
+class TestPositiveDetection:
+    def test_two_concurrent_senders_race(self):
+        """The canonical hazard: both workers send, manager takes ANY."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                first = yield ctx.recv(ANY_SOURCE, tag=3)
+                second = yield ctx.recv(ANY_SOURCE, tag=3)
+                return (first, second)
+            yield ctx.compute(flops=1e5 * ctx.rank)
+            yield ctx.send(0, ctx.rank, tag=3)
+            return None
+
+        run = traced(3, prog)
+        races = find_wildcard_races(run.trace)
+        assert races, "two concurrent matching sends must be a hazard"
+        report = certify_deterministic(run.trace)
+        assert not report.deterministic
+        assert report.wildcard_recvs == 2
+        # The hazard is attributed to the *first* wildcard receive (the
+        # frontier race); conditioned on its outcome the second receive
+        # has no remaining choice.
+        assert len(races) == 1
+        race = races[0]
+        assert race.rank == 0
+        assert race.posted_src == ANY_SOURCE
+        assert len(race.alternatives) == 1
+        alt = run.trace[race.alternatives[0]]
+        matched = run.trace[race.matched_send]
+        assert {alt.rank, matched.rank} == {1, 2}
+        assert "ANY_SOURCE" in race.describe()
+
+    def test_wildcard_src_and_tag_race_across_sources(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                got = yield ctx.recv(ANY_SOURCE)  # ANY_SOURCE + ANY_TAG
+                return got
+            yield ctx.send(0, ctx.rank, tag=ctx.rank)
+            return None
+
+        run = traced(3, prog)
+        races = find_wildcard_races(run.trace)
+        assert len(races) == 1
+        assert races[0].posted_src == ANY_SOURCE
+        assert "ANY_TAG" in races[0].describe()
+
+    def test_tag_filter_excludes_non_matching_sends(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                got = yield ctx.recv(ANY_SOURCE, tag=5)
+                return got
+            if ctx.rank == 1:
+                yield ctx.send(0, "match", tag=5)
+            else:
+                yield ctx.send(0, "other-tag", tag=6)
+            return None
+
+        run = traced(3, prog)
+        # Rank 2's tag-6 send can never match the tag-5 wildcard recv.
+        assert find_wildcard_races(run.trace) == []
+
+
+class TestNegativeDetection:
+    def test_causally_ordered_second_send_is_no_race(self):
+        """A send that requires the recv's completion cannot race it."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                first = yield ctx.recv(ANY_SOURCE, tag=9)
+                yield ctx.send(2, "go", tag=1)  # unblock rank 2 only now
+                second = yield ctx.recv(ANY_SOURCE, tag=9)
+                return (first, second)
+            if ctx.rank == 1:
+                yield ctx.send(0, "early", tag=9)
+            else:
+                _ = yield ctx.recv(0, tag=1)
+                yield ctx.send(0, "late", tag=9)
+            return None
+
+        run = traced(3, prog)
+        assert find_wildcard_races(run.trace) == []
+        report = certify_deterministic(run.trace)
+        assert report.deterministic and report.wildcard_recvs == 2
+
+    def test_single_source_any_tag_is_deterministic(self):
+        """FIFO non-overtaking: a later send from the same source can
+        never beat an earlier one, so single-source ANY_TAG is safe."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, "a", tag=1)
+                yield ctx.send(1, "b", tag=2)
+            elif ctx.rank == 1:
+                first = yield ctx.recv(0)  # ANY_TAG
+                second = yield ctx.recv(0)
+                return (first, second)
+            return None
+
+        run = traced(2, prog)
+        assert find_wildcard_races(run.trace) == []
+        report = certify_deterministic(run.trace)
+        assert report.deterministic and report.wildcard_recvs == 2
+
+    def test_explicit_recvs_never_race(self):
+        def prog(ctx):
+            right = (ctx.rank + 1) % ctx.nranks
+            left = (ctx.rank - 1) % ctx.nranks
+            yield ctx.send(right, ctx.rank, tag=1)
+            _ = yield ctx.recv(left, tag=1)
+            return None
+
+        run = traced(4, prog)
+        report = certify_deterministic(run.trace)
+        assert report.wildcard_recvs == 0 and report.deterministic
+
+
+class TestApplicationCertification:
+    """The paper's three parallel programs are interleaving-independent."""
+
+    def test_wavelet_spmd_deterministic(self):
+        image = np.random.default_rng(0).normal(size=(128, 128))
+        bank = filter_bank_for_length(8)
+        decomp = StripeDecomposition(128, 128, 8, 1)
+        run = Engine(paragon(8), record_trace=True).run(
+            striped_wavelet_program, image, bank, 1, decomp
+        )
+        report = certify_deterministic(run.trace)
+        assert report.wildcard_recvs == 0 and report.deterministic
+
+    def test_nbody_manager_worker_deterministic(self):
+        particles = plummer_sphere(96, dim=2, seed=0)
+        run = Engine(paragon(4, protocol="nx"), record_trace=True).run(
+            manager_worker_program, particles, 1
+        )
+        report = certify_deterministic(run.trace)
+        assert report.wildcard_recvs == 0 and report.deterministic
+
+    def test_pic_deterministic(self):
+        particles = uniform_cube(256, thermal_speed=0.05, seed=0)
+        run = Engine(paragon(4, protocol="nx"), record_trace=True).run(
+            pic_program, Grid3D(8), particles, 1, collect=False
+        )
+        report = certify_deterministic(run.trace)
+        assert report.wildcard_recvs == 0 and report.deterministic
+
+    def test_accepts_prebuilt_graph(self):
+        image = np.random.default_rng(0).normal(size=(64, 64))
+        bank = filter_bank_for_length(2)
+        decomp = StripeDecomposition(64, 64, 4, 1)
+        run = Engine(paragon(4), record_trace=True).run(
+            striped_wavelet_program, image, bank, 1, decomp
+        )
+        graph = HappensBeforeGraph(run.trace)
+        assert certify_deterministic(graph).deterministic
+        assert find_wildcard_races(graph) == []
