@@ -35,6 +35,52 @@ class CommunicationError(SimulationError):
     """A message-passing call was used incorrectly (bad rank, tag, size)."""
 
 
+class RecvTimeoutError(CommunicationError, TimeoutError):
+    """A ``ctx.recv(..., timeout_s=...)`` expired before a matching message
+    arrived.  Thrown *into* the rank program at the blocked ``yield`` so it
+    can recover (retransmit, fall back, abort) instead of deadlocking."""
+
+    def __init__(self, rank: int, src: int, tag: int, timeout_s: float, at_s: float) -> None:
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.timeout_s = timeout_s
+        self.at_s = at_s
+        super().__init__(
+            f"rank {rank}: recv(src={src}, tag={tag}) timed out after "
+            f"{timeout_s:g}s at virtual t={at_s:.6f}s"
+        )
+
+
+class TransportError(CommunicationError):
+    """The reliable transport exhausted its retransmission budget without
+    getting a message (or its acknowledgement) through."""
+
+
+class RankCrashError(SimulationError):
+    """A rank hit its fault-plan crash time (fail-stop model).
+
+    The whole run aborts at the crash instant; the error carries what a
+    recovery driver needs: which rank died, when, and the newest *globally
+    committed* checkpoint (the largest index every rank had written to
+    stable storage before the crash).
+    """
+
+    def __init__(self, rank: int, at_s: float, checkpoint_index: int = -1,
+                 checkpoint_states: list | None = None) -> None:
+        self.rank = rank
+        self.at_s = at_s
+        self.checkpoint_index = checkpoint_index
+        self.checkpoint_states = checkpoint_states
+        where = (
+            f"no committed checkpoint" if checkpoint_index < 0
+            else f"committed checkpoint #{checkpoint_index}"
+        )
+        super().__init__(
+            f"rank {rank} crashed at virtual t={at_s:.6f}s ({where})"
+        )
+
+
 class DecompositionError(ReproError, ValueError):
     """A domain decomposition cannot be constructed for the given shape."""
 

@@ -39,6 +39,16 @@ from repro.machines.engine import (
     RunResult,
     payload_nbytes,
 )
+from repro.machines.faults import (
+    CorruptedPayload,
+    FaultConfig,
+    FaultPlan,
+    MessageFate,
+    RecoveryOutcome,
+    reliable_recv,
+    reliable_send,
+    run_with_recovery,
+)
 from repro.machines.microbench import (
     AlphaBeta,
     bisection_exchange,
@@ -71,6 +81,14 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "payload_nbytes",
+    "FaultPlan",
+    "FaultConfig",
+    "MessageFate",
+    "CorruptedPayload",
+    "reliable_send",
+    "reliable_recv",
+    "run_with_recovery",
+    "RecoveryOutcome",
     "CpuModel",
     "Topology",
     "Mesh2D",

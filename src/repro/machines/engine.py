@@ -43,7 +43,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import CommunicationError, ConfigurationError, DeadlockError, SimulationError
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+    RankCrashError,
+    RecvTimeoutError,
+    SimulationError,
+    TransportError,
+)
 from repro.machines.cpu import CpuModel
 from repro.machines.network import ContentionNetwork
 from repro.wavelet.cost import OpCount
@@ -51,6 +59,7 @@ from repro.wavelet.cost import OpCount
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CorruptedPayload",
     "Machine",
     "RankContext",
     "Engine",
@@ -64,6 +73,20 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """What arrives in place of a payload mangled on the wire (raw fault
+    mode, ``FaultConfig(reliable=False)``).
+
+    The content is gone but the wire size is preserved so timing stays
+    honest; receivers (e.g. the reliable transport in
+    :mod:`repro.machines.faults.transport`) detect corruption with an
+    ``isinstance`` check, the moral equivalent of a failed checksum.
+    """
+
+    nbytes: int
+
+
 def payload_nbytes(payload) -> int:
     """Estimate the wire size of a payload.
 
@@ -73,6 +96,8 @@ def payload_nbytes(payload) -> int:
     """
     if payload is None:
         return 0
+    if isinstance(payload, CorruptedPayload):
+        return payload.nbytes
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if isinstance(payload, (bool, int, float, complex, np.generic)):
@@ -120,6 +145,7 @@ class _SendOp:
 class _RecvOp:
     src: int
     tag: int
+    timeout_s: float = None
 
 
 @dataclass(frozen=True)
@@ -150,6 +176,11 @@ class _MemoryOp:
 class _ElapseOp:
     seconds: float
     kind: str
+
+
+@dataclass(frozen=True)
+class _CheckpointOp:
+    state: object
 
 
 class Machine:
@@ -243,7 +274,15 @@ class RankContext:
         self.machine = machine
 
     def send(self, dst: int, payload, *, tag: int = 0, nbytes: int | None = None):
-        """Post a message to ``dst``.  Yield the returned op."""
+        """Post a message to ``dst``.  Yield the returned op.
+
+        Self-sends (``dst == self.rank``) are supported: the payload is
+        buffered through the local-memory channel (charged at the
+        network's ``local_bytes_per_s``) and matched by a later ``recv``
+        from this rank, exactly like NX/MPI buffered self-messaging.
+        Because they never touch a wire, self-sends are exempt from fault
+        injection.
+        """
         if not 0 <= dst < self.nranks:
             raise CommunicationError(f"send destination {dst} out of range")
         if tag < 0:
@@ -251,8 +290,18 @@ class RankContext:
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         return _SendOp(dst=dst, payload=payload, tag=tag, nbytes=size)
 
-    def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG):
-        """Receive a message.  ``yield`` evaluates to the payload."""
+    def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG, timeout_s: float = None):
+        """Receive a message.  ``yield`` evaluates to the payload.
+
+        With ``timeout_s`` set, the receive gives up once the rank has
+        blocked that many virtual seconds without a matching message
+        *arriving* in time: a :class:`~repro.errors.RecvTimeoutError`
+        (a ``TimeoutError`` subclass) is thrown into the program at the
+        blocked ``yield`` instead of the run deadlocking, so programs can
+        retransmit or fall back.  A message whose arrival time lands
+        beyond the deadline does not satisfy the receive (it stays queued
+        for a later one).
+        """
         if src != ANY_SOURCE and not 0 <= src < self.nranks:
             raise CommunicationError(f"recv source {src} out of range")
         if tag != ANY_TAG and tag < 0:
@@ -261,7 +310,9 @@ class RankContext:
             raise CommunicationError(
                 f"recv tag must be >= 0 or ANY_TAG, got {tag}"
             )
-        return _RecvOp(src=src, tag=tag)
+        if timeout_s is not None and timeout_s <= 0:
+            raise CommunicationError(f"recv timeout_s must be > 0, got {timeout_s}")
+        return _RecvOp(src=src, tag=tag, timeout_s=timeout_s)
 
     def compute(
         self,
@@ -290,6 +341,19 @@ class RankContext:
     def set_resident_memory(self, nbytes: float):
         """Declare the rank's resident-set size (drives the paging model)."""
         return _MemoryOp(resident_bytes=float(nbytes))
+
+    def checkpoint(self, state):
+        """Write ``state`` to simulated stable storage (survives crashes).
+
+        The engine deep-copies the state at the call boundary and charges
+        the serialization time (``payload_nbytes(state)`` at the
+        machine's copy bandwidth) to the communication budget.  A
+        checkpoint index *commits* once every rank has written it; on a
+        :class:`~repro.errors.RankCrashError` the newest committed
+        index and its per-rank states ride on the exception for the
+        recovery driver (:func:`repro.machines.faults.run_with_recovery`).
+        """
+        return _CheckpointOp(state=state)
 
 
 @dataclass
@@ -374,6 +438,9 @@ class RunResult:
     bytes_sent: int
     contention_s: float
     trace: list = None
+    #: Fault-injection and recovery counters for the run (always present):
+    #: retransmits, dropped, corrupted, duplicates, delayed, checkpoints.
+    fault_stats: dict = None
 
     @property
     def nranks(self) -> int:
@@ -410,7 +477,12 @@ class _RankState:
         "budget",
         "resident",
         "mailbox",
+        "arrive_floor",
         "waiting",
+        "deadline",
+        "timeout_token",
+        "pending_exc",
+        "ckpts",
         "finished",
         "result",
         "pending_value",
@@ -425,7 +497,15 @@ class _RankState:
         self.budget = RankBudget()
         self.resident = 0.0
         self.mailbox: dict = {}
+        # Per-(src, tag) watermark of the newest enqueued arrival time:
+        # delivery is FIFO non-overtaking per channel (a fault-delayed
+        # message holds back its successors, like an in-order transport).
+        self.arrive_floor: dict = {}
         self.waiting = None
+        self.deadline = None  # absolute virtual time the parked recv times out
+        self.timeout_token = 0  # invalidates stale timeout wake-ups
+        self.pending_exc = None  # exception to throw into the generator
+        self.ckpts: list = []  # checkpoint states written by this rank
         self.finished = False
         self.result = None
         self.pending_value = None
@@ -439,13 +519,27 @@ class Engine:
     Pass ``record_trace=True`` to collect a :class:`TraceEvent` list on
     the :class:`RunResult` (compute/send/recv intervals per rank), which
     :func:`repro.perf.format_timeline` renders as an ASCII Gantt chart.
+
+    Pass ``faults`` (a :class:`repro.machines.faults.FaultPlan`) to run
+    the program on an imperfect machine: seeded message drop / duplicate /
+    corruption / delay, per-link transient slowdowns, rank stragglers, and
+    fail-stop rank crashes at virtual times, all perfectly reproducible.
+    With the plan's default ``reliable=True`` transport, lost attempts are
+    retransmitted (exponential backoff charged in virtual time) so program
+    *values* are unaffected — only the schedule and the budgets change.
     """
 
-    def __init__(self, machine: Machine, *, record_trace: bool = False) -> None:
+    def __init__(
+        self, machine: Machine, *, record_trace: bool = False, faults=None
+    ) -> None:
         self.machine = machine
         self.record_trace = record_trace
+        self.faults = faults
+        self.fault_stats: dict = {}
         self._trace: list = []
         self._next_msg_id = 0
+        self._msg_counter = 0
+        self._seq = 0
 
     def _record(self, rank, kind, start, end, peer=-1, nbytes=0, **causal) -> None:
         if self.record_trace:
@@ -479,11 +573,30 @@ class Engine:
         DeadlockError
             If every unfinished rank is blocked in a receive that no
             in-flight or future message can satisfy.
+        RankCrashError
+            If a fault-plan crash fires (fail-stop: the whole run aborts
+            at the crash instant, carrying the newest committed
+            checkpoint for recovery).
         """
         machine = self.machine
         machine.network.reset()
         self._trace = []
         self._next_msg_id = 0
+        self._msg_counter = 0
+        self._seq = 0
+        self.fault_stats = {
+            "retransmits": 0,
+            "dropped": 0,
+            "corrupted": 0,
+            "duplicates": 0,
+            "delayed": 0,
+            "checkpoints": 0,
+        }
+        machine.network.link_slowdown = (
+            self.faults.link_factor
+            if self.faults is not None and self.faults.has_link_slowdowns
+            else None
+        )
         nranks = machine.nranks
         states = []
         for rank in range(nranks):
@@ -495,20 +608,36 @@ class Engine:
                 )
             states.append(_RankState(rank, gen, nranks if self.record_trace else 0))
 
+        # Heap entries are (time, rank, seq, kind).  "run" entries obey the
+        # one-entry-per-rank invariant via in_heap; "timeout" and "crash"
+        # sentinels are extra wake-ups validated at pop time.
         heap: list = []
-        seq = 0
         for st in states:
-            heapq.heappush(heap, (st.clock, st.rank, seq))
-            seq += 1
+            heapq.heappush(heap, (st.clock, st.rank, self._next_seq(), "run"))
         in_heap = [True] * nranks
+        if self.faults is not None:
+            for rank, t_crash in sorted(self.faults.crash_schedule.items()):
+                if 0 <= rank < nranks:
+                    heapq.heappush(heap, (t_crash, rank, self._next_seq(), "crash"))
 
         while heap:
-            _, rank, _ = heapq.heappop(heap)
+            t_pop, rank, seq, kind = heapq.heappop(heap)
             st = states[rank]
+            if kind == "crash":
+                if st.finished:
+                    continue  # crash scheduled past program completion
+                self._raise_crash(rank, max(st.clock, t_pop), states)
+            if kind == "timeout":
+                # Valid only if the rank is still parked on the same
+                # timed receive this sentinel was armed for.
+                if st.waiting is None or seq != st.timeout_token:
+                    continue
+                self._advance(st, states, heap, in_heap, t_pop)
+                continue
             in_heap[rank] = False
             if st.finished:
                 continue
-            self._advance(st, states, heap, in_heap)
+            self._advance(st, states, heap, in_heap, t_pop)
 
         unfinished = {st.rank: st.waiting for st in states if not st.finished}
         if unfinished:
@@ -528,31 +657,66 @@ class Engine:
             bytes_sent=machine.network.bytes_sent,
             contention_s=machine.network.total_contention_s,
             trace=self._trace if self.record_trace else None,
+            fault_stats=self.fault_stats,
         )
 
     # -- scheduling internals ------------------------------------------------
 
+    def _next_seq(self) -> int:
+        """Monotone tie-breaker for heap entries (deterministic, unlike
+        ``id()``)."""
+        self._seq += 1
+        return self._seq
+
     def _push(self, st: _RankState, heap: list, in_heap: list) -> None:
         if not in_heap[st.rank] and not st.finished:
-            heapq.heappush(heap, (st.clock, st.rank, id(st)))
+            heapq.heappush(heap, (st.clock, st.rank, self._next_seq(), "run"))
             in_heap[st.rank] = True
 
-    def _advance(self, st: _RankState, states, heap, in_heap) -> None:
-        """Advance one rank until it blocks, finishes, or completes one op."""
+    def _raise_crash(self, rank: int, at_s: float, states) -> None:
+        """Fail-stop abort: find the newest globally committed checkpoint
+        and raise."""
+        committed = min(len(st.ckpts) for st in states) - 1
+        snapshot = None
+        if committed >= 0:
+            snapshot = [st.ckpts[committed] for st in states]
+        raise RankCrashError(rank, at_s, committed, snapshot)
+
+    def _advance(self, st: _RankState, states, heap, in_heap, now: float = None) -> None:
+        """Advance one rank until it blocks, finishes, or completes one op.
+
+        ``now`` is the virtual time of the heap entry that woke the rank;
+        a parked timed receive uses it to decide whether its deadline has
+        been reached.
+        """
         machine = self.machine
         while True:
             if st.waiting is not None:
                 # Parked on a recv: try to complete it now.
-                matched = self._match(st, st.waiting)
-                if matched is None:
-                    return  # stay parked; a future send will wake us
-                self._complete_recv(st, st.waiting, matched)
-                st.waiting = None
-                # fall through to resume the generator with the payload
+                matched = self._match(st, st.waiting, before=st.deadline)
+                if matched is not None:
+                    self._complete_recv(st, st.waiting, matched)
+                    st.waiting = None
+                    st.deadline = None
+                    st.timeout_token = -1  # disarm any pending timeout sentinel
+                    # fall through to resume the generator with the payload
+                elif (
+                    st.deadline is not None
+                    and now is not None
+                    and now >= st.deadline
+                ):
+                    self._fire_timeout(st)
+                    # fall through to throw into the generator
+                else:
+                    return  # stay parked; a future send or timeout will wake us
 
             try:
-                value, st.pending_value = st.pending_value, None
-                op = st.gen.send(value)
+                if st.pending_exc is not None:
+                    exc, st.pending_exc = st.pending_exc, None
+                    op = st.gen.throw(exc)
+                else:
+                    value, st.pending_value = st.pending_value, None
+                    op = st.gen.send(value)
             except StopIteration as stop:
                 st.finished = True
                 st.result = stop.value
@@ -562,6 +726,8 @@ class Engine:
                 dt = machine.cpu.seconds_for(op.ops, st.resident) / machine.rank_speed[
                     st.rank
                 ]
+                if self.faults is not None:
+                    dt *= self.faults.straggler_factor(st.rank, st.clock)
                 start = st.clock
                 st.clock += dt
                 kind = "redundancy" if op.redundant else "compute"
@@ -584,12 +750,23 @@ class Engine:
                     self._record_local(st, "send", start)
             elif isinstance(op, _MemoryOp):
                 st.resident = op.resident_bytes
+            elif isinstance(op, _CheckpointOp):
+                self._do_checkpoint(st, op)
             elif isinstance(op, _SendOp):
                 self._do_send(st, op, states, heap, in_heap)
             elif isinstance(op, _RecvOp):
-                matched = self._match(st, op)
+                deadline = (
+                    st.clock + op.timeout_s if op.timeout_s is not None else None
+                )
+                matched = self._match(st, op, before=deadline)
                 if matched is None:
                     st.waiting = op
+                    st.deadline = deadline
+                    if deadline is not None:
+                        st.timeout_token = self._next_seq()
+                        heapq.heappush(
+                            heap, (deadline, st.rank, st.timeout_token, "timeout")
+                        )
                     return
                 self._complete_recv(st, op, matched)
             else:
@@ -609,6 +786,47 @@ class Engine:
             st.rank, kind, start, st.clock, lamport=lamport, vclock=vclock
         )
 
+    def _fire_timeout(self, st: _RankState) -> None:
+        """Expire a parked timed receive: charge the blocked time, record
+        the failed wait, and arrange for :class:`RecvTimeoutError` to be
+        thrown into the program."""
+        op = st.waiting
+        start = st.clock
+        st.budget.comm_s += st.deadline - st.clock
+        st.clock = st.deadline
+        if self.record_trace:
+            lamport, vclock = self._stamp(st)
+            self._record(
+                st.rank, "recv", start, st.clock,
+                peer=op.src, nbytes=0, tag=op.tag,
+                wildcard_src=op.src == ANY_SOURCE,
+                wildcard_tag=op.tag == ANY_TAG,
+                lamport=lamport, vclock=vclock,
+            )
+        st.pending_exc = RecvTimeoutError(
+            st.rank, op.src, op.tag, op.timeout_s, st.clock
+        )
+        st.waiting = None
+        st.deadline = None
+        st.timeout_token = -1
+
+    def _do_checkpoint(self, st: _RankState, op: _CheckpointOp) -> None:
+        """Write a rank-local checkpoint to simulated stable storage."""
+        machine = self.machine
+        nbytes = payload_nbytes(op.state)
+        dt = machine.sw_send_overhead_s + nbytes / machine.copy_bytes_per_s
+        start = st.clock
+        st.clock += dt
+        st.budget.comm_s += dt
+        st.ckpts.append(_copy_payload(op.state))
+        self.fault_stats["checkpoints"] += 1
+        if self.record_trace:
+            lamport, vclock = self._stamp(st)
+            self._record(
+                st.rank, "checkpoint", start, st.clock, nbytes=nbytes,
+                lamport=lamport, vclock=vclock,
+            )
+
     def _do_send(self, st: _RankState, op: _SendOp, states, heap, in_heap) -> None:
         machine = self.machine
         overhead = machine.sw_send_overhead_s + op.nbytes / machine.copy_bytes_per_s
@@ -618,7 +836,12 @@ class Engine:
         src_node = machine.placement[st.rank]
         dst_node = machine.placement[op.dst]
         contention_before = machine.network.total_contention_s
-        deliver = machine.network.transfer(src_node, dst_node, op.nbytes, st.clock)
+        if self.faults is None or op.dst == st.rank:
+            # Self-sends never touch a wire, so they are never faulted.
+            deliver = machine.network.transfer(src_node, dst_node, op.nbytes, st.clock)
+            deliveries = [(deliver, op.payload)]
+        else:
+            deliver, deliveries = self._faulty_transfer(st, op, src_node, dst_node)
         meta = None
         if self.record_trace:
             # Contention-free arrival: transfer() books any wait for busy
@@ -640,12 +863,91 @@ class Engine:
             )
         dst = states[op.dst]
         key = (st.rank, op.tag)
-        dst.mailbox.setdefault(key, []).append((deliver, _copy_payload(op.payload), meta))
-        if dst.waiting is not None:
+        queue = dst.mailbox.setdefault(key, [])
+        for arrive, payload in deliveries:
+            # In-order transport: a delayed message holds back later ones
+            # on the same (src, tag) channel (no-op on a fault-free run,
+            # where per-path serialization already makes arrivals monotone).
+            arrive = max(arrive, dst.arrive_floor.get(key, 0.0))
+            dst.arrive_floor[key] = arrive
+            queue.append((arrive, _copy_payload(payload), meta))
+        if dst.waiting is not None and deliveries:
             self._push(dst, heap, in_heap)
 
-    def _match(self, st: _RankState, op: _RecvOp):
-        """Find the earliest-arriving mailbox entry matching a recv."""
+    def _faulty_transfer(self, st: _RankState, op: _SendOp, src_node, dst_node):
+        """Ship one message across the faulty network.
+
+        Returns ``(last_wire_arrival, deliveries)`` where ``deliveries``
+        is the list of ``(arrive_time, payload)`` copies to enqueue at the
+        destination (empty for a raw-mode drop).
+
+        Reliable mode models an ack/retransmit transport: every lost or
+        corrupted attempt is re-sent after an exponentially backed-off
+        timeout (``rto_s * backoff**attempt``), each attempt genuinely
+        occupying the network, until the payload lands intact.  The
+        sender does not block (the transport is asynchronous); the cost
+        shows up as delivery latency and wasted wire traffic.
+        """
+        plan = self.faults
+        cfg = plan.config
+        network = self.machine.network
+        stats = self.fault_stats
+        msg_index = self._msg_counter
+        self._msg_counter += 1
+        if cfg.reliable:
+            inject = st.clock
+            attempt = 0
+            while True:
+                fate = plan.message_fate(msg_index, attempt)
+                deliver = network.transfer(src_node, dst_node, op.nbytes, inject)
+                if fate.duplicate:
+                    # The spurious copy burns bandwidth; the transport's
+                    # sequence numbers discard it at the receiver.
+                    stats["duplicates"] += 1
+                    network.transfer(src_node, dst_node, op.nbytes, inject)
+                if fate.delivered and not fate.corrupt:
+                    if fate.extra_delay_s > 0.0:
+                        stats["delayed"] += 1
+                    deliver += fate.extra_delay_s
+                    return deliver, [(deliver, op.payload)]
+                stats["dropped" if not fate.delivered else "corrupted"] += 1
+                if attempt >= cfg.max_retries:
+                    raise TransportError(
+                        f"rank {st.rank} -> {op.dst} (tag {op.tag}): message "
+                        f"lost {attempt + 1} times; retransmission budget "
+                        f"exhausted"
+                    )
+                # Ack timeout, then retransmit.
+                inject += cfg.rto_s * (cfg.backoff ** attempt)
+                attempt += 1
+                stats["retransmits"] += 1
+        # Raw mode: the program sees the lossy channel as-is.
+        fate = plan.message_fate(msg_index, 0)
+        deliver = network.transfer(src_node, dst_node, op.nbytes, st.clock)
+        if not fate.delivered:
+            stats["dropped"] += 1
+            return deliver, []
+        payload = op.payload
+        if fate.corrupt:
+            stats["corrupted"] += 1
+            payload = CorruptedPayload(op.nbytes)
+        if fate.extra_delay_s > 0.0:
+            stats["delayed"] += 1
+        deliveries = [(deliver + fate.extra_delay_s, payload)]
+        if fate.duplicate:
+            stats["duplicates"] += 1
+            dup = network.transfer(src_node, dst_node, op.nbytes, st.clock)
+            deliveries.append((dup + fate.extra_delay_s, payload))
+        return deliver, deliveries
+
+    def _match(self, st: _RankState, op: _RecvOp, before: float = None):
+        """Find the earliest-arriving mailbox entry matching a recv.
+
+        Ties on arrival time break on the smallest ``(src, tag)`` pair —
+        the ``(arrive, (src, tag))`` lexicographic rule.  With ``before``
+        set (a timed receive's deadline), messages arriving strictly
+        after it cannot satisfy the receive and stay queued.
+        """
         best_key = None
         best_arrive = None
         for (src, tag), queue in st.mailbox.items():
@@ -656,6 +958,8 @@ class Engine:
             if op.tag != ANY_TAG and tag != op.tag:
                 continue
             arrive = queue[0][0]
+            if before is not None and arrive > before:
+                continue
             if (
                 best_arrive is None
                 or arrive < best_arrive

@@ -1,0 +1,52 @@
+"""Deterministic fault injection and recovery for the SPMD engine.
+
+Three layers, from description to survival:
+
+* :mod:`~repro.machines.faults.plan` — :class:`FaultPlan`, a seeded pure
+  -function oracle deciding every fault (message drop/duplicate/corrupt/
+  delay, link slowdowns, stragglers, crash times) with no RNG stream, so
+  runs replay byte-identically.
+* :mod:`~repro.machines.faults.transport` — explicit stop-and-wait
+  ack/retransmit subroutines (:func:`reliable_send` /
+  :func:`reliable_recv`) for programs running over the raw lossy channel
+  (``FaultConfig(reliable=False)``).
+* :mod:`~repro.machines.faults.recovery` — :func:`run_with_recovery`,
+  the checkpoint/restart driver that carries a program through injected
+  fail-stop crashes.
+"""
+
+from repro.machines.faults.plan import (
+    CorruptedPayload,
+    FaultConfig,
+    FaultPlan,
+    MessageFate,
+)
+from repro.machines.faults.recovery import (
+    RecoveryOutcome,
+    payload_equal,
+    run_with_recovery,
+)
+from repro.machines.faults.transport import (
+    ACK_TAG_BASE,
+    DATA_TAG_BASE,
+    TRANSPORT_TAG_SPAN,
+    drain,
+    reliable_recv,
+    reliable_send,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultConfig",
+    "MessageFate",
+    "CorruptedPayload",
+    "reliable_send",
+    "reliable_recv",
+    "drain",
+    "DATA_TAG_BASE",
+    "ACK_TAG_BASE",
+    "TRANSPORT_TAG_SPAN",
+    "run_with_recovery",
+    "RecoveryOutcome",
+    "payload_equal",
+]

@@ -1,0 +1,288 @@
+"""Seeded, virtual-time fault plans for the SPMD engine.
+
+A :class:`FaultPlan` is a *pure function* of ``(seed, config)``: every
+decision — does message #17's second transmission attempt get dropped?
+is rank 3 a straggler at t=0.4s? — is derived by hashing the decision's
+identity together with the seed (a splitmix64-style integer mix, no RNG
+stream and no wall-clock randomness).  Two consequences matter:
+
+* **Replay determinism.**  Re-running the same program with the same plan
+  reproduces byte-identical schedules, traces, and budgets, which is what
+  makes a fault *test suite* (rather than a flaky chaos harness) possible.
+* **Order independence.**  Decisions do not consume a shared stream, so
+  querying them in a different order (e.g. with tracing on vs off) cannot
+  perturb the outcome.
+
+The plan models the failure classes the paper's Paragon/T3D campaign ran
+into on real hardware:
+
+* message **drop**, **duplicate**, **corruption**, and transient **delay**
+  (per transmission attempt, so retransmissions re-roll their fate),
+* per-link transient **slowdowns** (a degraded channel between two nodes
+  over a virtual-time window),
+* per-rank **stragglers** (compute slowdown over a window — the cooling
+  -gradient effect of Section 5.4 taken to pathological extremes),
+* rank **crash at virtual time** (fail-stop; see
+  :mod:`repro.machines.faults.recovery` for the checkpoint/restart side).
+
+Self-sends (``dst == src``) are local memory copies and are never faulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.machines.engine import CorruptedPayload  # noqa: F401  (re-export)
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "MessageFate",
+    "CorruptedPayload",
+]
+
+_MASK = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a high-quality 64-bit bijective mix."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (x ^ (x >> 31)) & _MASK
+
+
+def _hash01(seed: int, *parts: int) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by ``(seed, *parts)``."""
+    h = _mix64(seed & _MASK)
+    for part in parts:
+        h = _mix64(h ^ (part & _MASK))
+    return h / float(1 << 64)
+
+
+# Domain separators so that e.g. the drop draw for message 5 never shares
+# a hash input with the crash draw for rank 5.
+_D_DROP, _D_DUP, _D_CORRUPT, _D_DELAY, _D_DELAY_AMOUNT = 1, 2, 3, 4, 5
+_D_CRASH, _D_CRASH_TIME, _D_STRAGGLER, _D_STRAGGLER_AMT, _D_LINK = 6, 7, 8, 9, 10
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """Outcome of one transmission attempt of one message."""
+
+    delivered: bool = True
+    corrupt: bool = False
+    duplicate: bool = False
+    extra_delay_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Static description of a fault scenario (rates, windows, crashes).
+
+    Rates are per *transmission attempt* probabilities in [0, 1].
+    ``crashes`` maps rank -> virtual crash time; ``stragglers`` and
+    ``link_slowdowns`` are windows ``(t0, t1)`` with a slowdown factor
+    >= 1 applied inside the window.
+
+    ``reliable=True`` (the default) makes the engine model a reliable
+    transport underneath every send: lost or corrupted attempts are
+    detected (ack timeout / checksum) and retransmitted with exponential
+    backoff, all charged in virtual time, so programs always receive
+    intact data — only *when* changes.  ``reliable=False`` exposes the
+    raw lossy channel (drops vanish, duplicates arrive twice, corruption
+    replaces the payload with :class:`CorruptedPayload`) for programs
+    that implement their own protocol, e.g.
+    :func:`repro.machines.faults.transport.reliable_send`.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay_s: float = 0.0
+    crashes: tuple = ()  # ((rank, t_crash_s), ...)
+    stragglers: tuple = ()  # ((rank, factor, t0, t1), ...)
+    link_slowdowns: tuple = ()  # ((node_a, node_b, factor, t0, t1), ...)
+    reliable: bool = True
+    rto_s: float = 200e-6
+    backoff: float = 2.0
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_delay_s < 0.0:
+            raise ConfigurationError("max_delay_s must be >= 0")
+        if self.rto_s <= 0.0 or self.backoff < 1.0 or self.max_retries < 1:
+            raise ConfigurationError("need rto_s > 0, backoff >= 1, max_retries >= 1")
+        for rank, t in self.crashes:
+            if t < 0.0:
+                raise ConfigurationError(f"crash time for rank {rank} must be >= 0")
+        for rank, factor, t0, t1 in self.stragglers:
+            if factor < 1.0 or t1 < t0:
+                raise ConfigurationError(
+                    f"straggler ({rank}, {factor}, {t0}, {t1}) needs factor >= 1, t1 >= t0"
+                )
+        for a, b, factor, t0, t1 in self.link_slowdowns:
+            if factor < 1.0 or t1 < t0:
+                raise ConfigurationError(
+                    f"link slowdown ({a}, {b}, {factor}, {t0}, {t1}) needs factor >= 1, t1 >= t0"
+                )
+
+
+class FaultPlan:
+    """Deterministic fault oracle: ``(seed, config)`` -> every decision.
+
+    The engine consults the plan at each transmission attempt
+    (:meth:`message_fate`), each compute interval (:meth:`straggler_factor`),
+    each network transfer (:meth:`link_factor`), and each scheduling step
+    (:meth:`crash_time`).
+    """
+
+    def __init__(self, seed: int, config: FaultConfig | None = None) -> None:
+        self.seed = int(seed)
+        self.config = config if config is not None else FaultConfig()
+        self._crash_times = dict(self.config.crashes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, config={self.config})"
+
+    # -- message fates ------------------------------------------------------
+
+    def message_fate(self, msg_index: int, attempt: int = 0) -> MessageFate:
+        """Fate of transmission ``attempt`` of the ``msg_index``-th send.
+
+        ``msg_index`` is the engine's monotone per-run send counter; the
+        deterministic scheduler makes the counter itself reproducible, so
+        the (index, attempt) pair uniquely names a transmission.
+        """
+        cfg = self.config
+        dropped = _hash01(self.seed, _D_DROP, msg_index, attempt) < cfg.drop_rate
+        corrupt = (
+            not dropped
+            and _hash01(self.seed, _D_CORRUPT, msg_index, attempt) < cfg.corrupt_rate
+        )
+        duplicate = (
+            not dropped
+            and _hash01(self.seed, _D_DUP, msg_index, attempt) < cfg.duplicate_rate
+        )
+        delay = 0.0
+        if cfg.max_delay_s > 0.0 and (
+            _hash01(self.seed, _D_DELAY, msg_index, attempt) < cfg.delay_rate
+        ):
+            delay = cfg.max_delay_s * _hash01(
+                self.seed, _D_DELAY_AMOUNT, msg_index, attempt
+            )
+        return MessageFate(
+            delivered=not dropped,
+            corrupt=corrupt,
+            duplicate=duplicate,
+            extra_delay_s=delay,
+        )
+
+    # -- rank crashes -------------------------------------------------------
+
+    def crash_time(self, rank: int):
+        """Virtual crash instant for ``rank``, or ``None`` if it survives."""
+        return self._crash_times.get(rank)
+
+    @property
+    def crash_schedule(self) -> dict:
+        """Copy of the rank -> crash-time map."""
+        return dict(self._crash_times)
+
+    def without_crash(self, rank: int) -> "FaultPlan":
+        """A plan with ``rank``'s crash removed (the node was repaired or
+        replaced): what a recovery driver runs the restarted attempt
+        under."""
+        crashes = tuple((r, t) for r, t in self.config.crashes if r != rank)
+        return FaultPlan(self.seed, replace(self.config, crashes=crashes))
+
+    # -- slowdowns ----------------------------------------------------------
+
+    def straggler_factor(self, rank: int, t: float) -> float:
+        """Compute-slowdown factor (>= 1) for ``rank`` at virtual ``t``."""
+        factor = 1.0
+        for r, f, t0, t1 in self.config.stragglers:
+            if r == rank and t0 <= t < t1:
+                factor *= f
+        return factor
+
+    def link_factor(self, node_a: int, node_b: int, t: float) -> float:
+        """Transfer-duration factor (>= 1) for the ``(node_a, node_b)``
+        endpoint pair at virtual ``t`` (undirected)."""
+        factor = 1.0
+        lo, hi = (node_a, node_b) if node_a <= node_b else (node_b, node_a)
+        for a, b, f, t0, t1 in self.config.link_slowdowns:
+            ca, cb = (a, b) if a <= b else (b, a)
+            if (ca, cb) == (lo, hi) and t0 <= t < t1:
+                factor *= f
+        return factor
+
+    @property
+    def has_link_slowdowns(self) -> bool:
+        """Whether the plan degrades any link (skip the hook otherwise)."""
+        return bool(self.config.link_slowdowns)
+
+    # -- scenario generation ------------------------------------------------
+
+    @classmethod
+    def sampled(
+        cls,
+        seed: int,
+        nranks: int,
+        fault_rate: float,
+        *,
+        t_horizon: float = 0.0,
+        crash_prob: float | None = None,
+        max_crashes: int | None = None,
+        reliable: bool = True,
+        rto_s: float = 200e-6,
+    ) -> "FaultPlan":
+        """Sample a whole scenario from ``(seed, nranks, fault_rate)``.
+
+        Message-fault rates scale linearly with ``fault_rate``; each rank
+        independently crashes with probability ``crash_prob`` (default
+        ``min(0.4, fault_rate)``) at a hash-drawn instant inside
+        ``(0.15, 0.85) * t_horizon``; one rank in four at ``fault_rate``
+        odds straggles by up to 3x.  ``t_horizon`` (typically the
+        fault-free elapsed time) gates crashes and slowdown windows —
+        with ``t_horizon=0`` no crash or window faults are generated.
+
+        This is the fuzzing entry point: the sweep over
+        ``(seed, fault_rate)`` pairs in ``tests/test_fault_fuzz.py`` and
+        ``python -m repro faults`` both build their scenarios here.
+        """
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ConfigurationError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        if crash_prob is None:
+            crash_prob = min(0.4, fault_rate)
+        crashes = []
+        stragglers = []
+        if t_horizon > 0.0:
+            for rank in range(nranks):
+                if _hash01(seed, _D_CRASH, rank) < crash_prob:
+                    frac = 0.15 + 0.7 * _hash01(seed, _D_CRASH_TIME, rank)
+                    crashes.append((rank, frac * t_horizon))
+                if _hash01(seed, _D_STRAGGLER, rank) < fault_rate * 0.25:
+                    factor = 1.0 + 2.0 * _hash01(seed, _D_STRAGGLER_AMT, rank)
+                    t0 = 0.1 * t_horizon
+                    stragglers.append((rank, factor, t0, t0 + 0.5 * t_horizon))
+            if max_crashes is not None:
+                crashes = crashes[:max_crashes]
+        config = FaultConfig(
+            drop_rate=0.5 * fault_rate,
+            duplicate_rate=0.2 * fault_rate,
+            corrupt_rate=0.15 * fault_rate,
+            delay_rate=0.5 * fault_rate,
+            max_delay_s=2e-3 * (1.0 + 4.0 * fault_rate),
+            crashes=tuple(crashes),
+            stragglers=tuple(stragglers),
+            reliable=reliable,
+            rto_s=rto_s,
+        )
+        return cls(seed, config)

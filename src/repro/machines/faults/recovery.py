@@ -1,0 +1,130 @@
+"""Checkpoint/restart recovery driver for crash-fault runs.
+
+The engine models crashes fail-stop: when a rank hits its plan's crash
+time the whole run aborts with :class:`~repro.errors.RankCrashError`,
+carrying the newest *globally committed* checkpoint (the largest index
+that every rank had written via ``yield ctx.checkpoint(state)`` before
+the crash — the classic coordinated-checkpoint commit rule).
+
+:func:`run_with_recovery` wraps ``Engine.run`` in the restart loop an
+operator (or batch scheduler) would run: on a crash it "repairs" the
+failed node (drops that rank's crash from the plan — every other injected
+fault stays live), rewinds to the committed checkpoint, and re-runs the
+program with ``restore=<per-rank states>``.  Virtual time lost to the
+aborted attempt is accounted in the outcome so fault sweeps can report
+the true cost of a failure, not just the final run's elapsed time.
+
+Programs opt in by accepting a ``restore`` keyword (a per-rank list of
+the states they checkpointed) and fast-forwarding from it; programs that
+never checkpoint still work — they are simply restarted from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RankCrashError
+from repro.machines.engine import Engine, RunResult
+from repro.machines.faults.plan import FaultPlan
+
+__all__ = ["RecoveryOutcome", "run_with_recovery", "payload_equal"]
+
+
+def payload_equal(a, b) -> bool:
+    """Deep *bitwise* equality over the nested containers rank programs
+    return (arrays compare exact — recovery must reproduce the fault-free
+    result to the last bit, so no tolerance is allowed)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and bool(np.array_equal(a, b))
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(payload_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(payload_equal(x, y) for x, y in zip(a, b))
+    return bool(a == b)
+
+
+@dataclass
+class RecoveryOutcome:
+    """What a recovered (or crash-free) run of a program looked like."""
+
+    #: Result of the final, successful attempt.
+    run: RunResult
+    #: One :class:`RankCrashError` per aborted attempt, in order.
+    crashes: list = field(default_factory=list)
+    #: Total ``Engine.run`` invocations (``len(crashes) + 1``).
+    attempts: int = 1
+    #: Virtual time across *all* attempts: time lost to aborted runs plus
+    #: the final attempt's elapsed time.
+    total_virtual_s: float = 0.0
+    #: The plan the final attempt ran under (crashed ranks repaired).
+    plan: FaultPlan | None = None
+
+    @property
+    def restarts(self) -> int:
+        """Number of checkpoint/restart cycles (0 for a clean run)."""
+        return len(self.crashes)
+
+
+def run_with_recovery(
+    machine,
+    program,
+    *args,
+    faults: FaultPlan | None = None,
+    max_restarts: int = 8,
+    record_trace: bool = False,
+    restore_kwarg: str = "restore",
+    **kwargs,
+) -> RecoveryOutcome:
+    """Run ``program`` to completion through injected crashes.
+
+    Each attempt runs under the current plan; a
+    :class:`~repro.errors.RankCrashError` repairs the crashed rank
+    (``plan.without_crash``), adopts the crash's committed checkpoint (if
+    any) as the next attempt's ``restore``, and retries.  A crash with no
+    newer committed checkpoint keeps the previous restore point, so
+    back-to-back crashes never regress the recovery line.  Raises the
+    final :class:`RankCrashError` if ``max_restarts`` is exhausted.
+
+    Extra positional/keyword arguments are forwarded to ``program``
+    through ``Engine.run``; the restore states are injected under
+    ``restore_kwarg`` only once a committed checkpoint exists, so
+    programs without checkpoint support can still be driven (they
+    restart from the beginning).
+    """
+    if max_restarts < 0:
+        raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
+    plan = faults
+    crashes: list = []
+    lost_s = 0.0
+    restore = None
+    while True:
+        engine = Engine(machine, record_trace=record_trace, faults=plan)
+        call_kwargs = dict(kwargs)
+        if restore is not None:
+            call_kwargs[restore_kwarg] = restore
+        try:
+            run = engine.run(program, *args, **call_kwargs)
+        except RankCrashError as crash:
+            crashes.append(crash)
+            lost_s += crash.at_s
+            if len(crashes) > max_restarts:
+                raise
+            plan = plan.without_crash(crash.rank)
+            if crash.checkpoint_index >= 0:
+                restore = crash.checkpoint_states
+            continue
+        return RecoveryOutcome(
+            run=run,
+            crashes=crashes,
+            attempts=len(crashes) + 1,
+            total_virtual_s=lost_s + run.elapsed_s,
+            plan=plan,
+        )

@@ -213,6 +213,10 @@ class ContentionNetwork:
     per_hop_s: float = 1e-6
     bytes_per_s: float = 40e6
     local_bytes_per_s: float = 400e6
+    #: Optional fault-injection hook installed by the engine for the
+    #: duration of a run: ``(src_node, dst_node, t_start) -> factor >= 1``
+    #: scaling a transfer's duration (transient link degradation).
+    link_slowdown: object = field(default=None, repr=False)
 
     _free_at: dict = field(default_factory=dict, repr=False)
     messages_sent: int = field(default=0, repr=False)
@@ -245,6 +249,8 @@ class ContentionNetwork:
             t_start = max(t_start, self._free_at.get(channel, 0.0))
         self.total_contention_s += t_start - t_inject
         duration = self.latency_s + len(path) * self.per_hop_s + nbytes / self.bytes_per_s
+        if self.link_slowdown is not None:
+            duration *= self.link_slowdown(src, dst, t_start)
         t_end = t_start + duration
         for channel in path:
             self._free_at[channel] = t_end

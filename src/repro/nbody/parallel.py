@@ -138,6 +138,8 @@ def manager_worker_program(
     partition: str = "costzones",
     integrator: str = "euler",
     multipole: str = "monopole",
+    checkpoint_interval: int = 0,
+    restore=None,
 ):
     """Rank program for the manager-worker N-body code.
 
@@ -145,8 +147,20 @@ def manager_worker_program(
     worker-updates-its-particles flow) or ``"leapfrog"`` (kick-drift-kick;
     matches :class:`~repro.nbody.simulation.NBodySimulation` exactly, at
     the price of manager-side kick bookkeeping).
+
+    ``checkpoint_interval > 0`` (euler only) writes a coordinated
+    checkpoint every that-many steps.  The manager's state is the whole
+    simulation (positions, velocities, costs, interaction counts); the
+    workers are stateless between steps — everything they need is
+    re-broadcast — so their checkpoint is just the step counter.
+    ``restore`` is the per-rank state list from a
+    :class:`~repro.errors.RankCrashError`.
     """
     if integrator == "leapfrog":
+        if checkpoint_interval > 0 or restore is not None:
+            raise ConfigurationError(
+                "checkpointing is only supported for the 'euler' integrator"
+            )
         result = yield from _leapfrog_manager_worker(
             ctx,
             particles,
@@ -170,12 +184,28 @@ def manager_worker_program(
     dim = particles.positions.shape[1]
     yield ctx.set_resident_memory(n * _BYTES_PER_BODY if rank == 0 else 0)
 
-    positions = particles.positions.copy() if rank == 0 else None
-    velocities = particles.velocities.copy() if rank == 0 else None
-    costs = np.ones(n)
-    interactions_per_step = []
+    if restore is not None:
+        if rank == 0:
+            start_step, positions, velocities, costs, interactions_per_step = (
+                restore[0]
+            )
+            positions = np.asarray(positions, dtype=np.float64)
+            velocities = np.asarray(velocities, dtype=np.float64)
+            costs = np.asarray(costs, dtype=np.float64)
+            interactions_per_step = list(interactions_per_step)
+        else:
+            (start_step,) = restore[rank]
+            positions = velocities = None
+            costs = np.ones(n)
+            interactions_per_step = []
+    else:
+        start_step = 0
+        positions = particles.positions.copy() if rank == 0 else None
+        velocities = particles.velocities.copy() if rank == 0 else None
+        costs = np.ones(n)
+        interactions_per_step = []
 
-    for _step in range(steps):
+    for _step in range(start_step, steps):
         # Phase 1: sequential tree build at the manager.
         if rank == 0:
             tree = build_tree(
@@ -219,6 +249,14 @@ def manager_worker_program(
             interactions_per_step.append(int(costs.sum()))
         else:
             yield ctx.send(0, (zone, new_pos, new_vel, zone_inter), tag=_TAG_UPDATE)
+
+        if checkpoint_interval > 0 and (_step + 1) % checkpoint_interval == 0:
+            if rank == 0:
+                yield ctx.checkpoint(
+                    (_step + 1, positions, velocities, costs, interactions_per_step)
+                )
+            else:
+                yield ctx.checkpoint((_step + 1,))
 
     if rank == 0:
         return {

@@ -11,6 +11,7 @@ from repro.perf.metrics import ScalingCurve, ScalingPoint, linear_extrapolate
 from repro.perf.report import (
     format_budget,
     format_critical_path,
+    format_fault_sweep,
     format_profile,
     format_speedup_series,
     format_table,
@@ -27,4 +28,5 @@ __all__ = [
     "format_timeline",
     "format_profile",
     "format_critical_path",
+    "format_fault_sweep",
 ]

@@ -17,6 +17,7 @@ __all__ = [
     "format_timeline",
     "format_profile",
     "format_critical_path",
+    "format_fault_sweep",
 ]
 
 
@@ -87,7 +88,13 @@ def format_profile(title: str, values, *, width: int = 64) -> str:
     return f"{title}\n  |{glyphs}|  peak={peak:g}"
 
 
-_TIMELINE_GLYPHS = {"compute": "#", "redundancy": "~", "send": ">", "recv": "<"}
+_TIMELINE_GLYPHS = {
+    "compute": "#",
+    "redundancy": "~",
+    "send": ">",
+    "recv": "<",
+    "checkpoint": "o",
+}
 
 
 def format_timeline(title: str, run: RunResult, *, width: int = 72) -> str:
@@ -113,7 +120,9 @@ def format_timeline(title: str, run: RunResult, *, width: int = 72) -> str:
     lines = [title, f"0 {'-' * (width - 4)} {span:.4g}s"]
     for rank in range(run.nranks):
         lines.append(f"r{rank:<3}|{''.join(rows[rank])}|")
-    lines.append("legend: # work  ~ redundancy  > send  < recv/wait  . idle")
+    lines.append(
+        "legend: # work  ~ redundancy  > send  < recv/wait  o checkpoint  . idle"
+    )
     return "\n".join(lines)
 
 
@@ -134,6 +143,34 @@ def format_critical_path(title: str, analysis) -> str:
         f"comm {analysis.comm_s:.4f}s  wire {analysis.transit_s:.4f}s"
     )
     return "\n".join(lines)
+
+
+def format_fault_sweep(title: str, rows: list) -> str:
+    """Render an overhead-vs-fault-rate sweep.
+
+    ``rows`` is a list of dicts with keys ``rate``, ``elapsed_s`` (the
+    final successful attempt), ``overhead`` (fractional slowdown of the
+    *total* virtual time across all attempts vs the fault-free run),
+    ``retransmits``, ``checkpoints``, ``restarts``, and ``lost_s``
+    (virtual time thrown away by aborted attempts).
+    """
+    table_rows = [
+        [
+            f"{r['rate']:.2f}",
+            f"{r['elapsed_s']:.4f}",
+            f"{r['overhead'] * 100:+.1f}%",
+            str(r["retransmits"]),
+            str(r["checkpoints"]),
+            str(r["restarts"]),
+            f"{r['lost_s']:.4f}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        title,
+        ["fault_rate", "elapsed_s", "overhead", "retransmits", "ckpts", "restarts", "lost_s"],
+        table_rows,
+    )
 
 
 def format_speedup_series(title: str, series: dict) -> str:

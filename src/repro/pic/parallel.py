@@ -78,12 +78,20 @@ def pic_program(
     global_sum: str = "prefix",
     poisson: str = "slab",
     collect: bool = True,
+    checkpoint_interval: int = 0,
+    restore=None,
 ):
     """Rank program for the worker-worker PIC code.
 
     ``collect=False`` skips the final particle gather to rank 0, leaving
     only per-iteration traffic in the communication budget (what the
     paper's per-iteration comm figures measure).
+
+    Every rank owns its particle slice for the whole run, so a
+    coordinated checkpoint (``checkpoint_interval > 0``) is rank-local
+    state: next step, positions, velocities, and the ``dt`` history.
+    ``restore`` is the per-rank state list from a
+    :class:`~repro.errors.RankCrashError`.
     """
     if global_sum not in ("prefix", "gssum"):
         raise ConfigurationError(f"unknown global_sum {global_sum!r}")
@@ -92,17 +100,24 @@ def pic_program(
     nranks = ctx.nranks
     rank = ctx.rank
     share = particle_share(particles.n, nranks, rank)
-    positions = grid.wrap_positions(particles.positions[share].copy())
-    velocities = particles.velocities[share].copy()
     masses = particles.masses[share].copy()
     charges = charge_sign * masses
+    if restore is not None:
+        start_step, positions, velocities, dts = restore[rank]
+        positions = np.asarray(positions, dtype=np.float64)
+        velocities = np.asarray(velocities, dtype=np.float64)
+        dts = list(dts)
+    else:
+        start_step = 0
+        positions = grid.wrap_positions(particles.positions[share].copy())
+        velocities = particles.velocities[share].copy()
+        dts = []
     my_n = positions.shape[0]
 
     grid_bytes = 6 * grid.num_cells * 8  # rho, phi, 3 E components, scratch
     yield ctx.set_resident_memory(my_n * _BYTES_PER_PARTICLE + grid_bytes)
 
-    dts = []
-    for _step in range(steps):
+    for _step in range(start_step, steps):
         # Phase 1: local deposition on a full grid copy.
         rho_local = deposit_cic(grid, positions, charges)
         yield ctx.charge(deposit_cost(my_n))
@@ -141,6 +156,9 @@ def pic_program(
         )
         yield ctx.charge(push_cost(my_n))
         dts.append(dt)
+
+        if checkpoint_interval > 0 and (_step + 1) % checkpoint_interval == 0:
+            yield ctx.checkpoint((_step + 1, positions, velocities, dts))
 
     if not collect:
         return {"pieces": [(positions, velocities)], "dts": dts} if rank == 0 else None

@@ -65,33 +65,48 @@ def striped_wavelet_program(
     *,
     distribute: bool = True,
     collect: bool = True,
+    checkpoint_interval: int = 0,
+    restore=None,
 ):
     """Rank program: striped decomposition with snake-friendly neighbor
     guard exchange.  Rank 0 returns the per-rank piece dictionary needed
-    for assembly (all ranks return their local pieces)."""
+    for assembly (all ranks return their local pieces).
+
+    ``checkpoint_interval > 0`` writes a coordinated checkpoint every
+    that-many levels (state: next level, running approximation, detail
+    pieces so far); ``restore`` is the per-rank state list carried by a
+    :class:`~repro.errors.RankCrashError` — resuming skips the initial
+    distribution and fast-forwards to the checkpointed level.
+    """
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
 
-    # --- initial distribution (rank 0 owns the image) ----------------------
-    if distribute and nranks > 1:
-        if rank == 0:
-            for dst in range(1, nranks):
-                r0, r1 = decomp.row_range(dst)
-                yield ctx.send(dst, image[r0:r1], tag=_TAG_DISTRIBUTE)
-            r0, r1 = decomp.row_range(0)
-            current = np.array(image[r0:r1], dtype=np.float64)
-        else:
-            received = yield ctx.recv(0, tag=_TAG_DISTRIBUTE)
-            current = np.asarray(received, dtype=np.float64)
+    if restore is not None:
+        start_level, current, saved_details = restore[rank]
+        current = np.asarray(current, dtype=np.float64)
+        local_details = [tuple(np.asarray(a) for a in d) for d in saved_details]
     else:
-        r0, r1 = decomp.row_range(rank)
-        current = np.array(image[r0:r1], dtype=np.float64)
+        start_level = 0
+        # --- initial distribution (rank 0 owns the image) ------------------
+        if distribute and nranks > 1:
+            if rank == 0:
+                for dst in range(1, nranks):
+                    r0, r1 = decomp.row_range(dst)
+                    yield ctx.send(dst, image[r0:r1], tag=_TAG_DISTRIBUTE)
+                r0, r1 = decomp.row_range(0)
+                current = np.array(image[r0:r1], dtype=np.float64)
+            else:
+                received = yield ctx.recv(0, tag=_TAG_DISTRIBUTE)
+                current = np.asarray(received, dtype=np.float64)
+        else:
+            r0, r1 = decomp.row_range(rank)
+            current = np.array(image[r0:r1], dtype=np.float64)
+        local_details = []
 
     north = decomp.north_neighbor(rank)
     south = decomp.south_neighbor(rank)
-    local_details = []
 
-    for _level in range(levels):
+    for _level in range(start_level, levels):
         rows, cols = current.shape
         if rows < m and nranks > 1:
             raise DecompositionError(
@@ -127,6 +142,9 @@ def striped_wavelet_program(
 
         local_details.append((lh, hl, hh))
         current = ll
+
+        if checkpoint_interval > 0 and (_level + 1) % checkpoint_interval == 0:
+            yield ctx.checkpoint((_level + 1, current, local_details))
 
     pieces = {"approx": current, "details": local_details}
     if collect and nranks > 1:

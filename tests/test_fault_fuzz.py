@@ -1,0 +1,172 @@
+"""Schedule/fault fuzzing harness: the certification suite for the fault
+-injection subsystem.
+
+For every app (striped wavelet, manager-worker N-body, worker-worker PIC)
+and a grid of ``(seed, fault_rate)`` scenarios sampled through
+``FaultPlan.sampled`` — message drops/duplicates/corruption/delays,
+stragglers, and fail-stop crashes recovered via checkpoint/restart — the
+harness asserts the three guarantees the subsystem makes:
+
+1. **Value transparency**: the recovered run's results are *bitwise*
+   identical to the fault-free reference (faults move time, never data).
+2. **Replay determinism**: re-running the same scenario reproduces
+   byte-identical traces, budgets, and fault statistics.
+3. **Causal cleanliness**: the race detector certifies the recovered
+   schedule as interleaving-independent.
+
+Scenarios are seeded, so this is a regression suite, not a flaky chaos
+monkey; the grid covers ~50 scenarios per app.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import RankCrashError
+from repro.machines import Engine, paragon
+from repro.machines.causality import certify_deterministic
+from repro.machines.faults import FaultPlan, payload_equal, run_with_recovery
+
+SEEDS = range(10)
+RATES = [0.0, 0.05, 0.12, 0.25, 0.4]
+NRANKS = 4
+CHECKPOINT_INTERVAL = 1
+
+
+def _machine():
+    return paragon(NRANKS, protocol="nx")
+
+
+def _wavelet_app():
+    from repro.data import landsat_like_scene
+    from repro.wavelet import filter_bank_for_length
+    from repro.wavelet.parallel.decomposition import StripeDecomposition
+    from repro.wavelet.parallel.spmd import striped_wavelet_program
+
+    image = landsat_like_scene((64, 64))
+    bank = filter_bank_for_length(4)
+    decomp = StripeDecomposition(64, 64, NRANKS, 2)
+    return striped_wavelet_program, (image, bank, 2, decomp), {}
+
+
+def _nbody_app():
+    from repro.data import plummer_sphere
+    from repro.nbody.parallel import manager_worker_program
+
+    particles = plummer_sphere(48, dim=2, seed=0)
+    return manager_worker_program, (particles, 2), {}
+
+
+def _pic_app():
+    from repro.data import uniform_cube
+    from repro.pic import Grid3D
+    from repro.pic.parallel import pic_program
+
+    particles = uniform_cube(96, thermal_speed=0.05, seed=0)
+    return pic_program, (Grid3D(8), particles, 2), {"collect": False}
+
+
+_APPS = {"wavelet": _wavelet_app, "nbody": _nbody_app, "pic": _pic_app}
+_cache: dict = {}
+
+
+def _app(name):
+    """(program, args, kwargs, fault-free reference RunResult), cached."""
+    if name not in _cache:
+        program, args, kwargs = _APPS[name]()
+        # The reference checkpoints at the same cadence as the fuzzed runs
+        # so elapsed-time comparisons are apples-to-apples.
+        kwargs = dict(kwargs, checkpoint_interval=CHECKPOINT_INTERVAL)
+        reference = Engine(_machine()).run(program, *args, **kwargs)
+        _cache[name] = (program, args, kwargs, reference)
+    return _cache[name]
+
+
+def _recover(name, seed, rate, *, record_trace=False):
+    program, args, kwargs, reference = _app(name)
+    plan = FaultPlan.sampled(seed, NRANKS, rate, t_horizon=reference.elapsed_s)
+    outcome = run_with_recovery(
+        _machine(),
+        program,
+        *args,
+        faults=plan,
+        record_trace=record_trace,
+        **kwargs,
+    )
+    return reference, plan, outcome
+
+
+@pytest.mark.parametrize("app", sorted(_APPS))
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzzed_runs_reproduce_fault_free_results(app, seed, rate):
+    reference, plan, outcome = _recover(app, seed, rate)
+    assert payload_equal(outcome.run.results, reference.results), (
+        f"{app} seed={seed} rate={rate}: recovered results diverged"
+    )
+    # Every injected crash was either survived-by-restart or never reached
+    # (the rank finished before its crash instant).
+    assert outcome.restarts <= len(plan.crash_schedule)
+    if rate == 0.0:
+        assert outcome.restarts == 0
+        assert outcome.run.elapsed_s == reference.elapsed_s
+        assert outcome.run.fault_stats["retransmits"] == 0
+    elif outcome.restarts == 0:
+        # Without a restart the run covers the same work as the reference.
+        # Faults add time *almost* monotonically — a perturbed schedule can
+        # shave a sliver off network contention — so allow a 1% tolerance.
+        assert outcome.run.elapsed_s >= reference.elapsed_s * 0.99
+    # A restarted final attempt resumes from a mid-run checkpoint and can
+    # legitimately be shorter than the reference; the aborted attempts'
+    # time is carried in total_virtual_s instead.
+    assert outcome.total_virtual_s >= outcome.run.elapsed_s
+
+
+@pytest.mark.parametrize("app", sorted(_APPS))
+@pytest.mark.parametrize("seed,rate", [(0, 0.12), (1, 0.4), (2, 0.25)])
+def test_fuzzed_scenarios_replay_byte_identically(app, seed, rate):
+    def snapshot():
+        _reference, _plan, outcome = _recover(app, seed, rate, record_trace=True)
+        run = outcome.run
+        return pickle.dumps(
+            (
+                run.elapsed_s,
+                run.results,
+                run.budgets,
+                run.finish_times,
+                run.fault_stats,
+                run.trace,
+                outcome.restarts,
+                [(c.rank, c.at_s, c.checkpoint_index) for c in outcome.crashes],
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    assert snapshot() == snapshot()
+
+
+@pytest.mark.parametrize("app", sorted(_APPS))
+@pytest.mark.parametrize("seed,rate", [(0, 0.4), (3, 0.25), (7, 0.4)])
+def test_recovered_runs_certify_race_free(app, seed, rate):
+    _reference, _plan, outcome = _recover(app, seed, rate, record_trace=True)
+    report = certify_deterministic(outcome.run.trace)
+    assert report.deterministic, [race.describe() for race in report.races]
+
+
+@pytest.mark.parametrize("app", sorted(_APPS))
+def test_crashes_without_restart_budget_propagate(app):
+    """A scenario with a crash must fail loudly when recovery is off."""
+    program, args, kwargs, reference = _app(app)
+    for seed in SEEDS:
+        plan = FaultPlan.sampled(seed, NRANKS, 0.4, t_horizon=reference.elapsed_s)
+        crashed = {
+            rank: t
+            for rank, t in plan.crash_schedule.items()
+            if t < reference.elapsed_s
+        }
+        if not crashed:
+            continue
+        with pytest.raises(RankCrashError):
+            Engine(_machine(), faults=plan).run(program, *args, **kwargs)
+        return
+    pytest.fail("no sampled scenario crashed below the horizon")

@@ -1,0 +1,511 @@
+"""Unit tests for the fault-injection subsystem: plans, engine semantics
+(timeouts, self-sends, reliable transport), the stop-and-wait program
+protocol, and the checkpoint/restart recovery driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    RankCrashError,
+    RecvTimeoutError,
+    TransportError,
+)
+from repro.machines import Engine, paragon, workstation
+from repro.machines.faults import (
+    CorruptedPayload,
+    FaultConfig,
+    FaultPlan,
+    MessageFate,
+    payload_equal,
+    reliable_recv,
+    reliable_send,
+    run_with_recovery,
+)
+from repro.machines.faults.transport import drain
+
+
+def machine4():
+    return paragon(4, protocol="nx")
+
+
+# --------------------------------------------------------------------------
+# FaultConfig / FaultPlan
+# --------------------------------------------------------------------------
+
+
+class TestFaultConfig:
+    @pytest.mark.parametrize("field", ["drop_rate", "duplicate_rate", "corrupt_rate", "delay_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_validated(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: bad})
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(max_delay_s=-1e-3)
+
+    def test_retransmit_params_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(rto_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(max_retries=0)
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(crashes=((0, -1.0),))
+        with pytest.raises(ConfigurationError):
+            FaultConfig(stragglers=((0, 0.5, 0.0, 1.0),))  # factor < 1
+        with pytest.raises(ConfigurationError):
+            FaultConfig(stragglers=((0, 2.0, 1.0, 0.5),))  # t1 < t0
+        with pytest.raises(ConfigurationError):
+            FaultConfig(link_slowdowns=((0, 1, 0.9, 0.0, 1.0),))
+
+
+class TestFaultPlan:
+    def test_fate_is_deterministic(self):
+        plan = FaultPlan(7, FaultConfig(drop_rate=0.3, duplicate_rate=0.2, corrupt_rate=0.1))
+        fates = [plan.message_fate(i, a) for i in range(50) for a in range(3)]
+        again = [plan.message_fate(i, a) for i in range(50) for a in range(3)]
+        assert fates == again
+
+    def test_attempts_reroll_fate(self):
+        plan = FaultPlan(3, FaultConfig(drop_rate=0.5))
+        fates = {plan.message_fate(11, a).delivered for a in range(32)}
+        assert fates == {True, False}  # some attempt survives, some doesn't
+
+    def test_rates_empirically_honoured(self):
+        plan = FaultPlan(123, FaultConfig(drop_rate=0.35))
+        dropped = sum(not plan.message_fate(i).delivered for i in range(4000))
+        assert 0.30 < dropped / 4000 < 0.40
+
+    def test_zero_config_is_faultless(self):
+        plan = FaultPlan(9)
+        assert plan.message_fate(0) == MessageFate()
+        assert plan.crash_time(0) is None
+        assert plan.straggler_factor(2, 0.5) == 1.0
+        assert plan.link_factor(0, 1, 0.5) == 1.0
+        assert not plan.has_link_slowdowns
+
+    def test_without_crash_removes_only_that_rank(self):
+        plan = FaultPlan(1, FaultConfig(crashes=((0, 0.5), (2, 0.7))))
+        repaired = plan.without_crash(0)
+        assert repaired.crash_time(0) is None
+        assert repaired.crash_time(2) == 0.7
+        assert plan.crash_time(0) == 0.5  # original untouched
+
+    def test_straggler_and_link_windows(self):
+        cfg = FaultConfig(
+            stragglers=((1, 3.0, 0.2, 0.6),),
+            link_slowdowns=((0, 2, 2.0, 0.1, 0.4),),
+        )
+        plan = FaultPlan(0, cfg)
+        assert plan.straggler_factor(1, 0.3) == 3.0
+        assert plan.straggler_factor(1, 0.7) == 1.0
+        assert plan.straggler_factor(0, 0.3) == 1.0
+        assert plan.link_factor(2, 0, 0.2) == 2.0  # undirected
+        assert plan.link_factor(0, 2, 0.5) == 1.0
+
+    def test_sampled_scales_with_rate(self):
+        calm = FaultPlan.sampled(0, 8, 0.0, t_horizon=1.0)
+        wild = FaultPlan.sampled(0, 8, 0.4, t_horizon=1.0)
+        assert calm.config.drop_rate == 0.0
+        assert not calm.crash_schedule
+        assert wild.config.drop_rate == pytest.approx(0.2)
+        for _rank, t in wild.crash_schedule.items():
+            assert 0.15 <= t <= 0.85
+
+    def test_sampled_without_horizon_has_no_crashes(self):
+        plan = FaultPlan.sampled(0, 8, 0.4)
+        assert not plan.crash_schedule
+        assert not plan.config.stragglers
+
+    def test_sampled_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.sampled(0, 8, 1.5)
+
+
+# --------------------------------------------------------------------------
+# Recv timeouts
+# --------------------------------------------------------------------------
+
+
+class TestRecvTimeout:
+    def test_timeout_fires_instead_of_deadlock(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield ctx.recv(1, tag=5, timeout_s=0.01)
+                except RecvTimeoutError as exc:
+                    return ("timed out", exc.rank, exc.src, exc.tag, exc.timeout_s)
+                return "received"
+            return None
+
+        run = Engine(paragon(2, protocol="nx")).run(prog)
+        assert run.results[0] == ("timed out", 0, 1, 5, 0.01)
+        assert run.elapsed_s >= 0.01
+
+    def test_timeout_is_a_timeouterror_and_communicationerror(self):
+        assert issubclass(RecvTimeoutError, TimeoutError)
+        assert issubclass(RecvTimeoutError, CommunicationError)
+
+    def test_message_in_time_beats_timeout(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, 42)
+                return None
+            value = yield ctx.recv(0, timeout_s=10.0)
+            return value
+
+        run = Engine(paragon(2, protocol="nx")).run(prog)
+        assert run.results[1] == 42
+
+    def test_late_message_stays_queued_for_next_recv(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.compute(flops=5e7)  # send lands after the deadline
+                yield ctx.send(1, "late")
+                return None
+            outcomes = []
+            try:
+                yield ctx.recv(0, timeout_s=1e-5)
+                outcomes.append("in time")
+            except RecvTimeoutError:
+                outcomes.append("timeout")
+            value = yield ctx.recv(0)  # untimed recv picks the message up
+            outcomes.append(value)
+            return outcomes
+
+        run = Engine(paragon(2, protocol="nx")).run(prog)
+        assert run.results[1] == ["timeout", "late"]
+
+    def test_nonpositive_timeout_rejected(self):
+        def prog(ctx):
+            yield ctx.recv(timeout_s=0.0)
+
+        with pytest.raises(CommunicationError):
+            Engine(workstation()).run(prog)
+
+
+# --------------------------------------------------------------------------
+# Self-sends (pinned semantics: local channel, value copy, never faulted)
+# --------------------------------------------------------------------------
+
+
+class TestSelfSend:
+    def test_self_send_round_trip(self):
+        def prog(ctx):
+            yield ctx.send(ctx.rank, np.arange(3.0), tag=7)
+            data = yield ctx.recv(ctx.rank, tag=7)
+            return float(data.sum())
+
+        run = Engine(workstation()).run(prog)
+        assert run.results[0] == 3.0
+
+    def test_self_send_copies_payload(self):
+        def prog(ctx):
+            data = np.zeros(4)
+            yield ctx.send(ctx.rank, data)
+            data[:] = 99.0
+            received = yield ctx.recv(ctx.rank)
+            return float(received.sum())
+
+        run = Engine(workstation()).run(prog)
+        assert run.results[0] == 0.0
+
+    def test_self_sends_are_fifo(self):
+        def prog(ctx):
+            yield ctx.send(ctx.rank, "first")
+            yield ctx.send(ctx.rank, "second")
+            a = yield ctx.recv(ctx.rank)
+            b = yield ctx.recv(ctx.rank)
+            return [a, b]
+
+        run = Engine(workstation()).run(prog)
+        assert run.results[0] == ["first", "second"]
+
+    def test_self_sends_exempt_from_faults(self):
+        # Raw channel dropping/corrupting every wire message: a self-send
+        # still arrives intact because it never touches the wire.
+        plan = FaultPlan(0, FaultConfig(drop_rate=1.0, corrupt_rate=1.0, reliable=False))
+
+        def prog(ctx):
+            yield ctx.send(ctx.rank, "precious")
+            value = yield ctx.recv(ctx.rank)
+            return value
+
+        run = Engine(workstation(), faults=plan).run(prog)
+        assert run.results[0] == "precious"
+        assert run.fault_stats["dropped"] == 0
+
+
+# --------------------------------------------------------------------------
+# Engine-level reliable transport + raw mode
+# --------------------------------------------------------------------------
+
+
+def _ring_program(ctx):
+    right = (ctx.rank + 1) % ctx.nranks
+    left = (ctx.rank - 1) % ctx.nranks
+    total = float(ctx.rank)
+    token = np.full(8, float(ctx.rank))
+    for _ in range(ctx.nranks - 1):
+        yield ctx.compute(flops=1e6)
+        yield ctx.send(right, token)
+        token = yield ctx.recv(left)
+        total += float(token[0])
+    return total
+
+
+class TestEngineReliableTransport:
+    def test_lossy_run_matches_fault_free_values(self):
+        reference = Engine(machine4()).run(_ring_program)
+        plan = FaultPlan(5, FaultConfig(drop_rate=0.4, duplicate_rate=0.2, corrupt_rate=0.2))
+        lossy = Engine(machine4(), faults=plan).run(_ring_program)
+        assert lossy.results == reference.results
+        assert lossy.fault_stats["retransmits"] > 0
+        assert lossy.elapsed_s > reference.elapsed_s
+
+    def test_duplicates_charged_but_invisible(self):
+        plan = FaultPlan(2, FaultConfig(duplicate_rate=0.9))
+        run = Engine(machine4(), faults=plan).run(_ring_program)
+        assert run.results == Engine(machine4()).run(_ring_program).results
+        assert run.fault_stats["duplicates"] > 0
+
+    def test_retry_exhaustion_raises_transport_error(self):
+        # An always-dropping channel defeats even the reliable transport.
+        plan = FaultPlan(0, FaultConfig(drop_rate=1.0, max_retries=3))
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, "doomed")
+                return None
+            value = yield ctx.recv(0, timeout_s=5.0)
+            return value
+
+        with pytest.raises(TransportError):
+            Engine(paragon(2, protocol="nx"), faults=plan).run(prog)
+
+    def test_raw_mode_drops_are_real(self):
+        plan = FaultPlan(0, FaultConfig(drop_rate=1.0, reliable=False))
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, "vanishes")
+                return None
+            try:
+                yield ctx.recv(0, timeout_s=0.01)
+            except RecvTimeoutError:
+                return "nothing arrived"
+            return "arrived"
+
+        run = Engine(paragon(2, protocol="nx"), faults=plan).run(prog)
+        assert run.results[1] == "nothing arrived"
+        assert run.fault_stats["dropped"] == 1
+
+    def test_raw_mode_corruption_delivers_sentinel(self):
+        plan = FaultPlan(0, FaultConfig(corrupt_rate=1.0, reliable=False))
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.send(1, np.arange(16.0))
+                return None
+            value = yield ctx.recv(0)
+            return value
+
+        run = Engine(paragon(2, protocol="nx"), faults=plan).run(prog)
+        sentinel = run.results[1]
+        assert isinstance(sentinel, CorruptedPayload)
+        assert sentinel.nbytes == 128
+
+    def test_straggler_slows_elapsed(self):
+        baseline = Engine(machine4()).run(_ring_program)
+        plan = FaultPlan(
+            0, FaultConfig(stragglers=((1, 10.0, 0.0, baseline.elapsed_s * 10),))
+        )
+        slow = Engine(machine4(), faults=plan).run(_ring_program)
+        assert slow.results == baseline.results
+        assert slow.elapsed_s > baseline.elapsed_s
+
+    def test_link_slowdown_slows_elapsed(self):
+        baseline = Engine(machine4()).run(_ring_program)
+        plan = FaultPlan(
+            0,
+            FaultConfig(link_slowdowns=((0, 1, 50.0, 0.0, baseline.elapsed_s * 10),)),
+        )
+        slow = Engine(machine4(), faults=plan).run(_ring_program)
+        assert slow.results == baseline.results
+        assert slow.elapsed_s > baseline.elapsed_s
+
+
+# --------------------------------------------------------------------------
+# Program-level stop-and-wait protocol over the raw channel
+# --------------------------------------------------------------------------
+
+
+def _stream_program(ctx, values):
+    if ctx.rank == 0:
+        for v in values:
+            yield from reliable_send(ctx, 1, v)
+        return None
+    got = []
+    for _ in values:
+        payload = yield from reliable_recv(ctx, 0)
+        got.append(payload)
+    # Two-generals tail: keep re-acking retransmissions of the final
+    # message until the sender has gone quiet.
+    yield from drain(ctx, 0, quiet_s=1.0)
+    return got
+
+
+class TestStopAndWaitTransport:
+    def test_round_trip_on_clean_channel(self):
+        run = Engine(paragon(2, protocol="nx")).run(_stream_program, list(range(5)))
+        assert run.results[1] == list(range(5))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_stream_survives_hostile_channel(self, seed):
+        cfg = FaultConfig(
+            drop_rate=0.35, duplicate_rate=0.25, corrupt_rate=0.2, reliable=False
+        )
+        run = Engine(paragon(2, protocol="nx"), faults=FaultPlan(seed, cfg)).run(
+            _stream_program, ["alpha", "beta", {"k": 3}, (1, 2.5)]
+        )
+        assert run.results[1] == ["alpha", "beta", {"k": 3}, (1, 2.5)]
+
+    def test_sender_gives_up_deterministically(self):
+        cfg = FaultConfig(drop_rate=1.0, reliable=False)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield from reliable_send(ctx, 1, "x", max_retries=4)
+                except TransportError:
+                    return "gave up"
+                return "delivered"
+            try:
+                yield from reliable_recv(ctx, 0, timeout_s=5.0)
+            except RecvTimeoutError:
+                return "starved"
+            return "fed"
+
+        run = Engine(paragon(2, protocol="nx"), faults=FaultPlan(0, cfg)).run(prog)
+        assert run.results == ["gave up", "starved"]
+
+    def test_any_source_rejected(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from reliable_recv(ctx, -1)
+            yield ctx.compute(flops=1.0)
+
+        with pytest.raises(CommunicationError):
+            Engine(paragon(2, protocol="nx")).run(prog)
+
+    def test_out_of_range_tag_rejected(self):
+        def prog(ctx):
+            yield from reliable_send(ctx, 0, "x", tag=10**9)
+
+        with pytest.raises(CommunicationError):
+            Engine(workstation()).run(prog)
+
+
+# --------------------------------------------------------------------------
+# Checkpoint/restart recovery
+# --------------------------------------------------------------------------
+
+
+def _counting_program(ctx, steps, checkpoint_interval=0, restore=None):
+    if restore is not None:
+        start, acc = restore[ctx.rank]
+    else:
+        start, acc = 0, 0.0
+    right = (ctx.rank + 1) % ctx.nranks
+    left = (ctx.rank - 1) % ctx.nranks
+    for step in range(start, steps):
+        yield ctx.compute(flops=1e6)
+        yield ctx.send(right, float(ctx.rank + step))
+        value = yield ctx.recv(left)
+        acc += value
+        if checkpoint_interval and (step + 1) % checkpoint_interval == 0:
+            yield ctx.checkpoint((step + 1, acc))
+    return acc
+
+
+class TestRecovery:
+    def test_crash_aborts_with_committed_checkpoint(self):
+        reference = Engine(machine4()).run(_counting_program, 6, 2)
+        plan = FaultPlan(0, FaultConfig(crashes=((2, reference.elapsed_s * 0.6),)))
+        with pytest.raises(RankCrashError) as info:
+            Engine(machine4(), faults=plan).run(_counting_program, 6, 2)
+        crash = info.value
+        assert crash.rank == 2
+        assert crash.checkpoint_index >= 0
+        assert len(crash.checkpoint_states) == 4
+        step, _acc = crash.checkpoint_states[0]
+        assert step == 2 * (crash.checkpoint_index + 1)
+
+    def test_recovery_reproduces_fault_free_results(self):
+        reference = Engine(machine4()).run(_counting_program, 6, 2)
+        plan = FaultPlan(0, FaultConfig(crashes=((2, reference.elapsed_s * 0.6),)))
+        outcome = run_with_recovery(
+            machine4(), _counting_program, 6, 2, faults=plan
+        )
+        assert outcome.run.results == reference.results
+        assert outcome.restarts == 1
+        assert outcome.attempts == 2
+        assert outcome.total_virtual_s > outcome.run.elapsed_s
+        assert outcome.plan.crash_time(2) is None
+
+    def test_recovery_without_checkpoints_restarts_from_scratch(self):
+        reference = Engine(machine4()).run(_counting_program, 4)
+        plan = FaultPlan(0, FaultConfig(crashes=((1, reference.elapsed_s * 0.5),)))
+        outcome = run_with_recovery(machine4(), _counting_program, 4, faults=plan)
+        assert outcome.run.results == reference.results
+        assert outcome.restarts == 1
+        assert outcome.run.fault_stats["checkpoints"] == 0
+
+    def test_restart_budget_exhaustion_reraises(self):
+        reference = Engine(machine4()).run(_counting_program, 4)
+        plan = FaultPlan(0, FaultConfig(crashes=((1, reference.elapsed_s * 0.5),)))
+        with pytest.raises(RankCrashError):
+            run_with_recovery(
+                machine4(), _counting_program, 4, faults=plan, max_restarts=0
+            )
+
+    def test_multiple_crashes_each_repaired(self):
+        reference = Engine(machine4()).run(_counting_program, 6, 2)
+        t = reference.elapsed_s
+        plan = FaultPlan(0, FaultConfig(crashes=((1, t * 0.3), (3, t * 0.7))))
+        outcome = run_with_recovery(machine4(), _counting_program, 6, 2, faults=plan)
+        assert outcome.run.results == reference.results
+        assert outcome.restarts == 2
+        assert sorted(c.rank for c in outcome.crashes) == [1, 3]
+
+    def test_negative_restart_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_with_recovery(machine4(), _counting_program, 2, max_restarts=-1)
+
+
+class TestPayloadEqual:
+    def test_arrays_bitwise(self):
+        a = np.arange(4.0)
+        assert payload_equal(a, a.copy())
+        assert not payload_equal(a, a + 1e-16)
+        assert not payload_equal(a, a.astype(np.float32))
+        assert not payload_equal(a, a.reshape(2, 2))
+        assert not payload_equal(a, list(a))
+
+    def test_nested_containers(self):
+        x = {"a": [np.zeros(2), (1, 2.5)], "b": None}
+        y = {"a": [np.zeros(2), (1, 2.5)], "b": None}
+        assert payload_equal(x, y)
+        y["a"][1] = (1, 2.6)
+        assert not payload_equal(x, y)
+
+    def test_scalars_and_lengths(self):
+        assert payload_equal(3, 3.0)
+        assert not payload_equal([1, 2], [1, 2, 3])
+        assert not payload_equal({"a": 1}, {"b": 1})
