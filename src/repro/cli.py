@@ -23,6 +23,10 @@ writing code:
     stragglers, and crashes with checkpoint/restart recovery, verify the
     recovered output against the fault-free reference, and report the
     overhead-vs-fault-rate table.
+``bench``
+    Wall-clock kernel benchmark: time the sequential decomposition under
+    every registered kernel (conv/lifting/fused), cross-check the numerics
+    against the conv reference, and write ``BENCH_wavelet.json``.
 """
 
 from __future__ import annotations
@@ -124,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--max-restarts", type=int, default=8,
         help="restart budget per scenario before giving up",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock kernel benchmark (conv vs lifting vs fused)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized case subset (256^2 only, fewer repeats)",
+    )
+    bench.add_argument("--warmup", type=int, default=1, help="untimed iterations per pair")
+    bench.add_argument("--repeats", type=int, default=5, help="timed iterations per pair")
+    bench.add_argument(
+        "--trim", type=int, default=1,
+        help="extremes dropped from each end before averaging",
+    )
+    bench.add_argument("--seed", type=int, default=2024, help="input image RNG seed")
+    bench.add_argument(
+        "--out", default="BENCH_wavelet.json",
+        help="output JSON path (default BENCH_wavelet.json)",
     )
     return parser
 
@@ -483,6 +506,45 @@ def _cmd_faults(args) -> int:
     return 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf import format_table
+    from repro.perf.bench import default_cases, quick_cases, run_bench, write_bench_json
+
+    cases = quick_cases() if args.quick else default_cases()
+    repeats = min(args.repeats, 3) if args.quick else args.repeats
+    doc = run_bench(
+        cases,
+        warmup=args.warmup,
+        repeats=repeats,
+        trim=args.trim,
+        seed=args.seed,
+    )
+
+    rows = []
+    for row in doc["results"]:
+        rows.append(
+            [
+                f"{row['size']}x{row['size']}",
+                f"F{row['filter_length']}/L{row['levels']}",
+                row["kernel"],
+                f"{row['ns_per_op'] / 1e6:.3f}",
+                f"{row['speedup_vs_conv']:.2f}x",
+                f"{row['max_abs_vs_conv']:.1e}",
+                f"{row['round_trip_error']:.1e}",
+            ]
+        )
+    print(
+        format_table(
+            "kernel benchmark (trimmed-mean wall clock)",
+            ["image", "case", "kernel", "ms/op", "speedup", "vs_conv", "round_trip"],
+            rows,
+        )
+    )
+    write_bench_json(args.out, doc)
+    print(f"wrote {len(doc['results'])} results to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "wavelet": _cmd_wavelet,
     "nbody": _cmd_nbody,
@@ -491,6 +553,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "bench": _cmd_bench,
 }
 
 

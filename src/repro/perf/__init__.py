@@ -3,10 +3,20 @@ methodology of Appendix B Section 3).
 
 The per-rank budget itself is collected by the engine
 (:class:`repro.machines.engine.RankBudget`); this package adds speedup /
-efficiency curves, the uniprocessor extrapolation device, and plain-text
-rendering of the paper's tables and figures.
+efficiency curves, the uniprocessor extrapolation device, plain-text
+rendering of the paper's tables and figures, and the wall-clock kernel
+benchmark harness (:mod:`repro.perf.bench`).
 """
 
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    default_cases,
+    quick_cases,
+    run_bench,
+    validate_bench_document,
+    write_bench_json,
+)
 from repro.perf.metrics import ScalingCurve, ScalingPoint, linear_extrapolate
 from repro.perf.report import (
     format_budget,
@@ -29,4 +39,11 @@ __all__ = [
     "format_profile",
     "format_critical_path",
     "format_fault_sweep",
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "default_cases",
+    "quick_cases",
+    "run_bench",
+    "validate_bench_document",
+    "write_bench_json",
 ]

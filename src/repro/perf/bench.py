@@ -1,0 +1,280 @@
+"""Wall-clock kernel benchmark harness (``python -m repro bench``).
+
+Times the sequential 2-D decomposition under each registered kernel
+(``conv``/``lifting``/``fused``) over a grid of image sizes, filter
+lengths, and levels, with warmup iterations and a trimmed mean over
+repeats.  Every timed case also records numeric cross-checks — max-abs
+deviation of the subbands from the ``conv`` reference and the round-trip
+reconstruction error — so a speedup can never silently come from a wrong
+answer.
+
+The output document (``BENCH_wavelet.json``) is versioned under the
+``repro.bench.wavelet/v1`` schema and checked by
+:func:`validate_bench_document`, which the CI smoke job and the tier-1
+suite both run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "default_cases",
+    "quick_cases",
+    "run_bench",
+    "validate_bench_document",
+    "write_bench_json",
+]
+
+BENCH_SCHEMA = "repro.bench.wavelet/v1"
+
+# Numeric acceptance budgets: kernels must agree with conv to 1e-9 on the
+# subbands and invert to 1e-10 (float64; the documented tolerances).
+MAX_ABS_BUDGET = 1e-9
+ROUND_TRIP_BUDGET = 1e-10
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (image size, filter, depth) benchmark configuration."""
+
+    size: int
+    filter_length: int
+    levels: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable case tag (``512x512 F4/L3``)."""
+        return f"{self.size}x{self.size} F{self.filter_length}/L{self.levels}"
+
+
+def default_cases() -> list:
+    """The full sweep: 256..1024 squared, Haar/D4/D8, 1-4 levels.
+
+    Includes the acceptance case ``512x512 F4/L3``.
+    """
+    cases = []
+    for size, level_choices in ((256, (1, 4)), (512, (1, 3)), (1024, (1, 2))):
+        for filter_length in (2, 4, 8):
+            for levels in level_choices:
+                cases.append(BenchCase(size, filter_length, levels))
+    return cases
+
+
+def quick_cases() -> list:
+    """A CI-sized subset (seconds, not minutes), still covering every
+    filter length and the acceptance filter/depth combination."""
+    return [
+        BenchCase(256, 2, 1),
+        BenchCase(256, 4, 3),
+        BenchCase(256, 8, 2),
+    ]
+
+
+def _trimmed_mean_ns(samples: list, trim: int) -> float:
+    ordered = sorted(samples)
+    if trim > 0 and len(ordered) > 2 * trim:
+        ordered = ordered[trim : len(ordered) - trim]
+    return float(sum(ordered)) / len(ordered)
+
+
+def run_bench(
+    cases=None,
+    kernels=None,
+    *,
+    warmup: int = 1,
+    repeats: int = 5,
+    trim: int = 1,
+    seed: int = 2024,
+) -> dict:
+    """Time every (case, kernel) pair and return the schema-versioned
+    benchmark document.
+
+    Parameters
+    ----------
+    cases:
+        Iterable of :class:`BenchCase` (default :func:`default_cases`).
+    kernels:
+        Kernel names to sweep (default: all of
+        :data:`repro.wavelet.KERNEL_NAMES`, conv first).
+    warmup / repeats / trim:
+        Untimed warmup iterations per pair, timed repeats, and how many
+        extremes to drop from each end before averaging.
+    seed:
+        RNG seed for the synthetic input images.
+    """
+    from repro.wavelet import (
+        KERNEL_NAMES,
+        filter_bank_for_length,
+        mallat_decompose_2d,
+        mallat_reconstruct_2d,
+    )
+
+    if cases is None:
+        cases = default_cases()
+    if kernels is None:
+        kernels = list(KERNEL_NAMES)
+    if "conv" not in kernels:
+        raise ConfigurationError("bench requires the 'conv' reference kernel")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+
+    rng = np.random.RandomState(seed)
+    results = []
+    for case in cases:
+        image = rng.standard_normal((case.size, case.size))
+        bank = filter_bank_for_length(case.filter_length)
+        reference = mallat_decompose_2d(image, bank, case.levels)
+        ref_bands = [reference.approximation] + [
+            band for t in reference.details for band in (t.lh, t.hl, t.hh)
+        ]
+        conv_ns = None
+        for kernel in kernels:
+            for _ in range(warmup):
+                mallat_decompose_2d(image, bank, case.levels, kernel=kernel)
+            samples = []
+            pyramid = None
+            for _ in range(repeats):
+                t0 = time.perf_counter_ns()
+                pyramid = mallat_decompose_2d(image, bank, case.levels, kernel=kernel)
+                samples.append(time.perf_counter_ns() - t0)
+            ns_per_op = _trimmed_mean_ns(samples, trim)
+            if kernel == "conv":
+                conv_ns = ns_per_op
+
+            bands = [pyramid.approximation] + [
+                band for t in pyramid.details for band in (t.lh, t.hl, t.hh)
+            ]
+            max_abs = max(
+                float(np.abs(got - ref).max())
+                for got, ref in zip(bands, ref_bands)
+            )
+            rec = mallat_reconstruct_2d(pyramid, bank, kernel=kernel)
+            round_trip = float(np.abs(rec - image).max())
+            results.append(
+                {
+                    "size": case.size,
+                    "filter_length": case.filter_length,
+                    "levels": case.levels,
+                    "kernel": kernel,
+                    "ns_per_op": ns_per_op,
+                    "speedup_vs_conv": conv_ns / ns_per_op,
+                    "max_abs_vs_conv": max_abs,
+                    "round_trip_error": round_trip,
+                    "checksum": float(np.abs(pyramid.approximation).sum()),
+                }
+            )
+
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "warmup": warmup,
+            "repeats": repeats,
+            "trim": trim,
+            "seed": seed,
+            "kernels": list(kernels),
+        },
+        "results": results,
+    }
+    validate_bench_document(doc)
+    return doc
+
+
+_RESULT_FIELDS = {
+    "size": int,
+    "filter_length": int,
+    "levels": int,
+    "kernel": str,
+    "ns_per_op": float,
+    "speedup_vs_conv": float,
+    "max_abs_vs_conv": float,
+    "round_trip_error": float,
+    "checksum": float,
+}
+
+
+def validate_bench_document(doc) -> None:
+    """Structural + numeric sanity check of a benchmark document.
+
+    Raises :class:`~repro.errors.ConfigurationError` on any violation:
+    wrong schema tag, missing/extra result fields, unknown kernels,
+    non-positive timings, missing conv reference rows, or numeric
+    cross-checks outside the documented budgets.
+    """
+    from repro.wavelet import KERNEL_NAMES
+
+    if not isinstance(doc, dict):
+        raise ConfigurationError(f"bench document must be a dict, got {type(doc)}")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ConfigurationError(
+            f"unknown bench schema {doc.get('schema')!r}; expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("config"), dict):
+        raise ConfigurationError("bench document is missing its 'config' dict")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise ConfigurationError("bench document has no results")
+
+    conv_cases = set()
+    all_cases = set()
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            raise ConfigurationError(f"result {i} is not a dict")
+        if set(row) != set(_RESULT_FIELDS):
+            raise ConfigurationError(
+                f"result {i} fields {sorted(row)} != {sorted(_RESULT_FIELDS)}"
+            )
+        for field, kind in _RESULT_FIELDS.items():
+            value = row[field]
+            if kind is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, kind) and not isinstance(value, bool)
+            if not ok:
+                raise ConfigurationError(
+                    f"result {i} field {field!r} has {type(value).__name__}, "
+                    f"expected {kind.__name__}"
+                )
+        if row["kernel"] not in KERNEL_NAMES:
+            raise ConfigurationError(f"result {i} has unknown kernel {row['kernel']!r}")
+        if row["ns_per_op"] <= 0 or row["speedup_vs_conv"] <= 0:
+            raise ConfigurationError(f"result {i} has a non-positive timing")
+        if row["max_abs_vs_conv"] > MAX_ABS_BUDGET:
+            raise ConfigurationError(
+                f"result {i} ({row['kernel']}) deviates from conv by "
+                f"{row['max_abs_vs_conv']:.3e} > {MAX_ABS_BUDGET:.0e}"
+            )
+        if row["round_trip_error"] > ROUND_TRIP_BUDGET:
+            raise ConfigurationError(
+                f"result {i} ({row['kernel']}) round-trip error "
+                f"{row['round_trip_error']:.3e} > {ROUND_TRIP_BUDGET:.0e}"
+            )
+        key = (row["size"], row["filter_length"], row["levels"])
+        all_cases.add(key)
+        if row["kernel"] == "conv":
+            conv_cases.add(key)
+            if abs(row["speedup_vs_conv"] - 1.0) > 1e-12:
+                raise ConfigurationError(
+                    f"result {i}: conv speedup_vs_conv must be 1.0"
+                )
+    missing = all_cases - conv_cases
+    if missing:
+        raise ConfigurationError(
+            f"cases {sorted(missing)} lack a conv reference row"
+        )
+
+
+def write_bench_json(path: str, doc: dict) -> None:
+    """Validate and write a benchmark document as pretty-printed JSON."""
+    validate_bench_document(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

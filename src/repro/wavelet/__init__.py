@@ -32,7 +32,26 @@ from repro.wavelet.cost import (
     dwt_level_cost,
     dwt_total_cost,
     filter_pass_cost,
+    lifting_level_cost,
+    lifting_pass_cost,
     synthesis_pass_cost,
+)
+from repro.wavelet.kernels import (
+    KERNEL_NAMES,
+    ConvKernel,
+    FusedKernel,
+    LiftingKernel,
+    WaveletKernel,
+    get_kernel,
+)
+from repro.wavelet.lifting import (
+    LiftingScheme,
+    LiftingStep,
+    lifting_analyze_axis,
+    lifting_analyze_axis_valid,
+    lifting_scheme,
+    lifting_synthesize_axis,
+    lifting_synthesize_axis_valid,
 )
 from repro.wavelet.filters import (
     SUPPORTED_LENGTHS,
@@ -113,4 +132,19 @@ __all__ = [
     "dwt_level_cost",
     "dwt_total_cost",
     "synthesis_pass_cost",
+    "lifting_pass_cost",
+    "lifting_level_cost",
+    "KERNEL_NAMES",
+    "WaveletKernel",
+    "ConvKernel",
+    "LiftingKernel",
+    "FusedKernel",
+    "get_kernel",
+    "LiftingScheme",
+    "LiftingStep",
+    "lifting_scheme",
+    "lifting_analyze_axis",
+    "lifting_synthesize_axis",
+    "lifting_analyze_axis_valid",
+    "lifting_synthesize_axis_valid",
 ]

@@ -12,7 +12,11 @@ Two primitives cover both directions of the transform:
   (the reconstruction mirror, Figure 2 of the paper).
 
 Both are vectorized over every other axis: the filter loop runs only over
-the (2-8) taps, so the inner work is pure NumPy slicing.
+the (2-8) taps, so the inner work is pure NumPy slicing.  All periodized
+loops use a single periodic extension of the input and strided windows
+into it — never per-tap ``np.roll``, which would allocate a fresh
+full-size array per tap.  The windowed sums visit the same addends in the
+same order as the rolled formulation, so results are bit-identical.
 """
 
 from __future__ import annotations
@@ -31,6 +35,15 @@ __all__ = [
 ]
 
 
+def _as_f64(arr) -> np.ndarray:
+    """Return ``arr`` as float64 without re-dispatching through
+    ``np.asarray`` when it already is one (the pyramid calls these
+    primitives once per level on arrays that are float64 after level 0)."""
+    if type(arr) is np.ndarray and arr.dtype == np.float64:
+        return arr
+    return np.asarray(arr, dtype=np.float64)
+
+
 def _validate_axis_length(n: int, taps: int) -> None:
     if n % 2 != 0:
         raise ConfigurationError(f"axis length must be even for decimation, got {n}")
@@ -41,7 +54,25 @@ def _validate_axis_length(n: int, taps: int) -> None:
         )
 
 
-def analyze_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
+def _prepare_out(out, axis: int, shape: tuple) -> np.ndarray:
+    """Validate a preallocated output buffer and return it as a zeroed
+    view with the work axis last (accumulation happens in place, so the
+    caller's buffer receives the result)."""
+    if type(out) is not np.ndarray or out.dtype != np.float64:
+        raise ConfigurationError("out= must be a float64 ndarray")
+    moved = np.moveaxis(out, axis, -1)
+    if moved.shape != shape:
+        raise ConfigurationError(
+            f"out= has shape {out.shape}, which does not match the result "
+            f"(expected {shape} with the work axis moved last)"
+        )
+    moved[...] = 0.0
+    return moved
+
+
+def analyze_axis(
+    data: np.ndarray, taps: np.ndarray, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Periodized correlation with ``taps`` followed by decimation by 2.
 
     Computes ``out[n] = sum_k taps[k] * data[(2n + k) mod N]`` along the
@@ -55,9 +86,12 @@ def analyze_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
         1-D filter coefficients.
     axis:
         Axis to filter and decimate.
+    out:
+        Optional preallocated float64 buffer of the result shape; reused
+        as the accumulator (scratch reuse across pyramid levels).
     """
-    taps = np.asarray(taps, dtype=np.float64)
-    data = np.asarray(data, dtype=np.float64)
+    taps = _as_f64(taps)
+    data = _as_f64(data)
     moved = np.moveaxis(data, axis, -1)
     n = moved.shape[-1]
     m = taps.size
@@ -65,10 +99,14 @@ def analyze_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
 
     # Extend periodically by m-1 samples so windows never wrap mid-slice.
     extended = np.concatenate([moved, moved[..., : m - 1]], axis=-1)
-    out = np.zeros(moved.shape[:-1] + (n // 2,), dtype=np.float64)
+    result_shape = moved.shape[:-1] + (n // 2,)
+    if out is None:
+        acc = np.zeros(result_shape, dtype=np.float64)
+    else:
+        acc = _prepare_out(out, axis, result_shape)
     for k in range(m):
-        out += taps[k] * extended[..., k : k + n : 2]
-    return np.moveaxis(out, -1, axis)
+        acc += taps[k] * extended[..., k : k + n : 2]
+    return np.moveaxis(acc, -1, axis) if out is None else out
 
 
 def analyze_axis_valid(
@@ -83,8 +121,8 @@ def analyze_axis_valid(
     neighbor) would, so stitching the per-rank outputs reproduces the
     sequential periodized transform bit-for-bit.
     """
-    taps = np.asarray(taps, dtype=np.float64)
-    data = np.asarray(data, dtype=np.float64)
+    taps = _as_f64(taps)
+    data = _as_f64(data)
     moved = np.moveaxis(data, axis, -1)
     n = moved.shape[-1]
     m = taps.size
@@ -102,7 +140,9 @@ def analyze_axis_valid(
     return np.moveaxis(out, -1, axis)
 
 
-def synthesize_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
+def synthesize_axis(
+    data: np.ndarray, taps: np.ndarray, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Upsample by 2 then periodically convolve with ``taps`` (adjoint of
     :func:`analyze_axis`).
 
@@ -110,8 +150,8 @@ def synthesize_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray
     axis, doubling it.  Summing the low- and high-channel syntheses of an
     orthonormal bank reconstructs the original signal exactly.
     """
-    taps = np.asarray(taps, dtype=np.float64)
-    data = np.asarray(data, dtype=np.float64)
+    taps = _as_f64(taps)
+    data = _as_f64(data)
     moved = np.moveaxis(data, axis, -1)
     half = moved.shape[-1]
     n = half * 2
@@ -120,10 +160,20 @@ def synthesize_axis(data: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray
 
     upsampled = np.zeros(moved.shape[:-1] + (n,), dtype=np.float64)
     upsampled[..., ::2] = moved
-    out = np.zeros_like(upsampled)
+    # Window k of the extension equals roll(upsampled, k): extend the
+    # front by the m-1 tail samples, then slide backwards from there.
+    if m > 1:
+        extended = np.concatenate([upsampled[..., n - (m - 1) :], upsampled], axis=-1)
+    else:
+        extended = upsampled
+    if out is None:
+        acc = np.zeros(moved.shape[:-1] + (n,), dtype=np.float64)
+    else:
+        acc = _prepare_out(out, axis, moved.shape[:-1] + (n,))
     for k in range(m):
-        out += taps[k] * np.roll(upsampled, k, axis=-1)
-    return np.moveaxis(out, -1, axis)
+        start = m - 1 - k
+        acc += taps[k] * extended[..., start : start + n]
+    return np.moveaxis(acc, -1, axis) if out is None else out
 
 
 def synthesize_axis_valid(
@@ -146,8 +196,8 @@ def synthesize_axis_valid(
     Requires ``lead >= (len(taps) - 1) // 2`` and enough trailing samples
     (``out_len <= 2 * (data_len - lead)``).
     """
-    taps = np.asarray(taps, dtype=np.float64)
-    data = np.asarray(data, dtype=np.float64)
+    taps = _as_f64(taps)
+    data = _as_f64(data)
     moved = np.moveaxis(data, axis, -1)
     length = moved.shape[-1]
     m = taps.size
@@ -180,31 +230,42 @@ def periodic_correlate(data: np.ndarray, taps: np.ndarray, axis: int = -1) -> np
     systolic algorithm, which filters at full rate and decimates as a
     separate routing step.
     """
-    taps = np.asarray(taps, dtype=np.float64)
-    data = np.asarray(data, dtype=np.float64)
+    taps = _as_f64(taps)
+    data = _as_f64(data)
     moved = np.moveaxis(data, axis, -1)
     n = moved.shape[-1]
-    if n < taps.size:
+    m = taps.size
+    if n < m:
         raise ConfigurationError(
-            f"axis length {n} is shorter than the filter ({taps.size} taps)"
+            f"axis length {n} is shorter than the filter ({m} taps)"
         )
+    if m > 1:
+        extended = np.concatenate([moved, moved[..., : m - 1]], axis=-1)
+    else:
+        extended = moved
     out = np.zeros_like(moved)
-    for k in range(taps.size):
-        out += taps[k] * np.roll(moved, -k, axis=-1)
+    for k in range(m):
+        out += taps[k] * extended[..., k : k + n]
     return np.moveaxis(out, -1, axis)
 
 
 def periodic_convolve(data: np.ndarray, taps: np.ndarray, axis: int = -1) -> np.ndarray:
     """Full-rate periodized convolution ``out[n] = sum_k taps[k] * data[(n - k) mod N]``."""
-    taps = np.asarray(taps, dtype=np.float64)
-    data = np.asarray(data, dtype=np.float64)
+    taps = _as_f64(taps)
+    data = _as_f64(data)
     moved = np.moveaxis(data, axis, -1)
     n = moved.shape[-1]
-    if n < taps.size:
+    m = taps.size
+    if n < m:
         raise ConfigurationError(
-            f"axis length {n} is shorter than the filter ({taps.size} taps)"
+            f"axis length {n} is shorter than the filter ({m} taps)"
         )
+    if m > 1:
+        extended = np.concatenate([moved[..., n - (m - 1) :], moved], axis=-1)
+    else:
+        extended = moved
     out = np.zeros_like(moved)
-    for k in range(taps.size):
-        out += taps[k] * np.roll(moved, k, axis=-1)
+    for k in range(m):
+        start = m - 1 - k
+        out += taps[k] * extended[..., start : start + n]
     return np.moveaxis(out, -1, axis)

@@ -26,6 +26,8 @@ __all__ = [
     "dwt_total_cost",
     "filter_pass_cost",
     "synthesis_pass_cost",
+    "lifting_pass_cost",
+    "lifting_level_cost",
 ]
 
 
@@ -80,6 +82,54 @@ def synthesis_pass_cost(output_samples: int, filter_length: int) -> OpCount:
     if filter_length < 2:
         raise ConfigurationError(f"filter_length must be >= 2, got {filter_length}")
     return filter_pass_cost(output_samples, (filter_length + 1) // 2)
+
+
+def lifting_pass_cost(output_samples: int, step_taps: tuple) -> OpCount:
+    """Cost of producing ``output_samples`` outputs through a lifting
+    factorization with the given per-step tap counts.
+
+    Lifting works on even/odd lane *pairs*: producing one approximation
+    and one detail sample (analysis), or one even and one odd signal
+    sample (synthesis), costs one multiply-add per step tap plus the two
+    scaling multiplies — ``2 * sum(step_taps) + 2`` flops per pair, versus
+    ``2 * (2m - 1)`` for direct convolution.  ``output_samples`` counts
+    *all* outputs (both subbands / the full synthesized rate), matching
+    how :func:`filter_pass_cost` is charged by the SPMD programs.
+
+    Memory traffic per pair: each step reads its ``t`` source taps and
+    reads+writes its target sample (``t + 2``), and the final scaling
+    reads and writes both lanes (4).  ``step_taps`` comes from
+    :attr:`repro.wavelet.lifting.LiftingScheme.step_taps`; this module
+    deliberately takes the plain tuple so the machine models do not
+    import the lifting code.
+    """
+    if output_samples < 0:
+        raise ConfigurationError(f"output_samples must be >= 0, got {output_samples}")
+    if not step_taps:
+        raise ConfigurationError("step_taps must be a non-empty tuple")
+    if any(t < 1 for t in step_taps):
+        raise ConfigurationError(f"step tap counts must be >= 1, got {step_taps}")
+    total_taps = sum(step_taps)
+    pairs = output_samples / 2
+    flops = pairs * (2 * total_taps + 2)
+    memops = pairs * (total_taps + 2 * len(step_taps) + 4)
+    # Same per-output indexing machinery as the convolution pass.
+    intops = output_samples * 6
+    return OpCount(flops=flops, intops=intops, memops=memops)
+
+
+def lifting_level_cost(rows: int, cols: int, step_taps: tuple) -> OpCount:
+    """Cost of one 2-D decomposition level under the lifting kernels
+    (row pass emits ``rows * cols`` samples across two subbands, column
+    pass ``rows * cols / 2`` across four — the lifting analogue of
+    :func:`dwt_level_cost`)."""
+    if rows % 2 or cols % 2:
+        raise ConfigurationError(
+            f"level input must have even dimensions, got {(rows, cols)}"
+        )
+    row_pass = lifting_pass_cost(2 * rows * (cols // 2), step_taps)
+    col_pass = lifting_pass_cost(4 * (rows // 2) * (cols // 2), step_taps)
+    return row_pass + col_pass
 
 
 def dwt_level_cost(rows: int, cols: int, filter_length: int) -> OpCount:

@@ -41,6 +41,7 @@ def denoise_1d(
     bank: FilterBank | None = None,
     levels: int | None = None,
     threshold: float | None = None,
+    kernel: str = "conv",
 ) -> np.ndarray:
     """Soft-threshold denoising of a 1-D signal.
 
@@ -55,6 +56,9 @@ def denoise_1d(
     threshold:
         Shrinkage amount; defaults to the universal threshold computed
         from the estimated noise level.
+    kernel:
+        Transform kernel (``"conv"``/``"lifting"``/``"fused"``; see
+        :mod:`repro.wavelet.kernels`).
     """
     signal = np.asarray(signal, dtype=np.float64)
     if signal.ndim != 1:
@@ -70,12 +74,12 @@ def denoise_1d(
     if not 1 <= levels <= allowed:
         raise ConfigurationError(f"levels={levels} out of range (max {allowed})")
 
-    approx, details = dwt_1d(signal, bank, levels)
+    approx, details = dwt_1d(signal, bank, levels, kernel=kernel)
     if threshold is None:
         sigma = estimate_noise_sigma(details[0])
         threshold = sigma * np.sqrt(2.0 * np.log(max(2, signal.size)))
     shrunk = [soft_threshold(d, threshold) for d in details]
-    return idwt_1d(approx, shrunk, bank)
+    return idwt_1d(approx, shrunk, bank, kernel=kernel)
 
 
 def denoise_2d(
@@ -84,6 +88,7 @@ def denoise_2d(
     bank: FilterBank | None = None,
     levels: int | None = None,
     threshold: float | None = None,
+    kernel: str = "conv",
 ) -> np.ndarray:
     """Soft-threshold denoising of a 2-D image.
 
@@ -111,7 +116,7 @@ def denoise_2d(
     if not 1 <= levels <= allowed:
         raise ConfigurationError(f"levels={levels} out of range (max {allowed})")
 
-    pyramid = mallat_decompose_2d(image, bank, levels)
+    pyramid = mallat_decompose_2d(image, bank, levels, kernel=kernel)
     if threshold is None:
         sigma = estimate_noise_sigma(pyramid.details[0].hh)
 
@@ -135,4 +140,4 @@ def denoise_2d(
         for t in pyramid.details
     )
     cleaned = WaveletPyramid(pyramid.approximation, shrunk, pyramid.filter_name)
-    return mallat_reconstruct_2d(cleaned, bank)
+    return mallat_reconstruct_2d(cleaned, bank, kernel=kernel)

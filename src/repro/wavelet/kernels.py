@@ -1,0 +1,260 @@
+"""Kernel registry for the Mallat transform hot paths.
+
+Every public transform entry point accepts ``kernel="conv"|"lifting"|"fused"``
+(default ``"conv"``, the seed implementation, byte-for-byte preserved):
+
+* ``"conv"`` — direct periodized correlation/convolution
+  (:mod:`repro.wavelet.conv`), one pass per subband.
+* ``"lifting"`` — the factored scheme of :mod:`repro.wavelet.lifting`:
+  roughly half the multiply-adds, both subbands in one in-place pass over
+  the even/odd lanes.
+* ``"fused"`` — lifting arithmetic with the 2-D row and column passes
+  fused into one strip-blocked sweep: each block of output rows pulls only
+  the input rows it needs (plus the scheme's guard margins), runs the row
+  pass on that strip, and immediately column-transforms it — the full-height
+  L/H intermediate images are never materialized, so the working set stays
+  cache-sized.
+
+Kernels also expose the operation counts their passes charge to the
+simulated machines (:meth:`WaveletKernel.level_cost` etc.), which the
+cost-consistency tests hold equal to what the SPMD programs actually
+charge through ``ctx.charge``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wavelet.cost import (
+    OpCount,
+    filter_pass_cost,
+    lifting_pass_cost,
+    synthesis_pass_cost,
+)
+from repro.wavelet.conv import analyze_axis, synthesize_axis
+from repro.wavelet.filters import FilterBank
+from repro.wavelet.lifting import (
+    LiftingScheme,
+    lifting_analyze_axis,
+    lifting_analyze_axis_valid,
+    lifting_scheme,
+    lifting_synthesize_axis,
+    lifting_synthesize_axis_valid,
+)
+
+__all__ = [
+    "KERNEL_NAMES",
+    "WaveletKernel",
+    "ConvKernel",
+    "LiftingKernel",
+    "FusedKernel",
+    "get_kernel",
+]
+
+KERNEL_NAMES = ("conv", "lifting", "fused")
+
+
+class WaveletKernel:
+    """Interface every transform kernel implements.
+
+    2-D methods consume/produce :class:`repro.wavelet.transform.Subbands2D`;
+    1-D methods run one analysis/synthesis level.  The cost methods report
+    the operation counts one pass charges to the machine models —
+    ``output_samples`` counts every emitted sample (both subbands for
+    analysis, the full doubled rate for synthesis).
+    """
+
+    name = "abstract"
+
+    def forward_step_2d(self, image: np.ndarray, bank: FilterBank):
+        raise NotImplementedError
+
+    def inverse_step_2d(self, subbands, bank: FilterBank) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward_1d(self, signal: np.ndarray, bank: FilterBank):
+        raise NotImplementedError
+
+    def inverse_1d(
+        self, approx: np.ndarray, detail: np.ndarray, bank: FilterBank
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def analysis_pass_cost(self, output_samples: int, bank: FilterBank) -> OpCount:
+        raise NotImplementedError
+
+    def synthesis_pass_cost(self, output_samples: int, bank: FilterBank) -> OpCount:
+        raise NotImplementedError
+
+    def level_cost(self, rows: int, cols: int, bank: FilterBank) -> OpCount:
+        """One 2-D analysis level on an ``rows x cols`` input, split the
+        way the SPMD programs charge it (row pass then column pass)."""
+        if rows % 2 or cols % 2:
+            raise ConfigurationError(
+                f"level input must have even dimensions, got {(rows, cols)}"
+            )
+        row_pass = self.analysis_pass_cost(2 * rows * (cols // 2), bank)
+        col_pass = self.analysis_pass_cost(4 * (rows // 2) * (cols // 2), bank)
+        return row_pass + col_pass
+
+
+class ConvKernel(WaveletKernel):
+    """The seed convolution implementation (the default)."""
+
+    name = "conv"
+
+    def forward_step_2d(self, image, bank):
+        from repro.wavelet.transform import mallat_step_2d
+
+        return mallat_step_2d(image, bank)
+
+    def inverse_step_2d(self, subbands, bank):
+        from repro.wavelet.transform import mallat_inverse_step_2d
+
+        return mallat_inverse_step_2d(subbands, bank)
+
+    def forward_1d(self, signal, bank):
+        detail = analyze_axis(signal, bank.highpass, axis=0)
+        approx = analyze_axis(signal, bank.lowpass, axis=0)
+        return approx, detail
+
+    def inverse_1d(self, approx, detail, bank):
+        return synthesize_axis(approx, bank.lowpass, axis=0) + synthesize_axis(
+            detail, bank.highpass, axis=0
+        )
+
+    def analysis_pass_cost(self, output_samples, bank):
+        return filter_pass_cost(output_samples, bank.length)
+
+    def synthesis_pass_cost(self, output_samples, bank):
+        return synthesis_pass_cost(output_samples, bank.length)
+
+
+class LiftingKernel(WaveletKernel):
+    """Factored lifting passes, separable (row pass then column pass)."""
+
+    name = "lifting"
+
+    def _scheme(self, bank: FilterBank) -> LiftingScheme:
+        return lifting_scheme(bank)
+
+    def forward_step_2d(self, image, bank):
+        from repro.wavelet.transform import Subbands2D
+
+        scheme = self._scheme(bank)
+        low, high = lifting_analyze_axis(image, scheme, axis=1)
+        ll, lh = lifting_analyze_axis(low, scheme, axis=0)
+        hl, hh = lifting_analyze_axis(high, scheme, axis=0)
+        return Subbands2D(ll=ll, lh=lh, hl=hl, hh=hh)
+
+    def inverse_step_2d(self, subbands, bank):
+        scheme = self._scheme(bank)
+        low = lifting_synthesize_axis(subbands.ll, subbands.lh, scheme, axis=0)
+        high = lifting_synthesize_axis(subbands.hl, subbands.hh, scheme, axis=0)
+        return lifting_synthesize_axis(low, high, scheme, axis=1)
+
+    def forward_1d(self, signal, bank):
+        return lifting_analyze_axis(signal, self._scheme(bank), axis=0)
+
+    def inverse_1d(self, approx, detail, bank):
+        return lifting_synthesize_axis(approx, detail, self._scheme(bank), axis=0)
+
+    def analysis_pass_cost(self, output_samples, bank):
+        return lifting_pass_cost(output_samples, self._scheme(bank).step_taps)
+
+    def synthesis_pass_cost(self, output_samples, bank):
+        return lifting_pass_cost(output_samples, self._scheme(bank).step_taps)
+
+
+class FusedKernel(LiftingKernel):
+    """Lifting arithmetic with the 2-D row/column passes strip-fused.
+
+    ``block_rows`` coarse output rows are produced per sweep; the strip's
+    working set is about ``(2 * block_rows + margins) * cols`` doubles.
+    The 1-D paths and per-pass costs are inherited from the lifting kernel
+    — fusion changes traversal order, not arithmetic.
+    """
+
+    name = "fused"
+
+    def __init__(self, block_rows: int = 32) -> None:
+        if block_rows < 1:
+            raise ConfigurationError(f"block_rows must be >= 1, got {block_rows}")
+        self.block_rows = block_rows
+
+    def forward_step_2d(self, image, bank):
+        from repro.wavelet.transform import Subbands2D
+
+        scheme = self._scheme(bank)
+        image = np.asarray(image, dtype=np.float64)
+        rows, cols = image.shape
+        if rows % 2 or cols % 2:
+            raise ConfigurationError(
+                f"image dimensions must be even, got {(rows, cols)}"
+            )
+        if min(rows, cols) < scheme.filter_length:
+            raise ConfigurationError(
+                f"image {rows}x{cols} is smaller than the "
+                f"{scheme.filter_length}-tap filter"
+            )
+        front, back = scheme.analysis_margins
+        back += back % 2  # keep strips an even number of rows
+        half_rows, half_cols = rows // 2, cols // 2
+        ll = np.empty((half_rows, half_cols))
+        lh = np.empty((half_rows, half_cols))
+        hl = np.empty((half_rows, half_cols))
+        hh = np.empty((half_rows, half_cols))
+        for r0 in range(0, half_rows, self.block_rows):
+            r1 = min(half_rows, r0 + self.block_rows)
+            need = np.arange(2 * r0 - front, 2 * r1 + back) % rows
+            strip = image[need]
+            low, high = lifting_analyze_axis(strip, scheme, axis=1)
+            ll[r0:r1], lh[r0:r1] = lifting_analyze_axis_valid(
+                low, scheme, 0, r1 - r0, front
+            )
+            hl[r0:r1], hh[r0:r1] = lifting_analyze_axis_valid(
+                high, scheme, 0, r1 - r0, front
+            )
+        return Subbands2D(ll=ll, lh=lh, hl=hl, hh=hh)
+
+    def inverse_step_2d(self, subbands, bank):
+        scheme = self._scheme(bank)
+        ll = np.asarray(subbands.ll, dtype=np.float64)
+        lh = np.asarray(subbands.lh, dtype=np.float64)
+        hl = np.asarray(subbands.hl, dtype=np.float64)
+        hh = np.asarray(subbands.hh, dtype=np.float64)
+        half_rows, half_cols = ll.shape
+        rows = 2 * half_rows
+        front, back = scheme.synthesis_margins
+        image = np.empty((rows, 2 * half_cols))
+        for j0 in range(0, rows, 2 * self.block_rows):
+            j1 = min(rows, j0 + 2 * self.block_rows)
+            seg = np.arange(j0 // 2 - front, (j1 + 1) // 2 + back) % half_rows
+            low = lifting_synthesize_axis_valid(
+                ll[seg], lh[seg], scheme, 0, j1 - j0, front
+            )
+            high = lifting_synthesize_axis_valid(
+                hl[seg], hh[seg], scheme, 0, j1 - j0, front
+            )
+            image[j0:j1] = lifting_synthesize_axis(low, high, scheme, axis=1)
+        return image
+
+
+_REGISTRY = {
+    "conv": ConvKernel(),
+    "lifting": LiftingKernel(),
+    "fused": FusedKernel(),
+}
+
+
+def get_kernel(kernel) -> WaveletKernel:
+    """Resolve a kernel name (or pass a :class:`WaveletKernel` through)."""
+    if isinstance(kernel, WaveletKernel):
+        return kernel
+    try:
+        return _REGISTRY[kernel]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; choose one of {KERNEL_NAMES}"
+        ) from None

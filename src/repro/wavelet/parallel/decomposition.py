@@ -17,7 +17,43 @@ from dataclasses import dataclass
 
 from repro.errors import DecompositionError
 
-__all__ = ["StripeDecomposition", "BlockDecomposition", "factor_grid"]
+__all__ = [
+    "StripeDecomposition",
+    "BlockDecomposition",
+    "factor_grid",
+    "analysis_guard_depths",
+    "synthesis_guard_depths",
+]
+
+
+def analysis_guard_depths(bank, kernel: str = "conv") -> tuple:
+    """``(front, back)`` guard rows/cols a rank needs around its owned
+    segment for one level of decimating analysis under ``kernel``.
+
+    The convolution kernel's forward-only window needs no front guard and
+    ``filter_length`` trailing samples (the paper's "order of the filter
+    length").  Lifting steps reach both ways, so the lifting/fused kernels
+    need guards on both sides — depths come from the factored scheme's
+    probed margins, with the back guard rounded up to keep extended
+    segments an even length.
+    """
+    if kernel == "conv":
+        return (0, bank.length)
+    from repro.wavelet.lifting import lifting_scheme
+
+    front, back = lifting_scheme(bank).analysis_margins
+    return (front, back + back % 2)
+
+
+def synthesis_guard_depths(bank, kernel: str = "conv") -> tuple:
+    """``(front, back)`` guard subband samples needed for one level of
+    upsampling synthesis under ``kernel`` (front comes from the preceding
+    neighbor, back from the following one)."""
+    if kernel == "conv":
+        return (max(1, bank.length // 2), 0)
+    from repro.wavelet.lifting import lifting_scheme
+
+    return lifting_scheme(bank).synthesis_margins
 
 
 @dataclass(frozen=True)

@@ -25,11 +25,12 @@ import numpy as np
 from repro.errors import DecompositionError
 from repro.machines.engine import Engine, Machine, RunResult
 from repro.wavelet.conv import analyze_axis_valid
-from repro.wavelet.cost import filter_pass_cost
+from repro.wavelet.cost import filter_pass_cost, lifting_pass_cost
 from repro.wavelet.filters import FilterBank
 from repro.wavelet.parallel.decomposition import (
     BlockDecomposition,
     StripeDecomposition,
+    analysis_guard_depths,
     factor_grid,
 )
 from repro.wavelet.pyramid import DetailTriple, WaveletPyramid
@@ -45,6 +46,11 @@ _TAG_DISTRIBUTE = 1
 _TAG_ROW_GUARD = 2
 _TAG_COL_GUARD = 3
 _TAG_COLLECT = 4
+# Lifting steps reach backwards as well as forwards, so the lifting/fused
+# kernels add a front-guard exchange in the opposite direction (tags 31+
+# keep clear of the per-module 1-30 range and the collective 900k range).
+_TAG_COL_GUARD_FRONT = 31
+_TAG_ROW_GUARD_FRONT = 32
 
 
 @dataclass
@@ -67,6 +73,7 @@ def striped_wavelet_program(
     collect: bool = True,
     checkpoint_interval: int = 0,
     restore=None,
+    kernel: str = "conv",
 ):
     """Rank program: striped decomposition with snake-friendly neighbor
     guard exchange.  Rank 0 returns the per-rank piece dictionary needed
@@ -77,9 +84,26 @@ def striped_wavelet_program(
     pieces so far); ``restore`` is the per-rank state list carried by a
     :class:`~repro.errors.RankCrashError` — resuming skips the initial
     distribution and fast-forwards to the checkpointed level.
+
+    ``kernel`` selects the filtering implementation.  ``"conv"`` (default)
+    is the seed path, unchanged; ``"lifting"``/``"fused"`` run the factored
+    lifting passes (fusion is a sequential cache-locality detail, so both
+    behave identically here) — the fully-local row pass is periodized
+    lifting, the column pass valid-mode lifting over guards sized by
+    :func:`~repro.wavelet.parallel.decomposition.analysis_guard_depths`,
+    adding a front-guard exchange toward the south neighbor when the
+    scheme's front margin is nonzero.
     """
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
+    if kernel != "conv":
+        from repro.wavelet.lifting import lifting_scheme
+
+        scheme = lifting_scheme(bank)
+        front, back = analysis_guard_depths(bank, kernel)
+    else:
+        scheme = None
+        front, back = analysis_guard_depths(bank)
 
     if restore is not None:
         start_level, current, saved_details = restore[rank]
@@ -108,37 +132,83 @@ def striped_wavelet_program(
 
     for _level in range(start_level, levels):
         rows, cols = current.shape
-        if rows < m and nranks > 1:
+        if (rows < m or rows < max(front, back)) and nranks > 1:
             raise DecompositionError(
                 f"local stripe of {rows} rows is shorter than the "
-                f"{m}-tap filter; reduce ranks or levels"
+                f"filter/guard requirement; reduce ranks or levels"
             )
         # Domain-decomposition bookkeeping: pure parallelization redundancy.
         yield ctx.compute(intops=64, redundant=True)
 
-        # Steps 1-2: row filtering + column decimation, fully local.
-        lo = _analyze_full_axis1(current, bank.lowpass)
-        hi = _analyze_full_axis1(current, bank.highpass)
-        yield ctx.charge(filter_pass_cost(2 * rows * (cols // 2), m))
+        if kernel == "conv":
+            # Steps 1-2: row filtering + column decimation, fully local.
+            lo = _analyze_full_axis1(current, bank.lowpass)
+            hi = _analyze_full_axis1(current, bank.highpass)
+            yield ctx.charge(filter_pass_cost(2 * rows * (cols // 2), m))
 
-        # Guard zone: ship my top `m` rows of both intermediates to the
-        # north neighbor; receive the south neighbor's (periodic wrap).
-        if nranks > 1:
-            yield ctx.send(north, np.stack([lo[:m], hi[:m]]), tag=_TAG_COL_GUARD)
-            guard = yield ctx.recv(south, tag=_TAG_COL_GUARD)
-            guard_lo, guard_hi = guard[0], guard[1]
+            # Guard zone: ship my top `m` rows of both intermediates to the
+            # north neighbor; receive the south neighbor's (periodic wrap).
+            if nranks > 1:
+                yield ctx.send(north, np.stack([lo[:m], hi[:m]]), tag=_TAG_COL_GUARD)
+                guard = yield ctx.recv(south, tag=_TAG_COL_GUARD)
+                guard_lo, guard_hi = guard[0], guard[1]
+            else:
+                guard_lo, guard_hi = lo[:m], hi[:m]
+
+            # Steps 3-4: column filtering + row decimation over stripe+guard.
+            out_rows = rows // 2
+            ext_lo = np.vstack([lo, guard_lo])
+            ext_hi = np.vstack([hi, guard_hi])
+            ll = analyze_axis_valid(ext_lo, bank.lowpass, axis=0, out_len=out_rows)
+            lh = analyze_axis_valid(ext_lo, bank.highpass, axis=0, out_len=out_rows)
+            hl = analyze_axis_valid(ext_hi, bank.lowpass, axis=0, out_len=out_rows)
+            hh = analyze_axis_valid(ext_hi, bank.highpass, axis=0, out_len=out_rows)
+            yield ctx.charge(filter_pass_cost(4 * out_rows * (cols // 2), m))
         else:
-            guard_lo, guard_hi = lo[:m], hi[:m]
+            from repro.wavelet.lifting import (
+                lifting_analyze_axis,
+                lifting_analyze_axis_valid,
+            )
 
-        # Steps 3-4: column filtering + row decimation over stripe+guard.
-        out_rows = rows // 2
-        ext_lo = np.vstack([lo, guard_lo])
-        ext_hi = np.vstack([hi, guard_hi])
-        ll = analyze_axis_valid(ext_lo, bank.lowpass, axis=0, out_len=out_rows)
-        lh = analyze_axis_valid(ext_lo, bank.highpass, axis=0, out_len=out_rows)
-        hl = analyze_axis_valid(ext_hi, bank.lowpass, axis=0, out_len=out_rows)
-        hh = analyze_axis_valid(ext_hi, bank.highpass, axis=0, out_len=out_rows)
-        yield ctx.charge(filter_pass_cost(4 * out_rows * (cols // 2), m))
+            # Row pass: both subbands in one periodized lifting sweep.
+            lo, hi = lifting_analyze_axis(current, scheme, axis=1)
+            yield ctx.charge(lifting_pass_cost(2 * rows * (cols // 2), scheme.step_taps))
+
+            # Back guard (from south, as conv) plus a front guard (from
+            # north) when the scheme's steps reach backwards.
+            if nranks > 1:
+                if back > 0:
+                    yield ctx.send(
+                        north, np.stack([lo[:back], hi[:back]]), tag=_TAG_COL_GUARD
+                    )
+                if front > 0:
+                    yield ctx.send(
+                        south,
+                        np.stack([lo[rows - front :], hi[rows - front :]]),
+                        tag=_TAG_COL_GUARD_FRONT,
+                    )
+                if back > 0:
+                    guard = yield ctx.recv(south, tag=_TAG_COL_GUARD)
+                    back_lo, back_hi = guard[0], guard[1]
+                else:
+                    back_lo = back_hi = lo[:0]
+                if front > 0:
+                    guard = yield ctx.recv(north, tag=_TAG_COL_GUARD_FRONT)
+                    front_lo, front_hi = guard[0], guard[1]
+                else:
+                    front_lo = front_hi = lo[:0]
+            else:
+                back_lo, back_hi = lo[:back], hi[:back]
+                front_lo, front_hi = lo[rows - front :], hi[rows - front :]
+
+            out_rows = rows // 2
+            ext_lo = np.vstack([front_lo, lo, back_lo])
+            ext_hi = np.vstack([front_hi, hi, back_hi])
+            ll, lh = lifting_analyze_axis_valid(ext_lo, scheme, 0, out_rows, front)
+            hl, hh = lifting_analyze_axis_valid(ext_hi, scheme, 0, out_rows, front)
+            yield ctx.charge(
+                lifting_pass_cost(4 * out_rows * (cols // 2), scheme.step_taps)
+            )
 
         local_details.append((lh, hl, hh))
         current = ll
@@ -167,11 +237,22 @@ def block_wavelet_program(
     *,
     distribute: bool = True,
     collect: bool = True,
+    kernel: str = "conv",
 ):
     """Rank program: 2-D block decomposition (two guard exchanges per
-    level), the costlier alternative of Figure 3."""
+    level), the costlier alternative of Figure 3.  ``kernel`` as in
+    :func:`striped_wavelet_program`; under lifting both the row and the
+    column filtering gain a front-guard exchange when needed."""
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
+    if kernel != "conv":
+        from repro.wavelet.lifting import lifting_scheme
+
+        scheme = lifting_scheme(bank)
+        front, back = analysis_guard_depths(bank, kernel)
+    else:
+        scheme = None
+        front, back = analysis_guard_depths(bank)
 
     (r0, r1), (c0, c1) = decomp.block_ranges(rank)
     if distribute and nranks > 1:
@@ -194,40 +275,104 @@ def block_wavelet_program(
 
     for _level in range(levels):
         rows, cols = current.shape
-        if (cols < m or rows < m) and nranks > 1:
+        if (cols < m or rows < m or min(rows, cols) < max(front, back)) and nranks > 1:
             raise DecompositionError(
                 f"local block {rows}x{cols} is smaller than the "
-                f"{m}-tap filter; reduce ranks or levels"
+                f"filter/guard requirement; reduce ranks or levels"
             )
         yield ctx.compute(intops=128, redundant=True)
 
-        # Row filtering needs an east guard of `m` columns.
-        if decomp.pcols > 1:
-            yield ctx.send(west, np.ascontiguousarray(current[:, :m]), tag=_TAG_ROW_GUARD)
-            guard_east = yield ctx.recv(east, tag=_TAG_ROW_GUARD)
-        else:
-            guard_east = current[:, :m]
-        ext = np.hstack([current, guard_east])
         out_cols = cols // 2
-        lo = analyze_axis_valid(ext, bank.lowpass, axis=1, out_len=out_cols)
-        hi = analyze_axis_valid(ext, bank.highpass, axis=1, out_len=out_cols)
-        yield ctx.charge(filter_pass_cost(2 * rows * out_cols, m))
-
-        # Column filtering needs a south guard of `m` rows.
-        if decomp.prows > 1:
-            yield ctx.send(north, np.stack([lo[:m], hi[:m]]), tag=_TAG_COL_GUARD)
-            guard = yield ctx.recv(south, tag=_TAG_COL_GUARD)
-            guard_lo, guard_hi = guard[0], guard[1]
-        else:
-            guard_lo, guard_hi = lo[:m], hi[:m]
         out_rows = rows // 2
-        ext_lo = np.vstack([lo, guard_lo])
-        ext_hi = np.vstack([hi, guard_hi])
-        ll = analyze_axis_valid(ext_lo, bank.lowpass, axis=0, out_len=out_rows)
-        lh = analyze_axis_valid(ext_lo, bank.highpass, axis=0, out_len=out_rows)
-        hl = analyze_axis_valid(ext_hi, bank.lowpass, axis=0, out_len=out_rows)
-        hh = analyze_axis_valid(ext_hi, bank.highpass, axis=0, out_len=out_rows)
-        yield ctx.charge(filter_pass_cost(4 * out_rows * out_cols, m))
+        if kernel == "conv":
+            # Row filtering needs an east guard of `m` columns.
+            if decomp.pcols > 1:
+                yield ctx.send(west, np.ascontiguousarray(current[:, :m]), tag=_TAG_ROW_GUARD)
+                guard_east = yield ctx.recv(east, tag=_TAG_ROW_GUARD)
+            else:
+                guard_east = current[:, :m]
+            ext = np.hstack([current, guard_east])
+            lo = analyze_axis_valid(ext, bank.lowpass, axis=1, out_len=out_cols)
+            hi = analyze_axis_valid(ext, bank.highpass, axis=1, out_len=out_cols)
+            yield ctx.charge(filter_pass_cost(2 * rows * out_cols, m))
+
+            # Column filtering needs a south guard of `m` rows.
+            if decomp.prows > 1:
+                yield ctx.send(north, np.stack([lo[:m], hi[:m]]), tag=_TAG_COL_GUARD)
+                guard = yield ctx.recv(south, tag=_TAG_COL_GUARD)
+                guard_lo, guard_hi = guard[0], guard[1]
+            else:
+                guard_lo, guard_hi = lo[:m], hi[:m]
+            ext_lo = np.vstack([lo, guard_lo])
+            ext_hi = np.vstack([hi, guard_hi])
+            ll = analyze_axis_valid(ext_lo, bank.lowpass, axis=0, out_len=out_rows)
+            lh = analyze_axis_valid(ext_lo, bank.highpass, axis=0, out_len=out_rows)
+            hl = analyze_axis_valid(ext_hi, bank.lowpass, axis=0, out_len=out_rows)
+            hh = analyze_axis_valid(ext_hi, bank.highpass, axis=0, out_len=out_rows)
+            yield ctx.charge(filter_pass_cost(4 * out_rows * out_cols, m))
+        else:
+            from repro.wavelet.lifting import lifting_analyze_axis_valid
+
+            # Row filtering: east back guard, plus a west front guard when
+            # the lifting steps reach backwards.
+            if decomp.pcols > 1:
+                if back > 0:
+                    yield ctx.send(
+                        west, np.ascontiguousarray(current[:, :back]), tag=_TAG_ROW_GUARD
+                    )
+                if front > 0:
+                    yield ctx.send(
+                        east,
+                        np.ascontiguousarray(current[:, cols - front :]),
+                        tag=_TAG_ROW_GUARD_FRONT,
+                    )
+                guard_east = (
+                    (yield ctx.recv(east, tag=_TAG_ROW_GUARD))
+                    if back > 0
+                    else current[:, :0]
+                )
+                guard_west = (
+                    (yield ctx.recv(west, tag=_TAG_ROW_GUARD_FRONT))
+                    if front > 0
+                    else current[:, :0]
+                )
+            else:
+                guard_east = current[:, :back]
+                guard_west = current[:, cols - front :]
+            ext = np.hstack([guard_west, current, guard_east])
+            lo, hi = lifting_analyze_axis_valid(ext, scheme, 1, out_cols, front)
+            yield ctx.charge(lifting_pass_cost(2 * rows * out_cols, scheme.step_taps))
+
+            # Column filtering: south back guard plus north front guard.
+            if decomp.prows > 1:
+                if back > 0:
+                    yield ctx.send(
+                        north, np.stack([lo[:back], hi[:back]]), tag=_TAG_COL_GUARD
+                    )
+                if front > 0:
+                    yield ctx.send(
+                        south,
+                        np.stack([lo[rows - front :], hi[rows - front :]]),
+                        tag=_TAG_COL_GUARD_FRONT,
+                    )
+                if back > 0:
+                    guard = yield ctx.recv(south, tag=_TAG_COL_GUARD)
+                    back_lo, back_hi = guard[0], guard[1]
+                else:
+                    back_lo = back_hi = lo[:0]
+                if front > 0:
+                    guard = yield ctx.recv(north, tag=_TAG_COL_GUARD_FRONT)
+                    front_lo, front_hi = guard[0], guard[1]
+                else:
+                    front_lo = front_hi = lo[:0]
+            else:
+                back_lo, back_hi = lo[:back], hi[:back]
+                front_lo, front_hi = lo[rows - front :], hi[rows - front :]
+            ext_lo = np.vstack([front_lo, lo, back_lo])
+            ext_hi = np.vstack([front_hi, hi, back_hi])
+            ll, lh = lifting_analyze_axis_valid(ext_lo, scheme, 0, out_rows, front)
+            hl, hh = lifting_analyze_axis_valid(ext_hi, scheme, 0, out_rows, front)
+            yield ctx.charge(lifting_pass_cost(4 * out_rows * out_cols, scheme.step_taps))
 
         local_details.append((lh, hl, hh))
         current = ll
@@ -296,6 +441,7 @@ def run_spmd_wavelet(
     decomposition: str = "striped",
     distribute: bool = True,
     collect: bool = True,
+    kernel: str = "conv",
 ) -> SpmdWaveletOutcome:
     """Execute the parallel decomposition on a simulated machine.
 
@@ -310,6 +456,9 @@ def run_spmd_wavelet(
         Analysis bank and decomposition depth.
     decomposition:
         ``"striped"`` (the paper's choice) or ``"block"``.
+    kernel:
+        Filtering implementation: ``"conv"`` (default, the seed path),
+        ``"lifting"``, or ``"fused"`` (see :mod:`repro.wavelet.kernels`).
     distribute / collect:
         Whether the timed region includes shipping the image out from
         rank 0 and gathering the subbands back (the paper's measurements
@@ -322,6 +471,10 @@ def run_spmd_wavelet(
         when running on one rank).
     """
     image = np.asarray(image, dtype=np.float64)
+    if kernel not in ("conv", "lifting", "fused"):
+        from repro.wavelet.kernels import get_kernel
+
+        get_kernel(kernel)  # raises ConfigurationError with the known names
     nranks = machine.nranks
     engine = Engine(machine)
     if decomposition == "striped":
@@ -334,6 +487,7 @@ def run_spmd_wavelet(
             decomp,
             distribute=distribute,
             collect=collect,
+            kernel=kernel,
         )
         pyramid = None
         if run.results[0] is not None and (collect or nranks == 1):
@@ -353,6 +507,7 @@ def run_spmd_wavelet(
             decomp,
             distribute=distribute,
             collect=collect,
+            kernel=kernel,
         )
         pyramid = None
         if run.results[0] is not None and (collect or nranks == 1):

@@ -17,8 +17,12 @@ import numpy as np
 from repro.errors import DecompositionError
 from repro.machines.engine import Engine, Machine, RunResult
 from repro.wavelet.conv import analyze_axis_valid
-from repro.wavelet.cost import filter_pass_cost
+from repro.wavelet.cost import filter_pass_cost, lifting_pass_cost
 from repro.wavelet.filters import FilterBank
+from repro.wavelet.parallel.decomposition import (
+    analysis_guard_depths,
+    synthesis_guard_depths,
+)
 
 __all__ = [
     "Spmd1dOutcome",
@@ -31,6 +35,10 @@ __all__ = [
 _TAG_DISTRIBUTE = 8
 _TAG_GUARD = 9
 _TAG_COLLECT = 10
+# Opposite-direction guards only the lifting/fused kernels need (31+ range,
+# matching the 2-D SPMD convention).
+_TAG_GUARD_FRONT = 33
+_TAG_GUARD_BACK = 34
 
 
 @dataclass
@@ -59,10 +67,25 @@ def dwt_1d_program(
     *,
     distribute: bool = True,
     collect: bool = True,
+    kernel: str = "conv",
 ):
-    """Rank program for the striped 1-D multi-level decomposition."""
+    """Rank program for the striped 1-D multi-level decomposition.
+
+    ``kernel="lifting"``/``"fused"`` runs the factored lifting passes; the
+    left-neighbor guard shrinks to the scheme's back margin and a second,
+    front guard travels the other way around the ring when the lifting
+    steps reach backwards.
+    """
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
+    if kernel != "conv":
+        from repro.wavelet.lifting import lifting_scheme
+
+        scheme = lifting_scheme(bank)
+        front, back = analysis_guard_depths(bank, kernel)
+    else:
+        scheme = None
+        front, back = analysis_guard_depths(bank)
     n = signal.shape[0]
     if n % (nranks * 2**levels) != 0:
         raise DecompositionError(
@@ -90,22 +113,52 @@ def dwt_1d_program(
     local_details = []
     for _level in range(levels):
         length = current.shape[0]
-        if length < m and nranks > 1:
+        if (length < m or length < max(front, back)) and nranks > 1:
             raise DecompositionError(
                 f"local segment of {length} samples is shorter than the "
-                f"{m}-tap filter; reduce ranks or levels"
+                f"filter/guard requirement; reduce ranks or levels"
             )
-        # Guard: my left neighbor needs my first m samples (periodic ring).
-        if nranks > 1:
-            yield ctx.send(left, current[:m].copy(), tag=_TAG_GUARD)
-            guard = yield ctx.recv(right, tag=_TAG_GUARD)
+        if kernel == "conv":
+            # Guard: my left neighbor needs my first m samples (periodic ring).
+            if nranks > 1:
+                yield ctx.send(left, current[:m].copy(), tag=_TAG_GUARD)
+                guard = yield ctx.recv(right, tag=_TAG_GUARD)
+            else:
+                guard = current[:m]
+            extended = np.concatenate([current, guard])
+            out_len = length // 2
+            approx = analyze_axis_valid(extended, bank.lowpass, 0, out_len)
+            detail = analyze_axis_valid(extended, bank.highpass, 0, out_len)
+            yield ctx.charge(filter_pass_cost(2 * out_len, m))
         else:
-            guard = current[:m]
-        extended = np.concatenate([current, guard])
-        out_len = length // 2
-        approx = analyze_axis_valid(extended, bank.lowpass, 0, out_len)
-        detail = analyze_axis_valid(extended, bank.highpass, 0, out_len)
-        yield ctx.charge(filter_pass_cost(2 * out_len, m))
+            from repro.wavelet.lifting import lifting_analyze_axis_valid
+
+            if nranks > 1:
+                if back > 0:
+                    yield ctx.send(left, current[:back].copy(), tag=_TAG_GUARD)
+                if front > 0:
+                    yield ctx.send(
+                        right, current[length - front :].copy(), tag=_TAG_GUARD_FRONT
+                    )
+                back_guard = (
+                    (yield ctx.recv(right, tag=_TAG_GUARD))
+                    if back > 0
+                    else current[:0]
+                )
+                front_guard = (
+                    (yield ctx.recv(left, tag=_TAG_GUARD_FRONT))
+                    if front > 0
+                    else current[:0]
+                )
+            else:
+                back_guard = current[:back]
+                front_guard = current[length - front :]
+            extended = np.concatenate([front_guard, current, back_guard])
+            out_len = length // 2
+            approx, detail = lifting_analyze_axis_valid(
+                extended, scheme, 0, out_len, front
+            )
+            yield ctx.charge(lifting_pass_cost(2 * out_len, scheme.step_taps))
         local_details.append(detail)
         current = approx
 
@@ -128,11 +181,15 @@ def idwt_1d_program(
     bank: FilterBank,
     *,
     collect: bool = True,
+    kernel: str = "conv",
 ):
     """Rank program for the striped 1-D reconstruction.
 
     Synthesis needs a guard from the *left* neighbor (the mirror of the
-    analysis guard), of depth ``filter_length // 2`` coefficients.
+    analysis guard), of depth ``filter_length // 2`` coefficients.  Under
+    ``kernel="lifting"``/``"fused"`` the guard depths come from the
+    scheme's synthesis margins, adding a right-neighbor (back) guard when
+    the inverse steps reach forwards.
     """
     from repro.wavelet.conv import synthesize_axis_valid
     from repro.wavelet.cost import synthesis_pass_cost
@@ -140,6 +197,14 @@ def idwt_1d_program(
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
     guard_depth = max(1, m // 2)
+    if kernel != "conv":
+        from repro.wavelet.lifting import lifting_scheme
+
+        scheme = lifting_scheme(bank)
+        s_front, s_back = synthesis_guard_depths(bank, kernel)
+    else:
+        scheme = None
+        s_front, s_back = synthesis_guard_depths(bank)
     levels = len(details)
     right = (rank + 1) % nranks
     left = (rank - 1) % nranks
@@ -151,24 +216,57 @@ def idwt_1d_program(
         d0, d1 = _segment(details[level].shape[0], nranks, rank)
         detail = np.array(details[level][d0:d1], dtype=np.float64)
         length = current.shape[0]
-        if length < guard_depth and nranks > 1:
+        if (
+            length < guard_depth or length < max(s_front, s_back)
+        ) and nranks > 1:
             raise DecompositionError(
                 f"local segment of {length} samples is shorter than the "
-                f"{guard_depth}-sample synthesis guard; reduce ranks or levels"
+                f"synthesis guard requirement; reduce ranks or levels"
             )
-        if nranks > 1:
-            tail = np.stack([current[-guard_depth:], detail[-guard_depth:]])
-            yield ctx.send(right, tail, tag=_TAG_GUARD)
-            guard = yield ctx.recv(left, tag=_TAG_GUARD)
+        if kernel == "conv":
+            if nranks > 1:
+                tail = np.stack([current[-guard_depth:], detail[-guard_depth:]])
+                yield ctx.send(right, tail, tag=_TAG_GUARD)
+                guard = yield ctx.recv(left, tag=_TAG_GUARD)
+            else:
+                guard = np.stack([current[-guard_depth:], detail[-guard_depth:]])
+            ext_approx = np.concatenate([guard[0], current])
+            ext_detail = np.concatenate([guard[1], detail])
+            out_len = 2 * length
+            current = synthesize_axis_valid(
+                ext_approx, bank.lowpass, 0, out_len, guard_depth
+            ) + synthesize_axis_valid(ext_detail, bank.highpass, 0, out_len, guard_depth)
+            yield ctx.charge(synthesis_pass_cost(2 * out_len, m))
         else:
-            guard = np.stack([current[-guard_depth:], detail[-guard_depth:]])
-        ext_approx = np.concatenate([guard[0], current])
-        ext_detail = np.concatenate([guard[1], detail])
-        out_len = 2 * length
-        current = synthesize_axis_valid(
-            ext_approx, bank.lowpass, 0, out_len, guard_depth
-        ) + synthesize_axis_valid(ext_detail, bank.highpass, 0, out_len, guard_depth)
-        yield ctx.charge(synthesis_pass_cost(2 * out_len, m))
+            from repro.wavelet.lifting import lifting_synthesize_axis_valid
+
+            if nranks > 1:
+                if s_front > 0:
+                    tail = np.stack([current[length - s_front :], detail[length - s_front :]])
+                    yield ctx.send(right, tail, tag=_TAG_GUARD)
+                if s_back > 0:
+                    head = np.stack([current[:s_back], detail[:s_back]])
+                    yield ctx.send(left, head, tag=_TAG_GUARD_BACK)
+                if s_front > 0:
+                    guard = yield ctx.recv(left, tag=_TAG_GUARD)
+                    front_a, front_d = guard[0], guard[1]
+                else:
+                    front_a = front_d = current[:0]
+                if s_back > 0:
+                    guard = yield ctx.recv(right, tag=_TAG_GUARD_BACK)
+                    back_a, back_d = guard[0], guard[1]
+                else:
+                    back_a = back_d = current[:0]
+            else:
+                front_a, front_d = current[length - s_front :], detail[length - s_front :]
+                back_a, back_d = current[:s_back], detail[:s_back]
+            ext_approx = np.concatenate([front_a, current, back_a])
+            ext_detail = np.concatenate([front_d, detail, back_d])
+            out_len = 2 * length
+            current = lifting_synthesize_axis_valid(
+                ext_approx, ext_detail, scheme, 0, out_len, s_front
+            )
+            yield ctx.charge(lifting_pass_cost(out_len, scheme.step_taps))
 
     if collect and nranks > 1:
         if rank == 0:
@@ -186,15 +284,18 @@ def run_spmd_idwt_1d(
     approximation: np.ndarray,
     details: list,
     bank: FilterBank,
+    *,
+    kernel: str = "conv",
 ):
     """Reconstruct a 1-D multi-level decomposition on a simulated machine;
-    matches :func:`repro.wavelet.idwt_1d` exactly.  Returns
-    ``(run, signal)``."""
+    matches :func:`repro.wavelet.idwt_1d` exactly (``kernel="conv"``) or
+    within float tolerance (lifting kernels).  Returns ``(run, signal)``."""
     run = Engine(machine).run(
         idwt_1d_program,
         np.asarray(approximation, dtype=np.float64),
         [np.asarray(d, dtype=np.float64) for d in details],
         bank,
+        kernel=kernel,
     )
     return run, run.results[0]
 
@@ -206,12 +307,20 @@ def run_spmd_dwt_1d(
     levels: int,
     *,
     distribute: bool = True,
+    kernel: str = "conv",
 ) -> Spmd1dOutcome:
     """Run the 1-D decomposition on a simulated machine; outputs match
-    the sequential :func:`repro.wavelet.dwt_1d` exactly."""
+    the sequential :func:`repro.wavelet.dwt_1d` exactly (``kernel="conv"``)
+    or within float tolerance (lifting kernels)."""
     signal = np.asarray(signal, dtype=np.float64)
     run = Engine(machine).run(
-        dwt_1d_program, signal, bank, levels, distribute=distribute, collect=True
+        dwt_1d_program,
+        signal,
+        bank,
+        levels,
+        distribute=distribute,
+        collect=True,
+        kernel=kernel,
     )
     gathered = run.results[0]
     approximation = np.concatenate([p["approx"] for p in gathered])

@@ -114,10 +114,14 @@ class WaveletPyramid:
 
 
 def mallat_decompose_2d(
-    image: np.ndarray, bank: FilterBank, levels: int = 1
+    image: np.ndarray, bank: FilterBank, levels: int = 1, *, kernel: str = "conv"
 ) -> WaveletPyramid:
     """Run the paper's steps (0)-(5): iterate the 2-D Mallat step ``levels``
     times, recursing on the LL band.
+
+    ``kernel`` selects the per-level implementation (``"conv"`` — the
+    byte-identical default — ``"lifting"``, or ``"fused"``; see
+    :mod:`repro.wavelet.kernels`).
 
     Raises
     ------
@@ -137,13 +141,15 @@ def mallat_decompose_2d(
     details: list[DetailTriple] = []
     current = image
     for _ in range(levels):
-        bands: Subbands2D = mallat_step_2d(current, bank)
+        bands: Subbands2D = mallat_step_2d(current, bank, kernel=kernel)
         details.append(DetailTriple(lh=bands.lh, hl=bands.hl, hh=bands.hh))
         current = bands.ll
     return WaveletPyramid(current, tuple(details), bank.name)
 
 
-def mallat_reconstruct_2d(pyramid: WaveletPyramid, bank: FilterBank) -> np.ndarray:
+def mallat_reconstruct_2d(
+    pyramid: WaveletPyramid, bank: FilterBank, *, kernel: str = "conv"
+) -> np.ndarray:
     """Invert :func:`mallat_decompose_2d` (the Figure 2 reverse process)."""
     current = pyramid.approximation
     for triple in reversed(pyramid.details):
@@ -153,6 +159,8 @@ def mallat_reconstruct_2d(pyramid: WaveletPyramid, bank: FilterBank) -> np.ndarr
                 f"approximation shape {current.shape}"
             )
         current = mallat_inverse_step_2d(
-            Subbands2D(ll=current, lh=triple.lh, hl=triple.hl, hh=triple.hh), bank
+            Subbands2D(ll=current, lh=triple.lh, hl=triple.hl, hh=triple.hh),
+            bank,
+            kernel=kernel,
         )
     return current

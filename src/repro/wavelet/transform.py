@@ -85,11 +85,22 @@ def max_decomposition_levels(shape: tuple[int, int], filter_length: int) -> int:
     return levels
 
 
-def mallat_step_2d(image: np.ndarray, bank: FilterBank) -> Subbands2D:
-    """One level of separable 2-D decomposition (steps 1-4 of the paper)."""
+def mallat_step_2d(
+    image: np.ndarray, bank: FilterBank, *, kernel: str = "conv"
+) -> Subbands2D:
+    """One level of separable 2-D decomposition (steps 1-4 of the paper).
+
+    ``kernel`` selects the implementation (``"conv"``, ``"lifting"``, or
+    ``"fused"`` — see :mod:`repro.wavelet.kernels`); the default keeps the
+    seed convolution path byte-for-byte.
+    """
     image = np.asarray(image, dtype=np.float64)
     if image.ndim != 2:
         raise ConfigurationError(f"expected a 2-D image, got ndim={image.ndim}")
+    if kernel != "conv":
+        from repro.wavelet.kernels import get_kernel
+
+        return get_kernel(kernel).forward_step_2d(image, bank)
 
     # Steps 1-2: filter along rows (axis 1), decimating the column count.
     low_rows = analyze_axis(image, bank.lowpass, axis=1)
@@ -104,8 +115,14 @@ def mallat_step_2d(image: np.ndarray, bank: FilterBank) -> Subbands2D:
     )
 
 
-def mallat_inverse_step_2d(subbands: Subbands2D, bank: FilterBank) -> np.ndarray:
+def mallat_inverse_step_2d(
+    subbands: Subbands2D, bank: FilterBank, *, kernel: str = "conv"
+) -> np.ndarray:
     """Invert one decomposition level (the paper's Figure 2 reverse process)."""
+    if kernel != "conv":
+        from repro.wavelet.kernels import get_kernel
+
+        return get_kernel(kernel).inverse_step_2d(subbands, bank)
     low_rows = synthesize_axis(subbands.ll, bank.lowpass, axis=0) + synthesize_axis(
         subbands.lh, bank.highpass, axis=0
     )
@@ -117,7 +134,9 @@ def mallat_inverse_step_2d(subbands: Subbands2D, bank: FilterBank) -> np.ndarray
     )
 
 
-def dwt_1d(signal: np.ndarray, bank: FilterBank, levels: int = 1) -> tuple[np.ndarray, list]:
+def dwt_1d(
+    signal: np.ndarray, bank: FilterBank, levels: int = 1, *, kernel: str = "conv"
+) -> tuple[np.ndarray, list]:
     """Multi-level 1-D decomposition.
 
     Returns ``(approximation, details)`` where ``details[i]`` is the detail
@@ -128,6 +147,16 @@ def dwt_1d(signal: np.ndarray, bank: FilterBank, levels: int = 1) -> tuple[np.nd
     signal = np.asarray(signal, dtype=np.float64)
     if signal.ndim != 1:
         raise ConfigurationError(f"expected a 1-D signal, got ndim={signal.ndim}")
+    if kernel != "conv":
+        from repro.wavelet.kernels import get_kernel
+
+        impl = get_kernel(kernel)
+        details = []
+        approx = signal
+        for _ in range(levels):
+            approx, detail = impl.forward_1d(approx, bank)
+            details.append(detail)
+        return approx, details
     details: list[np.ndarray] = []
     approx = signal
     for _ in range(levels):
@@ -137,9 +166,23 @@ def dwt_1d(signal: np.ndarray, bank: FilterBank, levels: int = 1) -> tuple[np.nd
     return approx, details
 
 
-def idwt_1d(approx: np.ndarray, details: list, bank: FilterBank) -> np.ndarray:
+def idwt_1d(
+    approx: np.ndarray, details: list, bank: FilterBank, *, kernel: str = "conv"
+) -> np.ndarray:
     """Invert :func:`dwt_1d` given the approximation and the detail list."""
     signal = np.asarray(approx, dtype=np.float64)
+    if kernel != "conv":
+        from repro.wavelet.kernels import get_kernel
+
+        impl = get_kernel(kernel)
+        for detail in reversed(details):
+            if detail.shape != signal.shape:
+                raise ConfigurationError(
+                    f"detail shape {detail.shape} does not match running "
+                    f"approximation shape {signal.shape}"
+                )
+            signal = impl.inverse_1d(signal, detail, bank)
+        return signal
     for detail in reversed(details):
         if detail.shape != signal.shape:
             raise ConfigurationError(
