@@ -10,21 +10,32 @@ Run:  python examples/galaxy_collision.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.data import two_galaxies
 from repro.machines import paragon
 from repro.nbody import NBodySimulation, run_parallel_nbody
 
+# CI smoke runs set REPRO_EXAMPLE_SCALE (e.g. 0.25) to shrink the
+# workload; 1.0 reproduces the full-size output discussed in the text.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+TINY = SCALE < 1.0
+
+
 
 def main() -> None:
-    particles = two_galaxies(2048, separation=4.0, approach_speed=0.6, seed=42)
+    bodies = 512 if TINY else 2048
+    seq_steps = 4 if TINY else 10
+    par_steps = 2 if TINY else 5
+    particles = two_galaxies(bodies, separation=4.0, approach_speed=0.6, seed=42)
 
     # --- Sequential reference with diagnostics.
     sim = NBodySimulation(particles.copy(), dt=0.01, theta=0.6)
     initial_energy = sim.energy()
-    print("sequential Barnes-Hut, 2048 bodies, 10 steps:")
-    for stats in sim.run(10):
+    print(f"sequential Barnes-Hut, {bodies} bodies, {seq_steps} steps:")
+    for stats in sim.run(seq_steps):
         if stats.step % 5 == 0:
             print(
                 f"  step {stats.step}: {stats.total_interactions:,} interactions, "
@@ -35,10 +46,10 @@ def main() -> None:
 
     # --- The same problem on simulated Paragons (NX messaging, as in
     #     Appendix B), showing how the manager-worker overheads grow.
-    print("\nmanager-worker on the simulated Paragon (5 steps):")
+    print(f"\nmanager-worker on the simulated Paragon ({par_steps} steps):")
     for nranks in (4, 16):
         outcome = run_parallel_nbody(
-            paragon(nranks, protocol="nx"), particles.copy(), steps=5, dt=0.01
+            paragon(nranks, protocol="nx"), particles.copy(), steps=par_steps, dt=0.01
         )
         budget = outcome.run.mean_budget().fractions()
         print(
@@ -49,7 +60,9 @@ def main() -> None:
 
     # --- Costzones adapt: the per-step interaction totals feed the next
     #     step's partition.
-    outcome = run_parallel_nbody(paragon(8, protocol="nx"), particles.copy(), steps=3)
+    outcome = run_parallel_nbody(
+        paragon(8, protocol="nx"), particles.copy(), steps=2 if TINY else 3
+    )
     print(
         "\ninteractions per step (costzones rebalance on these):",
         ", ".join(f"{i:,}" for i in outcome.interactions_per_step),

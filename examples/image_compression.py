@@ -11,9 +11,17 @@ Run:  python examples/image_compression.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.data import landsat_like_scene
+
+# CI smoke runs set REPRO_EXAMPLE_SCALE (e.g. 0.25) to shrink the
+# workload; 1.0 reproduces the full-size output discussed in the text.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+TINY = SCALE < 1.0
+
 from repro.wavelet import (
     filter_bank_for_length,
     mallat_decompose_2d,
@@ -31,7 +39,8 @@ def psnr(original: np.ndarray, reconstructed: np.ndarray, peak: float = 255.0) -
 
 
 def main() -> None:
-    image = landsat_like_scene((256, 256))
+    side = 128 if TINY else 256
+    image = landsat_like_scene((side, side))
     keep_fractions = (0.50, 0.10, 0.02)
 
     print(f"{'filter':>8} {'levels':>6} " + "".join(f"{f:>14.0%}" for f in keep_fractions))

@@ -13,11 +13,19 @@ Run:  python examples/plasma_oscillation.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.data import uniform_cube
 from repro.machines import paragon
 from repro.pic import Grid3D, PicSimulation, run_parallel_pic
+
+# CI smoke runs set REPRO_EXAMPLE_SCALE (e.g. 0.25) to shrink the
+# workload; 1.0 reproduces the full-size output discussed in the text.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+TINY = SCALE < 1.0
+
 
 
 def perturbed_plasma(n: int, amplitude: float = 0.1, seed: int = 7):
@@ -32,12 +40,14 @@ def perturbed_plasma(n: int, amplitude: float = 0.1, seed: int = 7):
 
 def main() -> None:
     grid = Grid3D(16)
-    particles = perturbed_plasma(8192)
+    n_particles = 1024 if TINY else 8192
+    seq_steps = 6 if TINY else 12
+    particles = perturbed_plasma(n_particles)
 
     sim = PicSimulation(grid, particles.copy(), dt_max=0.02)
-    print("cold perturbed plasma, 8192 particles, 16^3 grid:")
+    print(f"cold perturbed plasma, {n_particles} particles, 16^3 grid:")
     print(f"{'step':>5} {'dt':>8} {'field E':>12} {'kinetic E':>12}")
-    for stats in sim.run(12):
+    for stats in sim.run(seq_steps):
         print(
             f"{stats.step:>5} {stats.dt:8.4f} {stats.field_energy:12.5e} "
             f"{stats.kinetic_energy:12.5e}"

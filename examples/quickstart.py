@@ -8,6 +8,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.data import landsat_like_scene
@@ -20,11 +22,18 @@ from repro.wavelet import (
 )
 from repro.wavelet.parallel import run_spmd_wavelet, simd_mallat_decompose
 
+# CI smoke runs set REPRO_EXAMPLE_SCALE (e.g. 0.25) to shrink the
+# workload; 1.0 reproduces the full-size output discussed in the text.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+TINY = SCALE < 1.0
+
+
 
 def main() -> None:
     # --- 1. A synthetic Landsat-like scene (the paper used a 512x512
     #        Landsat-TM image of the Pacific Northwest).
-    image = landsat_like_scene((256, 256))
+    side = 128 if TINY else 256
+    image = landsat_like_scene((side, side))
     bank = daubechies_filter(8)
 
     # --- 2. Sequential multi-resolution decomposition (2 levels).
@@ -40,10 +49,11 @@ def main() -> None:
 
     # --- 4. The same transform on a simulated 16-processor Intel Paragon
     #        (striped domains, snake placement, guard-zone exchange).
-    outcome = run_spmd_wavelet(paragon(16), image, bank, levels=2)
+    procs = 8 if TINY else 16
+    outcome = run_spmd_wavelet(paragon(procs), image, bank, levels=2)
     assert np.allclose(outcome.pyramid.approximation, pyramid.approximation)
     budget = outcome.run.mean_budget().fractions()
-    print(f"\nParagon/16: {outcome.run.elapsed_s * 1e3:.1f} virtual ms "
+    print(f"\nParagon/{procs}: {outcome.run.elapsed_s * 1e3:.1f} virtual ms "
           f"(work {budget['work']:.0%}, comm {budget['comm']:.0%})")
 
     # --- 5. And on a simulated 16K-PE MasPar MP-2 (systolic algorithm).

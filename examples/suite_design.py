@@ -12,6 +12,8 @@ Run:  python examples/suite_design.py
 
 from __future__ import annotations
 
+import os
+
 from repro.workload import (
     coverage_radius,
     nas_suite,
@@ -22,9 +24,15 @@ from repro.workload import (
     similarity_matrix,
 )
 
+# CI smoke runs set REPRO_EXAMPLE_SCALE (e.g. 0.25) to shrink the
+# workload; 1.0 reproduces the full-size output discussed in the text.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+TINY = SCALE < 1.0
+
+
 
 def main() -> None:
-    suite = nas_suite(0.5)
+    suite = nas_suite(0.2 if TINY else 0.5)
     names = [trace.name for trace in suite]
     workloads = [oracle_schedule(trace).workload for trace in suite]
 

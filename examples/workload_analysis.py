@@ -11,6 +11,8 @@ Run:  python examples/workload_analysis.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.workload import (
@@ -21,6 +23,12 @@ from repro.workload import (
     similarity,
     smoothability,
 )
+
+# CI smoke runs set REPRO_EXAMPLE_SCALE (e.g. 0.25) to shrink the
+# workload; 1.0 reproduces the full-size output discussed in the text.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+TINY = SCALE < 1.0
+
 
 
 def matmul_trace(n: int = 12) -> Trace:
@@ -41,7 +49,7 @@ def matmul_trace(n: int = 12) -> Trace:
 
 
 def main() -> None:
-    trace = matmul_trace()
+    trace = matmul_trace(6 if TINY else 12)
     schedule = oracle_schedule(trace)
     workload = schedule.workload
     smooth = smoothability(trace)
@@ -57,7 +65,7 @@ def main() -> None:
     print("\nsimilarity to the NAS-like suite (0 = would exercise a machine "
           "identically):")
     scores = []
-    for kernel in nas_suite(0.5):
+    for kernel in nas_suite(0.2 if TINY else 0.5):
         other = oracle_schedule(kernel).workload
         scores.append((similarity(workload, other), kernel.name))
     for score, name in sorted(scores):

@@ -23,18 +23,28 @@ writing code:
     stragglers, and crashes with checkpoint/restart recovery, verify the
     recovered output against the fault-free reference, and report the
     overhead-vs-fault-rate table.
+``schedule``
+    Space-share one machine between several queued jobs through the
+    runtime :class:`~repro.runtime.scheduler.Scheduler` (buddy
+    power-of-two partitions, FIFO + backfill) and report per-job
+    queue-wait/service/turnaround plus makespan and utilization.
 ``bench``
     Wall-clock kernel benchmark: time the sequential decomposition under
     every registered kernel (conv/lifting/fused), cross-check the numerics
     against the conv reference, and write ``BENCH_wavelet.json``.
+    ``--virtual`` reports deterministic virtual time through the runtime
+    layer instead.
+
+Every simulated-machine subcommand goes through the
+:mod:`repro.runtime` layer: the flags assemble a
+:class:`~repro.runtime.spec.JobSpec` and the registry/executor do the
+rest.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 from repro._version import __version__
 
@@ -59,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine", default="paragon", choices=("paragon", "t3d", "workstation", "maspar")
     )
     wavelet.add_argument("--placement", default="snake", choices=("snake", "naive"))
+    wavelet.add_argument(
+        "--kernel", default="conv", choices=("conv", "lifting", "fused"),
+        help="filtering kernel (default conv)",
+    )
     wavelet.add_argument("--timeline", action="store_true", help="render an ASCII Gantt chart")
 
     nbody = sub.add_parser("nbody", help="Barnes-Hut N-body on a simulated machine")
@@ -130,8 +144,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="restart budget per scenario before giving up",
     )
 
+    schedule = sub.add_parser(
+        "schedule", help="space-share one machine between several queued jobs"
+    )
+    schedule.add_argument(
+        "--machine", default="paragon", choices=("paragon", "t3d", "workstation")
+    )
+    schedule.add_argument(
+        "--job",
+        action="append",
+        dest="jobs",
+        metavar="PROG:PROCS",
+        help="queued job as program:procs (wavelet/nbody/pic/workload); "
+        "repeatable; default two 32-rank wavelet jobs",
+    )
+    schedule.add_argument("--size", type=int, default=256, help="image side (wavelet)")
+    schedule.add_argument("--filter", type=int, default=4, choices=(2, 4, 8), dest="filter_length")
+    schedule.add_argument("--levels", type=int, default=2)
+    schedule.add_argument("--bodies", type=int, default=256, help="bodies (nbody)")
+    schedule.add_argument("--particles", type=int, default=1024, help="particles (pic)")
+    schedule.add_argument("--grid", type=int, default=8, dest="grid_m")
+    schedule.add_argument("--steps", type=int, default=2, help="steps (nbody/pic)")
+
     bench = sub.add_parser(
         "bench", help="wall-clock kernel benchmark (conv vs lifting vs fused)"
+    )
+    bench.add_argument(
+        "--virtual", action="store_true",
+        help="report deterministic virtual time through the runtime layer "
+        "(parallel SPMD run on a simulated machine) instead of wall clock",
+    )
+    bench.add_argument(
+        "--procs", type=int, default=8,
+        help="simulated rank count for --virtual (default 8)",
     )
     bench.add_argument(
         "--quick", action="store_true",
@@ -151,23 +196,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _mimd_machine(name: str, procs: int, placement: str = "snake"):
-    from repro.machines import paragon, t3d, workstation
+def _mimd_options(args, placement: str = "snake", **extra):
+    """The RunOptions the legacy ``_mimd_machine`` helper used to imply:
+    NX message protocol on the Paragon, calibrated defaults elsewhere."""
+    from repro.runtime import RunOptions
 
-    if name == "paragon":
-        return paragon(procs, placement, protocol="nx")
-    if name == "t3d":
-        return t3d(procs)
-    return workstation()
+    protocol = "nx" if args.machine == "paragon" else None
+    return RunOptions(
+        machine=args.machine,
+        nranks=args.procs,
+        placement=placement,
+        protocol=protocol,
+        **extra,
+    )
 
 
 def _cmd_wavelet(args) -> int:
     from repro.data import landsat_like_scene
-    from repro.machines.engine import Engine
     from repro.machines.simd import MasParMachine, maspar_mp2
     from repro.perf import format_budget, format_timeline
+    from repro.runtime import JobSpec, launch
     from repro.wavelet import filter_bank_for_length
-    from repro.wavelet.parallel import run_spmd_wavelet, simd_mallat_decompose
+    from repro.wavelet.parallel import simd_mallat_decompose
 
     image = landsat_like_scene((args.size, args.size))
     bank = filter_bank_for_length(args.filter_length)
@@ -184,34 +234,44 @@ def _cmd_wavelet(args) -> int:
             print(f"  {kind:<10}{share:.0%}")
         return 0
 
-    machine = _mimd_machine(args.machine, args.procs, args.placement)
+    spec = JobSpec(
+        program="wavelet",
+        params={"image": image, "bank": bank, "levels": args.levels},
+        options=_mimd_options(
+            args,
+            placement=args.placement,
+            kernel=args.kernel,
+            record_trace=args.timeline,
+        ),
+    )
+    execution = launch(spec)
     if args.timeline:
-        from repro.wavelet.parallel.decomposition import StripeDecomposition
-        from repro.wavelet.parallel.spmd import striped_wavelet_program
-
-        decomp = StripeDecomposition(args.size, args.size, args.procs, args.levels)
-        run = Engine(machine, record_trace=True).run(
-            striped_wavelet_program, image, bank, args.levels, decomp
-        )
-        print(format_timeline("decomposition timeline", run))
-        print(f"virtual time: {run.elapsed_s:.4f} s")
+        print(format_timeline("decomposition timeline", execution.run))
+        print(f"virtual time: {execution.run.elapsed_s:.4f} s")
         return 0
-    outcome = run_spmd_wavelet(machine, image, bank, args.levels)
-    print(f"virtual time: {outcome.run.elapsed_s:.4f} s")
-    print(format_budget("performance budget", outcome.run))
+    print(f"virtual time: {execution.run.elapsed_s:.4f} s")
+    print(format_budget("performance budget", execution.run))
     return 0
 
 
 def _cmd_nbody(args) -> int:
     from repro.data import plummer_sphere
-    from repro.nbody import run_parallel_nbody
     from repro.perf import format_budget
+    from repro.runtime import JobSpec, execute, resolve_machine
 
     particles = plummer_sphere(args.bodies, dim=2, seed=0)
-    machine = _mimd_machine(args.machine, args.procs)
-    outcome = run_parallel_nbody(
-        machine, particles, steps=args.steps, theta=args.theta, model=args.model
+    spec = JobSpec(
+        program="nbody",
+        params={
+            "particles": particles,
+            "steps": args.steps,
+            "theta": args.theta,
+            "model": args.model,
+        },
+        options=_mimd_options(args),
     )
+    machine = resolve_machine(spec.options)
+    outcome = execute(machine, spec).outcome
     print(
         f"{args.bodies} bodies, {args.steps} steps on {machine.name}: "
         f"{outcome.run.elapsed_s:.3f} virtual s"
@@ -227,18 +287,23 @@ def _cmd_nbody(args) -> int:
 def _cmd_pic(args) -> int:
     from repro.data import uniform_cube
     from repro.perf import format_budget
-    from repro.pic import Grid3D, run_parallel_pic
+    from repro.pic import Grid3D
+    from repro.runtime import JobSpec, execute, resolve_machine
 
     particles = uniform_cube(args.particles, thermal_speed=0.05, seed=0)
-    machine = _mimd_machine(args.machine, args.procs)
-    outcome = run_parallel_pic(
-        machine,
-        Grid3D(args.grid_m),
-        particles,
-        steps=args.steps,
-        global_sum=args.global_sum,
-        collect=False,
+    spec = JobSpec(
+        program="pic",
+        params={
+            "grid": Grid3D(args.grid_m),
+            "particles": particles,
+            "steps": args.steps,
+            "global_sum": args.global_sum,
+            "collect": False,
+        },
+        options=_mimd_options(args),
     )
+    machine = resolve_machine(spec.options)
+    outcome = execute(machine, spec).outcome
     print(
         f"{args.particles} particles, {args.grid_m}^3 grid, {args.steps} steps "
         f"on {machine.name}: {outcome.run.elapsed_s:.3f} virtual s"
@@ -331,49 +396,53 @@ def _cmd_table1(args) -> int:
 
 def _traced_run(args):
     """Run the selected program with tracing on and return its RunResult."""
-    from repro.machines.engine import Engine
+    from repro.runtime import JobSpec, execute, resolve_machine
 
     if args.program == "wavelet":
         from repro.data import landsat_like_scene
-        from repro.machines import paragon, t3d
         from repro.wavelet import filter_bank_for_length
-        from repro.wavelet.parallel.decomposition import StripeDecomposition
-        from repro.wavelet.parallel.spmd import striped_wavelet_program
 
-        # Appendix A's wavelet study ran over PVM (the Fig. 5 calibration);
-        # the nbody/pic programs below use the NX regime like Appendix B.
-        if args.machine == "paragon":
-            machine = paragon(args.procs, args.placement, protocol="pvm")
-        else:
-            machine = t3d(args.procs)
         image = landsat_like_scene((args.size, args.size))
         bank = filter_bank_for_length(args.filter_length)
-        decomp = StripeDecomposition(args.size, args.size, args.procs, args.levels)
         label = f"{args.size}x{args.size} F{args.filter_length}/L{args.levels} wavelet"
-        run = Engine(machine, record_trace=True).run(
-            striped_wavelet_program, image, bank, args.levels, decomp
+        # Appendix A's wavelet study ran over PVM (the Fig. 5 calibration);
+        # the nbody/pic programs below use the NX regime like Appendix B.
+        options = _mimd_options(args, placement=args.placement, record_trace=True)
+        if args.machine == "paragon":
+            options = options.with_updates(protocol="pvm")
+        spec = JobSpec(
+            program="wavelet",
+            params={"image": image, "bank": bank, "levels": args.levels},
+            options=options,
         )
     elif args.program == "nbody":
         from repro.data import plummer_sphere
-        from repro.nbody import run_parallel_nbody
 
-        machine = _mimd_machine(args.machine, args.procs, args.placement)
         particles = plummer_sphere(args.bodies, dim=2, seed=0)
         label = f"{args.bodies}-body manager-worker"
-        run = run_parallel_nbody(
-            machine, particles, steps=args.steps, record_trace=True
-        ).run
+        spec = JobSpec(
+            program="nbody",
+            params={"particles": particles, "steps": args.steps},
+            options=_mimd_options(args, placement=args.placement, record_trace=True),
+        )
     else:
         from repro.data import uniform_cube
-        from repro.pic import Grid3D, run_parallel_pic
+        from repro.pic import Grid3D
 
-        machine = _mimd_machine(args.machine, args.procs, args.placement)
         particles = uniform_cube(args.particles, thermal_speed=0.05, seed=0)
         label = f"{args.particles}-particle PIC"
-        run = run_parallel_pic(
-            machine, Grid3D(args.grid_m), particles, steps=args.steps,
-            record_trace=True, collect=False,
-        ).run
+        spec = JobSpec(
+            program="pic",
+            params={
+                "grid": Grid3D(args.grid_m),
+                "particles": particles,
+                "steps": args.steps,
+                "collect": False,
+            },
+            options=_mimd_options(args, placement=args.placement, record_trace=True),
+        )
+    machine = resolve_machine(spec.options)
+    run = execute(machine, spec).run
     return machine, label, run
 
 
@@ -447,9 +516,9 @@ def _fault_app(args):
 
 
 def _cmd_faults(args) -> int:
-    from repro.machines.engine import Engine
-    from repro.machines.faults import FaultPlan, payload_equal, run_with_recovery
+    from repro.machines.faults import FaultPlan, payload_equal
     from repro.perf import format_fault_sweep
+    from repro.runtime import resolve_machine, run_program
 
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
     label, program, prog_args, prog_kwargs = _fault_app(args)
@@ -458,8 +527,8 @@ def _cmd_faults(args) -> int:
 
     # Fault-free reference: the correctness oracle and the time horizon
     # that crash instants and slowdown windows are drawn from.
-    machine = _mimd_machine(args.machine, args.procs)
-    reference = Engine(machine).run(program, *prog_args, **prog_kwargs)
+    machine = resolve_machine(_mimd_options(args))
+    reference = run_program(machine, program, *prog_args, **prog_kwargs).run
     print(
         f"{label} on {machine.name}: fault-free reference "
         f"{reference.elapsed_s:.4f} virtual s"
@@ -472,8 +541,8 @@ def _cmd_faults(args) -> int:
             args.seed, args.procs, rate, t_horizon=reference.elapsed_s
         )
         # Fresh machine per run: the contention network carries per-run state.
-        outcome = run_with_recovery(
-            _mimd_machine(args.machine, args.procs),
+        outcome = run_program(
+            resolve_machine(_mimd_options(args)),
             program,
             *prog_args,
             faults=plan,
@@ -506,9 +575,140 @@ def _cmd_faults(args) -> int:
     return 1
 
 
+def _schedule_spec(args, entry: str, index: int):
+    """Turn one ``--job prog:procs`` entry into a JobSpec."""
+    from repro.errors import ConfigurationError
+    from repro.runtime import JobSpec, RunOptions
+
+    name, _, procs_text = entry.partition(":")
+    try:
+        procs = int(procs_text) if procs_text else 8
+    except ValueError:
+        raise ConfigurationError(
+            f"--job expects program:procs, got {entry!r}"
+        ) from None
+    options = RunOptions(nranks=procs)
+    if name == "wavelet":
+        from repro.data import landsat_like_scene
+        from repro.wavelet import filter_bank_for_length
+
+        params = {
+            "image": landsat_like_scene((args.size, args.size)),
+            "bank": filter_bank_for_length(args.filter_length),
+            "levels": args.levels,
+        }
+    elif name == "nbody":
+        from repro.data import plummer_sphere
+
+        params = {
+            "particles": plummer_sphere(args.bodies, dim=2, seed=0),
+            "steps": args.steps,
+        }
+    elif name == "pic":
+        from repro.data import uniform_cube
+        from repro.pic import Grid3D
+
+        params = {
+            "grid": Grid3D(args.grid_m),
+            "particles": uniform_cube(args.particles, thermal_speed=0.05, seed=0),
+            "steps": args.steps,
+            "collect": False,
+        }
+    elif name == "workload":
+        from repro.workload import nas_suite
+
+        params = {"trace": nas_suite(0.2)[0]}
+    else:
+        raise ConfigurationError(
+            f"unknown --job program {name!r}; "
+            "use wavelet, nbody, pic, or workload"
+        )
+    return JobSpec(
+        program=name, params=params, options=options, name=f"{name}#{index}"
+    )
+
+
+def _cmd_schedule(args) -> int:
+    from repro.perf import format_table
+    from repro.runtime import Scheduler, machine_template
+
+    entries = args.jobs or ["wavelet:32", "wavelet:32"]
+    protocol = "nx" if args.machine == "paragon" else None
+    template = machine_template(args.machine, protocol=protocol)
+    sched = Scheduler(template)
+    for index, entry in enumerate(entries):
+        sched.submit(_schedule_spec(args, entry, index))
+    results = sched.run()
+
+    rows = [
+        [
+            result.spec.label,
+            str(result.spec.options.nranks),
+            str(result.partition_size),
+            f"{result.queue_wait_s:.4f}",
+            f"{result.service_s:.4f}",
+            f"{result.turnaround_s:.4f}",
+        ]
+        for result in results
+    ]
+    print(
+        f"{len(results)} job(s) space-shared on {template.prototype.name} "
+        f"({sched.usable_nodes} schedulable nodes)"
+    )
+    print(
+        format_table(
+            "schedule (virtual seconds)",
+            ["job", "ranks", "partition", "queued", "service", "turnaround"],
+            rows,
+        )
+    )
+    print(
+        f"makespan {sched.makespan_s():.4f} s, "
+        f"utilization {sched.utilization():.0%}, "
+        f"total queue wait {sched.total_queue_wait_s():.4f} s"
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.perf import format_table
-    from repro.perf.bench import default_cases, quick_cases, run_bench, write_bench_json
+    from repro.perf.bench import (
+        default_cases,
+        quick_cases,
+        run_bench,
+        run_virtual_bench,
+        write_bench_json,
+    )
+
+    if args.virtual:
+        cases = quick_cases() if args.quick else default_cases()
+        doc = run_virtual_bench(cases, nranks=args.procs, seed=args.seed)
+        rows = [
+            [
+                f"{row['size']}x{row['size']}",
+                f"F{row['filter_length']}/L{row['levels']}",
+                row["kernel"],
+                f"{row['virtual_s'] * 1e3:.3f}",
+                f"{row['speedup_vs_conv']:.2f}x",
+            ]
+            for row in doc["results"]
+        ]
+        print(
+            format_table(
+                f"kernel benchmark (virtual time, {args.procs} ranks)",
+                ["image", "case", "kernel", "ms/op", "speedup"],
+                rows,
+            )
+        )
+        for skip in doc["skipped"]:
+            print(f"skipped {skip['case']}: {skip['reason']}")
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(doc['results'])} results to {args.out}")
+        return 0
 
     cases = quick_cases() if args.quick else default_cases()
     repeats = min(args.repeats, 3) if args.quick else args.repeats
@@ -553,6 +753,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "schedule": _cmd_schedule,
     "bench": _cmd_bench,
 }
 

@@ -188,7 +188,7 @@ class HappensBeforeGraph:
 
     # -- critical path -------------------------------------------------------
 
-    def critical_path(self, elapsed_s: float = None) -> CriticalPathAnalysis:
+    def critical_path(self, elapsed_s: float | None = None) -> CriticalPathAnalysis:
         """Longest duration-weighted path through the DAG (the causal
         lower bound on the makespan).
 

@@ -145,7 +145,7 @@ class _SendOp:
 class _RecvOp:
     src: int
     tag: int
-    timeout_s: float = None
+    timeout_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -290,7 +290,9 @@ class RankContext:
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         return _SendOp(dst=dst, payload=payload, tag=tag, nbytes=size)
 
-    def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG, timeout_s: float = None):
+    def recv(
+        self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG, timeout_s: float | None = None
+    ):
         """Receive a message.  ``yield`` evaluates to the payload.
 
         With ``timeout_s`` set, the receive gives up once the rank has
@@ -682,7 +684,9 @@ class Engine:
             snapshot = [st.ckpts[committed] for st in states]
         raise RankCrashError(rank, at_s, committed, snapshot)
 
-    def _advance(self, st: _RankState, states, heap, in_heap, now: float = None) -> None:
+    def _advance(
+        self, st: _RankState, states, heap, in_heap, now: float | None = None
+    ) -> None:
         """Advance one rank until it blocks, finishes, or completes one op.
 
         ``now`` is the virtual time of the heap entry that woke the rank;
@@ -940,7 +944,7 @@ class Engine:
             deliveries.append((dup + fate.extra_delay_s, payload))
         return deliver, deliveries
 
-    def _match(self, st: _RankState, op: _RecvOp, before: float = None):
+    def _match(self, st: _RankState, op: _RecvOp, before: float | None = None):
         """Find the earliest-arriving mailbox entry matching a recv.
 
         Ties on arrival time break on the smallest ``(src, tag)`` pair —

@@ -25,8 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, RankCrashError
-from repro.machines.engine import Engine, RunResult
+from repro.machines.engine import RunResult
 from repro.machines.faults.plan import FaultPlan
 
 __all__ = ["RecoveryOutcome", "run_with_recovery", "payload_equal"]
@@ -98,33 +97,28 @@ def run_with_recovery(
     ``restore_kwarg`` only once a committed checkpoint exists, so
     programs without checkpoint support can still be driven (they
     restart from the beginning).
+
+    Thin wrapper: the restart loop itself lives in
+    :func:`repro.runtime.run_program`, which the scheduler and every
+    driver share; this function repackages its
+    :class:`~repro.runtime.exec.Execution` as a :class:`RecoveryOutcome`.
     """
-    if max_restarts < 0:
-        raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
-    plan = faults
-    crashes: list = []
-    lost_s = 0.0
-    restore = None
-    while True:
-        engine = Engine(machine, record_trace=record_trace, faults=plan)
-        call_kwargs = dict(kwargs)
-        if restore is not None:
-            call_kwargs[restore_kwarg] = restore
-        try:
-            run = engine.run(program, *args, **call_kwargs)
-        except RankCrashError as crash:
-            crashes.append(crash)
-            lost_s += crash.at_s
-            if len(crashes) > max_restarts:
-                raise
-            plan = plan.without_crash(crash.rank)
-            if crash.checkpoint_index >= 0:
-                restore = crash.checkpoint_states
-            continue
-        return RecoveryOutcome(
-            run=run,
-            crashes=crashes,
-            attempts=len(crashes) + 1,
-            total_virtual_s=lost_s + run.elapsed_s,
-            plan=plan,
-        )
+    from repro.runtime.exec import run_program
+
+    execution = run_program(
+        machine,
+        program,
+        *args,
+        faults=faults,
+        max_restarts=max_restarts,
+        record_trace=record_trace,
+        restore_kwarg=restore_kwarg,
+        **kwargs,
+    )
+    return RecoveryOutcome(
+        run=execution.run,
+        crashes=execution.crashes,
+        attempts=execution.attempts,
+        total_virtual_s=execution.total_virtual_s,
+        plan=execution.plan,
+    )

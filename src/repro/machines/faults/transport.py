@@ -127,7 +127,7 @@ def reliable_recv(
     src: int,
     *,
     tag: int = 0,
-    timeout_s: float = None,
+    timeout_s: float | None = None,
 ):
     """Receive the next in-sequence payload from ``src``, discarding
     duplicates and damaged envelopes (which go un-acked so the sender

@@ -31,7 +31,7 @@ import numpy as np
 from repro.data.particles import ParticleSet
 from repro.errors import ConfigurationError
 from repro.machines.api import bcast
-from repro.machines.engine import Engine, Machine, RunResult
+from repro.machines.engine import Machine, RunResult
 from repro.nbody.force import force_op_cost, tree_build_op_cost, tree_forces
 from repro.nbody.partition import costzones_partition, orb_partition
 from repro.nbody.tree import BarnesHutTree, build_tree
@@ -397,26 +397,19 @@ def run_parallel_nbody(
     the returned run (timeline rendering, causality analysis).  Remaining
     keyword arguments are forwarded to the rank program (``dt``,
     ``theta``, ``softening``, ``leaf_capacity``, ``partition``).
+
+    Thin wrapper over the runtime layer: builds a
+    :class:`~repro.runtime.spec.JobSpec` for the registered ``nbody``
+    program and runs it through :func:`repro.runtime.execute`.
     """
-    programs = {
-        "manager_worker": manager_worker_program,
-        "replicated": replicated_program,
-    }
-    try:
-        program = programs[model]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown model {model!r}; use 'manager_worker' or 'replicated'"
-        ) from None
-    run = Engine(machine, record_trace=record_trace).run(program, particles, steps, **kwargs)
-    final = run.results[0]
-    out_particles = ParticleSet(
-        positions=final["positions"],
-        velocities=final["velocities"],
-        masses=particles.masses.copy(),
+    from repro.runtime import JobSpec, RunOptions, execute
+
+    checkpoint_interval = int(kwargs.pop("checkpoint_interval", 0))
+    spec = JobSpec(
+        program="nbody",
+        params={"particles": particles, "steps": steps, "model": model, **kwargs},
+        options=RunOptions(
+            record_trace=record_trace, checkpoint_interval=checkpoint_interval
+        ),
     )
-    return ParallelNBodyOutcome(
-        run=run,
-        particles=out_particles,
-        interactions_per_step=final["interactions_per_step"],
-    )
+    return execute(machine, spec).outcome

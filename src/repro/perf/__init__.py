@@ -10,10 +10,12 @@ benchmark harness (:mod:`repro.perf.bench`).
 
 from repro.perf.bench import (
     BENCH_SCHEMA,
+    VIRTUAL_BENCH_SCHEMA,
     BenchCase,
     default_cases,
     quick_cases,
     run_bench,
+    run_virtual_bench,
     validate_bench_document,
     write_bench_json,
 )
@@ -40,10 +42,12 @@ __all__ = [
     "format_critical_path",
     "format_fault_sweep",
     "BENCH_SCHEMA",
+    "VIRTUAL_BENCH_SCHEMA",
     "BenchCase",
     "default_cases",
     "quick_cases",
     "run_bench",
+    "run_virtual_bench",
     "validate_bench_document",
     "write_bench_json",
 ]

@@ -26,15 +26,18 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "BENCH_SCHEMA",
+    "VIRTUAL_BENCH_SCHEMA",
     "BenchCase",
     "default_cases",
     "quick_cases",
     "run_bench",
+    "run_virtual_bench",
     "validate_bench_document",
     "write_bench_json",
 ]
 
 BENCH_SCHEMA = "repro.bench.wavelet/v1"
+VIRTUAL_BENCH_SCHEMA = "repro.bench.wavelet-virtual/v1"
 
 # Numeric acceptance budgets: kernels must agree with conv to 1e-9 on the
 # subbands and invert to 1e-10 (float64; the documented tolerances).
@@ -186,6 +189,104 @@ def run_bench(
     }
     validate_bench_document(doc)
     return doc
+
+
+def run_virtual_bench(
+    cases=None,
+    kernels=None,
+    *,
+    machine: str = "paragon",
+    nranks: int = 8,
+    seed: int = 2024,
+) -> dict:
+    """Virtual-time counterpart of :func:`run_bench`.
+
+    Every (case, kernel) pair is described as a runtime
+    :class:`~repro.runtime.spec.JobSpec` and launched on a simulated
+    machine, so the reported seconds are the engine's deterministic
+    virtual time (parallel SPMD run, communication included) rather than
+    host wall clock — repeats/warmup/trim do not apply.  The document is
+    versioned separately (``repro.bench.wavelet-virtual/v1``) because its
+    rows carry ``virtual_s`` instead of ``ns_per_op`` and need no numeric
+    cross-check columns (the digest-pinned compat tests own those).
+    """
+    from repro.runtime import JobSpec, RunOptions, launch
+    from repro.wavelet import KERNEL_NAMES, filter_bank_for_length
+    from repro.wavelet.parallel.decomposition import StripeDecomposition
+
+    if cases is None:
+        cases = quick_cases()
+    if kernels is None:
+        kernels = list(KERNEL_NAMES)
+    if "conv" not in kernels:
+        raise ConfigurationError("bench requires the 'conv' reference kernel")
+
+    from repro.errors import DecompositionError
+
+    rng = np.random.RandomState(seed)
+    results = []
+    skipped = []
+    for case in cases:
+        image = rng.standard_normal((case.size, case.size))
+        bank = filter_bank_for_length(case.filter_length)
+        # A case that cannot stripe over ``nranks`` (divisibility or the
+        # deepest-level guard requirement) is skipped and recorded, not
+        # silently dropped: the wall-clock bench has no such constraint,
+        # so the virtual sweep must say which rows it lost.
+        try:
+            StripeDecomposition(case.size, case.size, nranks, case.levels)
+        except DecompositionError as exc:
+            skipped.append({"case": case.label, "reason": str(exc)})
+            continue
+        deepest_rows = case.size // (nranks * 2 ** (case.levels - 1))
+        guard = max(len(bank.lowpass), len(bank.highpass))
+        if nranks > 1 and deepest_rows < guard:
+            skipped.append(
+                {
+                    "case": case.label,
+                    "reason": (
+                        f"deepest-level stripe of {deepest_rows} rows is "
+                        f"shorter than the {guard}-tap filter support"
+                    ),
+                }
+            )
+            continue
+        conv_s = None
+        case_rows = []
+        try:
+            for kernel in kernels:
+                spec = JobSpec(
+                    program="wavelet",
+                    params={"image": image, "bank": bank, "levels": case.levels},
+                    options=RunOptions(
+                        machine=machine, nranks=nranks, kernel=kernel
+                    ),
+                    name=f"{case.label} {kernel}",
+                )
+                virtual_s = launch(spec).run.elapsed_s
+                if kernel == "conv":
+                    conv_s = virtual_s
+                case_rows.append(
+                    {
+                        "size": case.size,
+                        "filter_length": case.filter_length,
+                        "levels": case.levels,
+                        "kernel": kernel,
+                        "virtual_s": virtual_s,
+                        "speedup_vs_conv": conv_s / virtual_s,
+                    }
+                )
+        except DecompositionError as exc:
+            skipped.append({"case": case.label, "reason": str(exc)})
+            continue
+        results.extend(case_rows)
+    return {
+        "schema": VIRTUAL_BENCH_SCHEMA,
+        "config": {"machine": machine, "nranks": nranks, "seed": seed,
+                   "kernels": list(kernels)},
+        "results": results,
+        "skipped": skipped,
+    }
 
 
 _RESULT_FIELDS = {

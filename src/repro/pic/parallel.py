@@ -27,7 +27,7 @@ import numpy as np
 from repro.data.particles import ParticleSet
 from repro.errors import ConfigurationError
 from repro.machines.api import allreduce, gather, gssum_naive
-from repro.machines.engine import Engine, Machine, RunResult
+from repro.machines.engine import Machine, RunResult
 from repro.pic.cost import (
     deposit_cost,
     fft_3d_cost,
@@ -183,13 +183,19 @@ def run_parallel_pic(
     (timeline rendering, causality analysis).  Remaining keyword
     arguments are forwarded to :func:`pic_program` (``dt_max``,
     ``charge_sign``, ``global_sum``, ``poisson``).
+
+    Thin wrapper over the runtime layer: builds a
+    :class:`~repro.runtime.spec.JobSpec` for the registered ``pic``
+    program and runs it through :func:`repro.runtime.execute`.
     """
-    run = Engine(machine, record_trace=record_trace).run(
-        pic_program, grid, particles, steps, **kwargs
+    from repro.runtime import JobSpec, RunOptions, execute
+
+    checkpoint_interval = int(kwargs.pop("checkpoint_interval", 0))
+    spec = JobSpec(
+        program="pic",
+        params={"grid": grid, "particles": particles, "steps": steps, **kwargs},
+        options=RunOptions(
+            record_trace=record_trace, checkpoint_interval=checkpoint_interval
+        ),
     )
-    result = run.results[0]
-    positions = np.vstack([p[0] for p in result["pieces"]])
-    velocities = np.vstack([p[1] for p in result["pieces"]])
-    masses = particles.masses[: positions.shape[0]].copy()
-    out = ParticleSet(positions, velocities, masses)
-    return ParallelPicOutcome(run=run, particles=out, dts=result["dts"])
+    return execute(machine, spec).outcome

@@ -1,0 +1,59 @@
+"""Unified job launch for the simulated machines.
+
+The runtime layer sits between the app drivers and the engine:
+
+* :mod:`~repro.runtime.spec` — :class:`JobSpec`/:class:`RunOptions`, the
+  consolidated description of *what* to run and under which cross-cutting
+  knobs (machine, placement, protocol, kernel, tracing, faults,
+  checkpointing).
+* :mod:`~repro.runtime.registry` — :class:`ProgramDef`, where each app
+  (wavelet, nbody, pic, workload) registers its rank program, argument
+  preparation, result assembly, and supported options.
+* :mod:`~repro.runtime.exec` — :func:`execute`/:func:`launch`, the one
+  ``Engine`` loop (with checkpoint/restart recovery) every driver now
+  goes through.
+* :mod:`~repro.runtime.scheduler` — :class:`Scheduler`, space-sharing one
+  machine into buddy power-of-two partitions and running many jobs
+  FIFO-with-backfill in shared virtual time.
+
+The legacy drivers (``run_spmd_wavelet``, ``run_parallel_nbody``,
+``run_parallel_pic``, ``run_with_recovery``) remain as thin wrappers and
+produce byte-identical results for identical inputs.
+"""
+
+from repro.runtime.exec import Execution, execute, launch, run_program
+from repro.runtime.registry import (
+    Launch,
+    ProgramDef,
+    build_launch,
+    get_program,
+    program_names,
+    register,
+)
+from repro.runtime.scheduler import (
+    JobResult,
+    MachineTemplate,
+    Scheduler,
+    machine_template,
+)
+from repro.runtime.spec import JobSpec, RunOptions, resolve_machine
+
+__all__ = [
+    "JobSpec",
+    "RunOptions",
+    "resolve_machine",
+    "ProgramDef",
+    "Launch",
+    "register",
+    "get_program",
+    "program_names",
+    "build_launch",
+    "Execution",
+    "run_program",
+    "execute",
+    "launch",
+    "Scheduler",
+    "JobResult",
+    "MachineTemplate",
+    "machine_template",
+]

@@ -1,0 +1,131 @@
+"""Job execution: one place that owns the ``Engine`` loop.
+
+:func:`run_program` is the checkpoint/restart retry loop formerly private
+to :mod:`repro.machines.faults.recovery` (whose ``run_with_recovery``
+now delegates here): run the program under the current fault plan; on a
+:class:`~repro.errors.RankCrashError`, repair the crashed rank, rewind to
+the newest globally committed checkpoint, and retry.  A fault-free plan
+degenerates to a single ``Engine.run``.
+
+:func:`execute` drives a whole :class:`~repro.runtime.spec.JobSpec` on a
+given machine — registry lookup, option validation, the retry loop, and
+result assembly — and :func:`launch` additionally resolves the machine
+from the spec's options, which is what the CLI subcommands use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, RankCrashError
+from repro.machines.engine import Engine, Machine, RunResult
+from repro.runtime.registry import build_launch
+from repro.runtime.spec import JobSpec, resolve_machine
+
+__all__ = ["Execution", "run_program", "execute", "launch"]
+
+
+@dataclass
+class Execution:
+    """Everything one completed job execution produced."""
+
+    #: Result of the final, successful engine run.
+    run: RunResult
+    #: Assembled program outcome (pyramid, particle set, ...); the raw
+    #: :class:`RunResult` when the program has no assembly step.
+    outcome: object = None
+    #: One :class:`RankCrashError` per aborted attempt, in order.
+    crashes: list = field(default_factory=list)
+    #: Total ``Engine.run`` invocations (``len(crashes) + 1``).
+    attempts: int = 1
+    #: Virtual time across *all* attempts: time lost to aborted runs plus
+    #: the final attempt's elapsed time.
+    total_virtual_s: float = 0.0
+    #: The fault plan the final attempt ran under (crashed ranks repaired).
+    plan: object = None
+
+    @property
+    def restarts(self) -> int:
+        """Number of checkpoint/restart cycles (0 for a clean run)."""
+        return len(self.crashes)
+
+
+def run_program(
+    machine: Machine,
+    program,
+    *args,
+    faults=None,
+    max_restarts: int = 8,
+    record_trace: bool = False,
+    restore_kwarg: str = "restore",
+    **kwargs,
+) -> Execution:
+    """Run ``program`` on ``machine`` to completion through injected crashes.
+
+    Each attempt runs under the current plan; a
+    :class:`~repro.errors.RankCrashError` repairs the crashed rank
+    (``plan.without_crash``), adopts the crash's committed checkpoint (if
+    any) as the next attempt's ``restore``, and retries.  A crash with no
+    newer committed checkpoint keeps the previous restore point, so
+    back-to-back crashes never regress the recovery line.  Raises the
+    final :class:`RankCrashError` if ``max_restarts`` is exhausted.
+
+    Extra positional/keyword arguments are forwarded to ``program``
+    through ``Engine.run``; the restore states are injected under
+    ``restore_kwarg`` only once a committed checkpoint exists, so
+    programs without checkpoint support can still be driven (they
+    restart from the beginning).
+    """
+    if max_restarts < 0:
+        raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
+    plan = faults
+    crashes: list = []
+    lost_s = 0.0
+    restore = None
+    while True:
+        engine = Engine(machine, record_trace=record_trace, faults=plan)
+        call_kwargs = dict(kwargs)
+        if restore is not None:
+            call_kwargs[restore_kwarg] = restore
+        try:
+            run = engine.run(program, *args, **call_kwargs)
+        except RankCrashError as crash:
+            crashes.append(crash)
+            lost_s += crash.at_s
+            if len(crashes) > max_restarts:
+                raise
+            plan = plan.without_crash(crash.rank)
+            if crash.checkpoint_index >= 0:
+                restore = crash.checkpoint_states
+            continue
+        return Execution(
+            run=run,
+            outcome=run,
+            crashes=crashes,
+            attempts=len(crashes) + 1,
+            total_virtual_s=lost_s + run.elapsed_s,
+            plan=plan,
+        )
+
+
+def execute(machine: Machine, spec: JobSpec) -> Execution:
+    """Run one :class:`JobSpec` on ``machine`` and assemble its outcome."""
+    opts = spec.options
+    job = build_launch(spec, machine.nranks)
+    execution = run_program(
+        machine,
+        job.program,
+        *job.args,
+        faults=opts.faults,
+        max_restarts=opts.max_restarts,
+        record_trace=opts.record_trace,
+        **job.kwargs,
+    )
+    if job.assemble is not None:
+        execution.outcome = job.assemble(execution.run)
+    return execution
+
+
+def launch(spec: JobSpec) -> Execution:
+    """Resolve the machine named by ``spec.options`` and run the job."""
+    return execute(resolve_machine(spec.options), spec)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DecompositionError
-from repro.machines.engine import Engine, Machine, RunResult
+from repro.machines.engine import Machine, RunResult
 from repro.wavelet.conv import analyze_axis_valid
 from repro.wavelet.cost import filter_pass_cost, lifting_pass_cost
 from repro.wavelet.filters import FilterBank
@@ -31,7 +31,6 @@ from repro.wavelet.parallel.decomposition import (
     BlockDecomposition,
     StripeDecomposition,
     analysis_guard_depths,
-    factor_grid,
 )
 from repro.wavelet.pyramid import DetailTriple, WaveletPyramid
 
@@ -469,51 +468,24 @@ def run_spmd_wavelet(
     SpmdWaveletOutcome
         Engine run result and the assembled pyramid (when collected, or
         when running on one rank).
-    """
-    image = np.asarray(image, dtype=np.float64)
-    if kernel not in ("conv", "lifting", "fused"):
-        from repro.wavelet.kernels import get_kernel
 
-        get_kernel(kernel)  # raises ConfigurationError with the known names
-    nranks = machine.nranks
-    engine = Engine(machine)
-    if decomposition == "striped":
-        decomp = StripeDecomposition(image.shape[0], image.shape[1], nranks, levels)
-        run = engine.run(
-            striped_wavelet_program,
-            image,
-            bank,
-            levels,
-            decomp,
-            distribute=distribute,
-            collect=collect,
-            kernel=kernel,
-        )
-        pyramid = None
-        if run.results[0] is not None and (collect or nranks == 1):
-            gathered = run.results[0]
-            if nranks == 1:
-                pyramid = _assemble_striped(gathered, bank.name, levels)
-            else:
-                pyramid = _assemble_striped(gathered, bank.name, levels)
-    elif decomposition == "block":
-        prows, pcols = factor_grid(nranks)
-        decomp = BlockDecomposition(image.shape[0], image.shape[1], prows, pcols, levels)
-        run = engine.run(
-            block_wavelet_program,
-            image,
-            bank,
-            levels,
-            decomp,
-            distribute=distribute,
-            collect=collect,
-            kernel=kernel,
-        )
-        pyramid = None
-        if run.results[0] is not None and (collect or nranks == 1):
-            pyramid = _assemble_block(run.results[0], decomp, bank.name, levels)
-    else:
-        raise DecompositionError(
-            f"unknown decomposition {decomposition!r}; use 'striped' or 'block'"
-        )
-    return SpmdWaveletOutcome(run=run, pyramid=pyramid)
+    Notes
+    -----
+    Thin wrapper over the runtime layer: builds a
+    :class:`~repro.runtime.spec.JobSpec` for the registered ``wavelet``
+    program and runs it through :func:`repro.runtime.execute`.
+    """
+    from repro.runtime import JobSpec, RunOptions, execute
+
+    spec = JobSpec(
+        program="wavelet",
+        params={
+            "image": image,
+            "bank": bank,
+            "levels": levels,
+            "distribute": distribute,
+            "collect": collect,
+        },
+        options=RunOptions(kernel=kernel, decomposition=decomposition),
+    )
+    return execute(machine, spec).outcome

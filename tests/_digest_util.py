@@ -1,0 +1,67 @@
+"""Deterministic digesting of driver outcomes (shared by the back-compat
+digest pins in ``tests/test_runtime_compat.py``).
+
+The walk serializes every scalar via ``repr`` and every array via its
+dtype/shape/raw bytes, so two outcomes digest equal iff they are
+byte-identical — the contract the runtime refactor must preserve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _feed(h, obj) -> None:
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A")
+        h.update(str(obj.dtype).encode())
+        h.update(str(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, (bool, int, float, complex, str, np.generic)):
+        h.update(repr(obj).encode())
+    elif isinstance(obj, slice):
+        h.update(repr((obj.start, obj.stop, obj.step)).encode())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L")
+        for item in obj:
+            _feed(h, item)
+        h.update(b"l")
+    elif isinstance(obj, dict):
+        h.update(b"D")
+        for key in sorted(obj):
+            _feed(h, key)
+            _feed(h, obj[key])
+        h.update(b"d")
+    else:
+        raise TypeError(f"undigestable object {type(obj)!r}")
+
+
+def digest(obj) -> str:
+    """sha256 hex digest of a nested scalar/array/container structure."""
+    h = hashlib.sha256()
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+def run_result_digest(run) -> str:
+    """Digest of a RunResult's observable outcome: elapsed time, values,
+    budgets, finish times, and network counters."""
+    return digest(
+        {
+            "elapsed_s": run.elapsed_s,
+            "results": run.results,
+            "budgets": [
+                (b.work_s, b.comm_s, b.redundancy_s, b.imbalance_s)
+                for b in run.budgets
+            ],
+            "finish_times": run.finish_times,
+            "messages_sent": run.messages_sent,
+            "bytes_sent": run.bytes_sent,
+            "contention_s": run.contention_s,
+            "fault_stats": run.fault_stats,
+        }
+    )
