@@ -1,0 +1,60 @@
+"""Static communication/determinism analysis for the SPMD dialect.
+
+Dynamic certification (the Netzer-Miller race detector in
+:mod:`repro.machines.causality`, the seeded fault fuzzer) only covers the
+executions we happen to run; this package analyses the *source* of every
+rank program and engine-layer module, so a mismatched tag, a wall-clock
+call, or an uncharged kernel is caught for all processor counts at once.
+In the spirit of MPI-Checker/MUST, but for the generator-coroutine
+``ctx.send``/``ctx.recv`` dialect.
+
+Three rule families:
+
+* **communication** — per-module static communication summaries (tag
+  constants, peer expressions, wildcard usage, timeout presence) feed
+  cross-module tag-collision and orphan-tag checks, wildcard-receive
+  "static race candidate" reporting (a superset of the dynamic detector's
+  findings on any traced run), raw-integer-tag hygiene, and a
+  missing-timeout check for receives reachable under ``reliable=False``
+  fault configs;
+* **determinism** — no wall-clock/entropy calls, no unseeded RNG, no
+  iteration over sets anywhere or over unsorted dicts in the engine,
+  scheduler, and causality layers;
+* **charging** — NumPy kernel calls inside rank-program bodies must be
+  paired with a ``ctx.compute``/``ctx.charge`` before the next
+  communication operation.
+
+Findings carry a rule id, severity, and fix hint; per-line suppression
+comments (``# lint: disable=RULE-ID``) and an optional reviewed baseline
+file waive known-safe sites.  ``python -m repro lint`` is the CLI; the CI
+``lint`` job gates PRs on a clean run.
+"""
+
+from repro.analysis.comm import CommSite, CommSummary, extract_comm_sites, summarize_comm
+from repro.analysis.linter import (
+    LintConfig,
+    LintReport,
+    format_human,
+    format_json,
+    lint_paths,
+    lint_sources,
+)
+from repro.analysis.rules import ALL_RULES, Finding, Rule, load_baseline, write_baseline
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Finding",
+    "CommSite",
+    "CommSummary",
+    "extract_comm_sites",
+    "summarize_comm",
+    "LintConfig",
+    "LintReport",
+    "lint_paths",
+    "lint_sources",
+    "format_human",
+    "format_json",
+    "load_baseline",
+    "write_baseline",
+]

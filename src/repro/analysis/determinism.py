@@ -1,0 +1,315 @@
+"""Determinism-invariant rules.
+
+The whole repo's value proposition is bit-identical reruns: traces are
+sha256-pinned, schedules replay from seeds, and the fault fuzzer shrinks
+counterexamples by re-execution.  Any ambient-entropy leak breaks all of
+that silently, so these rules ban the sources at the source level:
+
+``DET-WALL-CLOCK``
+    Calls that read host wall-clock time or OS entropy
+    (``time.time``/``monotonic``/``perf_counter`` and friends,
+    ``datetime.now``, ``os.urandom``, ``uuid.uuid1``/``uuid4``).  Virtual
+    time comes from the engine; host time is allowed only in the
+    benchmark harness behind explicit suppressions.
+``DET-UNSEEDED-RNG``
+    Draws from global RNG state (``random.*`` module functions,
+    ``np.random.*`` legacy draws) and zero-argument constructions of
+    ``default_rng()``/``RandomState()``/``Random()``.  All randomness
+    must flow from an explicit seed.
+``DET-SET-ITERATION``
+    ``for`` loops over set displays/comprehensions, ``set()``/
+    ``frozenset()`` results, or names locally bound to them (sorted()
+    wrapping exempts).  Set iteration order is a hash-function artifact.
+``DET-DICT-ITERATION``
+    ``for`` loops over ``.items()``/``.keys()``/``.values()`` without a
+    ``sorted()`` wrapper, in the *strict* modules (engine, scheduler,
+    causality) where iteration order feeds event ordering.  Insertion
+    order is deterministic per run but fragile under refactoring, so the
+    strict layers must either sort or carry a per-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import Finding, rule
+from repro.analysis.sources import SourceModule
+
+__all__ = ["check_determinism", "DEFAULT_STRICT_MODULES"]
+
+RULE_WALL_CLOCK = rule(
+    "DET-WALL-CLOCK",
+    "error",
+    "wall-clock or OS-entropy call in deterministic code",
+    "use engine virtual time (ctx.now / events) or pass timestamps in; "
+    "host clocks belong only in the benchmark harness",
+)
+RULE_UNSEEDED_RNG = rule(
+    "DET-UNSEEDED-RNG",
+    "error",
+    "draw from global/unseeded RNG state",
+    "construct np.random.default_rng(seed) / random.Random(seed) from an "
+    "explicit seed and thread it through",
+)
+RULE_SET_ITERATION = rule(
+    "DET-SET-ITERATION",
+    "error",
+    "iteration over a set (hash-order dependent)",
+    "iterate sorted(the_set) or keep the collection as a sorted list",
+)
+RULE_DICT_ITERATION = rule(
+    "DET-DICT-ITERATION",
+    "warning",
+    "unsorted dict iteration in an order-sensitive layer",
+    "iterate sorted(d.items()) — or suppress with a justification that "
+    "the consumer is order-insensitive",
+)
+
+#: Module prefixes where dict-iteration order feeds event ordering.
+DEFAULT_STRICT_MODULES = (
+    "repro.machines.engine",
+    "repro.machines.causality",
+    "repro.runtime",
+)
+
+# Part-wise dotted suffixes, matched after expanding the root import
+# alias (so ``np.random.rand`` is checked as ``numpy.random.rand`` and a
+# Generator method like ``rng.random()`` never matches).
+_WALL_CLOCK = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "clock_gettime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+)
+
+#: Global-state draws: ``random.X`` module functions; the same suffix
+#: also catches NumPy legacy draws (``numpy.random.X``).
+_GLOBAL_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "seed",
+        # numpy.random-only legacy names
+        "rand",
+        "randn",
+        "random_sample",
+        "standard_normal",
+        "permutation",
+    }
+)
+
+_RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Random"})
+
+
+def _dotted_parts(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    parts.reverse()
+    return parts
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, list[str]]:
+    """Map local names to the dotted path they denote."""
+    aliases: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name.split(".")
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = [root]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = node.module.split(".") + [alias.name]
+    return aliases
+
+
+def _expanded(parts: list[str], aliases: dict[str, list[str]]) -> list[str]:
+    expansion = aliases.get(parts[0])
+    if expansion is None:
+        return parts
+    return expansion + parts[1:]
+
+
+def _suffix_match(parts: list[str], suffix: tuple[str, ...]) -> bool:
+    return len(parts) >= len(suffix) and tuple(parts[-len(suffix) :]) == suffix
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_sorted_wrapped(node: ast.expr) -> bool:
+    """``sorted(...)`` (optionally through list()/tuple()/reversed/enumerate)."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple", "reversed", "enumerate")
+        and node.args
+    ):
+        node = node.args[0]
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+class _DetVisitor(ast.NodeVisitor):
+    def __init__(self, module: SourceModule, strict: bool) -> None:
+        self.module = module
+        self.strict = strict
+        self.aliases = _import_aliases(module.tree)
+        self.findings: list[Finding] = []
+        # Names bound to set-valued expressions, per enclosing scope.
+        self._set_names: list[set[str]] = [set()]
+
+    def _emit(self, rule_id: str, line: int, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule_id=rule_id,
+                module=self.module.name,
+                path=self.module.path,
+                line=line,
+                message=message,
+            )
+        )
+
+    # -- scope tracking ----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].add(target.id)
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def _iterates_set(self, node: ast.expr) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_names)
+        return False
+
+    # -- rules -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = _dotted_parts(node.func)
+        if parts is not None:
+            expanded = _expanded(parts, self.aliases)
+            for suffix in _WALL_CLOCK:
+                if _suffix_match(expanded, suffix):
+                    self._emit(
+                        RULE_WALL_CLOCK.id,
+                        node.lineno,
+                        f"call to {'.'.join(parts)} reads host "
+                        "wall-clock/entropy",
+                    )
+                    break
+            else:
+                if (
+                    _suffix_match(expanded, ("random", expanded[-1]))
+                    and expanded[-1] in _GLOBAL_DRAWS
+                    and len(expanded) >= 2
+                ):
+                    self._emit(
+                        RULE_UNSEEDED_RNG.id,
+                        node.lineno,
+                        f"{'.'.join(parts)} draws from global RNG state",
+                    )
+                elif (
+                    parts[-1] in _RNG_CONSTRUCTORS
+                    and not node.args
+                    and not node.keywords
+                ):
+                    self._emit(
+                        RULE_UNSEEDED_RNG.id,
+                        node.lineno,
+                        f"{'.'.join(parts)}() constructed without a seed",
+                    )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if not _is_sorted_wrapped(node.iter):
+            if self._iterates_set(node.iter):
+                self._emit(
+                    RULE_SET_ITERATION.id,
+                    node.lineno,
+                    "for-loop over a set: iteration order is "
+                    "hash-dependent",
+                )
+            elif self.strict and self._is_unsorted_dict_iter(node.iter):
+                self._emit(
+                    RULE_DICT_ITERATION.id,
+                    node.lineno,
+                    "for-loop over unsorted dict view in an "
+                    "order-sensitive layer",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_unsorted_dict_iter(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("items", "keys", "values")
+            and not node.args
+            and not node.keywords
+        )
+
+
+def check_determinism(
+    modules: list[SourceModule],
+    *,
+    strict_modules: tuple[str, ...] = DEFAULT_STRICT_MODULES,
+) -> list[Finding]:
+    """Run the determinism rule family over the module set."""
+    findings: list[Finding] = []
+    for module in modules:
+        strict = any(module.name.startswith(prefix) for prefix in strict_modules)
+        visitor = _DetVisitor(module, strict=strict)
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings

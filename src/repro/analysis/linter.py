@@ -1,0 +1,246 @@
+"""Linter driver: configuration, orchestration, and report formatting.
+
+``lint_paths`` discovers source files (defaulting to the installed
+``repro`` package), runs the three rule families, applies per-line
+suppressions and the optional baseline, and returns a
+:class:`LintReport`.  ``python -m repro lint`` is the CLI wrapper; the
+exit code is non-zero whenever any unwaived finding remains, so the CI
+gate needs no extra logic.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.charging import DEFAULT_KERNEL_CALLS, check_charging
+from repro.analysis.comm import CommSummary, check_comm
+from repro.analysis.determinism import DEFAULT_STRICT_MODULES, check_determinism
+from repro.analysis.rules import (
+    ALL_RULES,
+    Baseline,
+    Finding,
+    apply_suppressions,
+    load_baseline,
+)
+from repro.analysis.sources import SourceModule, discover_package, modules_from_sources
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "lint_modules",
+    "lint_paths",
+    "lint_sources",
+    "format_human",
+    "format_json",
+]
+
+
+@dataclass
+class LintConfig:
+    """Knobs for one linter run (defaults fit the repo itself)."""
+
+    #: Module prefixes where unsorted dict iteration is reported.
+    strict_modules: tuple[str, ...] = DEFAULT_STRICT_MODULES
+    #: Module prefixes whose receives run over the raw lossy channel
+    #: (``reliable=False``) and therefore must carry ``timeout_s``.
+    raw_fault_modules: tuple[str, ...] = ("repro.machines.faults.transport",)
+    #: Function names treated as compute kernels by the charging rule.
+    kernel_calls: frozenset[str] = DEFAULT_KERNEL_CALLS
+    #: Optional reviewed baseline of pre-existing findings.
+    baseline: Baseline | None = None
+    #: Cross-check minted tags against repro.machines.tags.REGISTRY.
+    check_registry: bool = True
+
+
+@dataclass
+class LintReport:
+    """Outcome of one linter run."""
+
+    findings: list[Finding]  # unwaived, sorted by (module, line, rule)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    summaries: list[CommSummary] = field(default_factory=list)
+    modules_checked: int = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def lint_modules(modules: list[SourceModule], config: LintConfig | None = None) -> LintReport:
+    """Run every rule family over already-parsed modules."""
+    config = config or LintConfig()
+    comm_findings, summaries = check_comm(
+        modules,
+        raw_fault_modules=config.raw_fault_modules,
+        check_registry=config.check_registry,
+    )
+    findings = list(comm_findings)
+    findings.extend(check_determinism(modules, strict_modules=config.strict_modules))
+    findings.extend(check_charging(modules, kernel_calls=config.kernel_calls))
+
+    suppression_maps = {m.name: m.suppressions for m in modules}
+    kept, waived = apply_suppressions(findings, suppression_maps)
+    baselined: list[Finding] = []
+    if config.baseline is not None:
+        kept, baselined = config.baseline.filter(kept)
+    return LintReport(
+        findings=sorted(kept, key=Finding.sort_key),
+        suppressed=sorted(waived, key=Finding.sort_key),
+        baselined=sorted(baselined, key=Finding.sort_key),
+        summaries=summaries,
+        modules_checked=len(modules),
+    )
+
+
+def _default_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _module_name_for(path: str) -> str:
+    """Best-effort dotted name for a lone file path."""
+    path = os.path.abspath(path)
+    parts: list[str] = [os.path.splitext(os.path.basename(path))[0]]
+    cursor = os.path.dirname(path)
+    while os.path.exists(os.path.join(cursor, "__init__.py")):
+        parts.append(os.path.basename(cursor))
+        cursor = os.path.dirname(cursor)
+    name = ".".join(reversed(parts))
+    return name[: -len(".__init__")] if name.endswith(".__init__") else name
+
+
+def lint_paths(
+    paths: list[str] | None = None,
+    config: LintConfig | None = None,
+    baseline_path: str | None = None,
+) -> LintReport:
+    """Lint files/packages on disk (default: the ``repro`` package)."""
+    config = config or LintConfig()
+    if baseline_path is not None:
+        config.baseline = load_baseline(baseline_path)
+    modules: list[SourceModule] = []
+    for path in paths or [_default_root()]:
+        if os.path.isdir(path):
+            modules.extend(discover_package(path))
+        else:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            modules.append(
+                SourceModule.from_source(_module_name_for(path), source, path=path)
+            )
+    return lint_modules(modules, config)
+
+
+def lint_sources(sources: dict[str, str], config: LintConfig | None = None) -> LintReport:
+    """Lint in-memory ``{dotted_name: source}`` (fixtures and tests)."""
+    return lint_modules(modules_from_sources(sources), config)
+
+
+def format_human(report: LintReport, *, verbose: bool = False) -> str:
+    """Compiler-style report: ``path:line: severity RULE-ID message``."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.severity} "
+            f"[{finding.rule_id}] {finding.message}"
+        )
+        lines.append(f"    hint: {finding.fix_hint}")
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: suppressed [{finding.rule_id}] "
+                f"{finding.message}"
+            )
+        for finding in report.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}: baselined [{finding.rule_id}] "
+                f"{finding.message}"
+            )
+    tail = (
+        f"{report.modules_checked} modules checked: "
+        f"{report.errors} error(s), {report.warnings} warning(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{len(report.suppressed)} suppressed")
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if extras:
+        tail += f" ({', '.join(extras)})"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> dict:
+    """Machine-readable report document (stable schema for CI)."""
+    return {
+        "schema": "repro.lint.report/v1",
+        "modules_checked": report.modules_checked,
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "counts": dict(sorted(report.counts.items())),
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "severity": f.severity,
+                "module": f.module,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "fix_hint": f.fix_hint,
+            }
+            for f in report.findings
+        ],
+        "suppressed": len(report.suppressed),
+        "baselined": len(report.baselined),
+        "rules": {
+            rule_id: {
+                "severity": r.severity,
+                "summary": r.summary,
+            }
+            for rule_id, r in sorted(ALL_RULES.items())
+        },
+    }
+
+
+def format_comm_summary(report: LintReport) -> str:
+    """Human-readable dump of the static communication summaries."""
+    lines: list[str] = []
+    for summary in report.summaries:
+        lines.append(f"{summary.module}:")
+        for site in summary.sites:
+            tag = site.tag_text if site.tag_value is None else f"{site.tag_text}={site.tag_value}"
+            extra = ""
+            if site.kind == "recv":
+                flags = []
+                if site.wildcard_src:
+                    flags.append("ANY_SOURCE")
+                if site.wildcard_tag:
+                    flags.append("ANY_TAG")
+                if site.has_timeout:
+                    flags.append("timeout")
+                if flags:
+                    extra = f" [{','.join(flags)}]"
+            name = site.collective or site.kind
+            lines.append(
+                f"  {site.line:>5}  {name:<12} peer={site.peer:<16} tag={tag}{extra}"
+            )
+    return "\n".join(lines)

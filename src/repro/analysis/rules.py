@@ -1,0 +1,175 @@
+"""Rule framework: rule catalogue, findings, suppressions, baselines.
+
+A :class:`Rule` is a stable identifier plus severity and a fix hint; a
+:class:`Finding` is one concrete violation at a (module, line).  Two
+waiver mechanisms exist, both explicit and reviewable:
+
+* an inline comment ``# lint: disable=RULE-ID`` (comma-separate several
+  ids, ``disable=all`` for everything) on the offending line, ideally
+  followed by a justification;
+* a JSON baseline file (``load_baseline``/``write_baseline``) granting a
+  per-``(rule, module)`` allowance of pre-existing findings, so the CI
+  gate can be landed before a legacy tree is fully clean.  The repo's own
+  baseline is empty and pinned empty by a test.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Rule",
+    "Finding",
+    "ALL_RULES",
+    "rule",
+    "parse_suppressions",
+    "apply_suppressions",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static-analysis rule: stable id, severity, and remediation."""
+
+    id: str
+    severity: str  # "error" | "warning"
+    summary: str
+    fix_hint: str
+
+
+#: Rule catalogue, id -> Rule (populated by the family modules at import).
+ALL_RULES: dict[str, Rule] = {}
+
+
+def rule(id: str, severity: str, summary: str, fix_hint: str) -> Rule:
+    """Register a rule in the catalogue (module-import side effect)."""
+    if id in ALL_RULES:
+        raise ValueError(f"duplicate rule id {id!r}")
+    if severity not in ("error", "warning"):
+        raise ValueError(f"bad severity {severity!r} for rule {id!r}")
+    r = Rule(id=id, severity=severity, summary=summary, fix_hint=fix_hint)
+    ALL_RULES[id] = r
+    return r
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: rule, location, and a site-specific message."""
+
+    rule_id: str
+    module: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def rule(self) -> Rule:
+        return ALL_RULES[self.rule_id]
+
+    @property
+    def severity(self) -> str:
+        return self.rule.severity
+
+    @property
+    def fix_hint(self) -> str:
+        return self.rule.fix_hint
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.module, self.line, self.rule_id)
+
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line.
+
+    The special id ``all`` disables every rule on the line.
+    """
+    suppressed: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if ids:
+            suppressed[lineno] = ids
+    return suppressed
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: dict[str, dict[int, set[str]]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (kept, suppressed) using per-module line maps."""
+    kept: list[Finding] = []
+    waived: list[Finding] = []
+    for finding in findings:
+        ids = suppressions.get(finding.module, {}).get(finding.line, set())
+        if finding.rule_id in ids or "all" in ids:
+            waived.append(finding)
+        else:
+            kept.append(finding)
+    return kept, waived
+
+
+@dataclass
+class Baseline:
+    """Reviewed allowance of pre-existing findings per ``(rule, module)``."""
+
+    allowances: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, baselined), consuming allowances in
+        (module, line) order so the waiver set is deterministic."""
+        budget = dict(self.allowances)
+        kept: list[Finding] = []
+        waived: list[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = (finding.rule_id, finding.module)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                waived.append(finding)
+            else:
+                kept.append(finding)
+        return kept, waived
+
+    @property
+    def total(self) -> int:
+        return sum(self.allowances.values())
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline JSON file written by :func:`write_baseline`."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "repro.lint.baseline/v1":
+        raise ValueError(f"{path}: not a repro lint baseline file")
+    allowances: dict[tuple[str, str], int] = {}
+    for entry in doc.get("entries", []):
+        key = (str(entry["rule"]), str(entry["module"]))
+        allowances[key] = allowances.get(key, 0) + int(entry.get("count", 1))
+    return Baseline(allowances=allowances)
+
+
+def write_baseline(path: str, findings: list[Finding]) -> dict:
+    """Write the current findings as a baseline file; returns the doc."""
+    counts: dict[tuple[str, str], int] = {}
+    for finding in findings:
+        key = (finding.rule_id, finding.module)
+        counts[key] = counts.get(key, 0) + 1
+    doc = {
+        "schema": "repro.lint.baseline/v1",
+        "entries": [
+            {"rule": rule_id, "module": module, "count": count}
+            for (rule_id, module), count in sorted(counts.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -193,6 +193,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_wavelet.json",
         help="output JSON path (default BENCH_wavelet.json)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static communication/determinism/charging analysis",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or package dirs to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("human", "json"), default="human", dest="fmt",
+        help="report format (default human)",
+    )
+    lint.add_argument("--baseline", help="reviewed baseline JSON to subtract")
+    lint.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="write current findings as a baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--comm-summary", action="store_true",
+        help="dump per-module static communication summaries instead of findings",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed and baselined findings",
+    )
     return parser
 
 
@@ -745,6 +771,27 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analysis import lint_paths, write_baseline
+    from repro.analysis.linter import format_comm_summary, format_human, format_json
+
+    report = lint_paths(args.paths or None, baseline_path=args.baseline)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report.findings)
+        print(f"wrote baseline for {len(report.findings)} finding(s) to {args.write_baseline}")
+        return 0
+    if args.comm_summary:
+        print(format_comm_summary(report))
+        return 0
+    if args.fmt == "json":
+        print(_json.dumps(format_json(report), indent=2, sort_keys=True))
+    else:
+        print(format_human(report, verbose=args.verbose))
+    return report.exit_code
+
+
 _COMMANDS = {
     "wavelet": _cmd_wavelet,
     "nbody": _cmd_nbody,
@@ -755,6 +802,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "schedule": _cmd_schedule,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

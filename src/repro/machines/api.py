@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CommunicationError
+from repro.machines import tags
 from repro.machines.engine import RankContext
 
 __all__ = [
@@ -40,18 +41,18 @@ __all__ = [
     "exercise_collectives",
 ]
 
-COLLECTIVE_TAG_BASE = 900_000
+COLLECTIVE_TAG_BASE = tags.COLLECTIVE_TAG_BASE
 
-_TAG_BCAST = COLLECTIVE_TAG_BASE + 1
-_TAG_REDUCE = COLLECTIVE_TAG_BASE + 2
-_TAG_ALLREDUCE = COLLECTIVE_TAG_BASE + 3
-_TAG_GSSUM = COLLECTIVE_TAG_BASE + 4
-_TAG_GATHER = COLLECTIVE_TAG_BASE + 5
-_TAG_SCATTER = COLLECTIVE_TAG_BASE + 6
-_TAG_BARRIER = COLLECTIVE_TAG_BASE + 7
-_TAG_ALLGATHER = COLLECTIVE_TAG_BASE + 8
-_TAG_ALLTOALL = COLLECTIVE_TAG_BASE + 9
-_TAG_SENDRECV = COLLECTIVE_TAG_BASE + 10
+_TAG_BCAST = tags.COLLECTIVE_BCAST
+_TAG_REDUCE = tags.COLLECTIVE_REDUCE
+_TAG_ALLREDUCE = tags.COLLECTIVE_ALLREDUCE
+_TAG_GSSUM = tags.COLLECTIVE_GSSUM
+_TAG_GATHER = tags.COLLECTIVE_GATHER
+_TAG_SCATTER = tags.COLLECTIVE_SCATTER
+_TAG_BARRIER = tags.COLLECTIVE_BARRIER
+_TAG_ALLGATHER = tags.COLLECTIVE_ALLGATHER
+_TAG_ALLTOALL = tags.COLLECTIVE_ALLTOALL
+_TAG_SENDRECV = tags.COLLECTIVE_SENDRECV
 
 
 def _add(a, b):

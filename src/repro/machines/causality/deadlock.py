@@ -79,7 +79,7 @@ class DeadlockReport:
 
 def _posted_from(waiting: dict) -> dict:
     posted = {}
-    for rank, op in waiting.items():
+    for rank, op in sorted(waiting.items()):
         src = getattr(op, "src", None)
         tag = getattr(op, "tag", None)
         if src is None and isinstance(op, tuple) and len(op) == 2:
@@ -102,7 +102,7 @@ def wait_for_edges(waiting: dict) -> dict:
     posted = _posted_from(waiting)
     stuck = set(posted)
     edges = {}
-    for rank, op in posted.items():
+    for rank, op in sorted(posted.items()):
         if op.src == ANY_SOURCE:
             edges[rank] = tuple(sorted(stuck - {rank}))
         else:

@@ -28,8 +28,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import CausalityError
+
+if TYPE_CHECKING:
+    from repro.machines.engine import TraceEvent
 
 __all__ = ["CriticalPathAnalysis", "HappensBeforeGraph"]
 
@@ -130,7 +134,7 @@ class HappensBeforeGraph:
             out.append(self.send_of_msg[event.match_id])
         return out
 
-    def _event(self, index: int):
+    def _event(self, index: int) -> "TraceEvent":
         if not 0 <= index < len(self.events):
             raise CausalityError(
                 f"event index {index} outside trace of {len(self.events)} events"

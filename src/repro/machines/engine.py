@@ -954,7 +954,9 @@ class Engine:
         """
         best_key = None
         best_arrive = None
-        for (src, tag), queue in st.mailbox.items():
+        # Order-insensitive: the loop reduces to a lexicographic minimum,
+        # so mailbox insertion order cannot leak into matching.
+        for (src, tag), queue in st.mailbox.items():  # lint: disable=DET-DICT-ITERATION
             if not queue:
                 continue
             if op.src != ANY_SOURCE and src != op.src:

@@ -186,7 +186,7 @@ class FaultPlan:
 
     # -- rank crashes -------------------------------------------------------
 
-    def crash_time(self, rank: int):
+    def crash_time(self, rank: int) -> float | None:
         """Virtual crash instant for ``rank``, or ``None`` if it survives."""
         return self._crash_times.get(rank)
 

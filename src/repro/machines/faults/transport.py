@@ -26,6 +26,7 @@ import pickle
 import zlib
 
 from repro.errors import CommunicationError, RecvTimeoutError, TransportError
+from repro.machines import tags
 from repro.machines.engine import ANY_SOURCE, CorruptedPayload, RankContext
 
 __all__ = [
@@ -37,9 +38,9 @@ __all__ = [
     "drain",
 ]
 
-DATA_TAG_BASE = 950_000
-ACK_TAG_BASE = 975_000
-TRANSPORT_TAG_SPAN = 25_000
+DATA_TAG_BASE = tags.TRANSPORT_DATA_BASE
+ACK_TAG_BASE = tags.TRANSPORT_ACK_BASE
+TRANSPORT_TAG_SPAN = tags.TRANSPORT_TAG_SPAN
 
 
 def _checksum(payload) -> int:

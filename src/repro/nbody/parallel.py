@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.data.particles import ParticleSet
 from repro.errors import ConfigurationError
+from repro.machines import tags
 from repro.machines.api import bcast
 from repro.machines.engine import Machine, RunResult
 from repro.nbody.force import force_op_cost, tree_build_op_cost, tree_forces
@@ -38,7 +39,7 @@ from repro.nbody.tree import BarnesHutTree, build_tree
 
 __all__ = ["ParallelNBodyOutcome", "manager_worker_program", "replicated_program", "run_parallel_nbody"]
 
-_TAG_UPDATE = 11
+_TAG_UPDATE = tags.NBODY_UPDATE
 
 _BYTES_PER_BODY = 56  # the paper's 2-D body struct size
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.data.particles import ParticleSet
 from repro.errors import ConfigurationError
+from repro.machines import tags
 from repro.machines.api import allreduce, gather, gssum_naive
 from repro.machines.engine import Machine, RunResult
 from repro.pic.cost import (
@@ -44,7 +45,7 @@ from repro.pic.push import adaptive_dt, push_particles
 
 __all__ = ["ParallelPicOutcome", "pic_program", "run_parallel_pic", "particle_share"]
 
-_TAG_FINAL = 21
+_TAG_FINAL = tags.PIC_FINAL
 
 _BYTES_PER_PARTICLE = 48  # 3 positions + 3 velocities, double precision
 

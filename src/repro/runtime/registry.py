@@ -301,7 +301,7 @@ def _build_pic(spec: JobSpec, nranks: int) -> Launch:
     )
 
 
-def _workload_program(ctx, mix_counts, repeats: int):
+def _workload_program(ctx, mix_counts: dict, repeats: int):
     """Rank program replaying an instruction-type mix as compute charges.
 
     ``mix_counts`` maps engine cost categories (``flops``/``intops``/

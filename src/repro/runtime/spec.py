@@ -15,8 +15,12 @@ program-specific parameters, so one description can be executed directly
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.machines.engine import Machine
 
 __all__ = ["RunOptions", "JobSpec", "resolve_machine"]
 
@@ -98,7 +102,7 @@ class JobSpec:
         return self.params.get(key, default)
 
 
-def resolve_machine(options: RunOptions):
+def resolve_machine(options: RunOptions) -> "Machine":
     """Build (or pass through) the machine an option set describes.
 
     A :class:`~repro.machines.engine.Machine` instance is returned as-is;

@@ -12,8 +12,9 @@ is verified bit-for-bit against :func:`repro.wavelet.mallat_decompose_2d`
 (both compute the identical periodized transform; no float reordering is
 introduced by the decomposition).
 
-Message tags: 1 = initial distribution, 2 = row-guard, 3 = column-guard,
-4 = collection.
+Message tags are allocated by the central :mod:`repro.machines.tags`
+registry (distribution, row-guard, column-guard, collection, plus the
+lifting kernels' front-guard exchanges).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DecompositionError
+from repro.machines import tags
 from repro.machines.engine import Machine, RunResult
 from repro.wavelet.conv import analyze_axis_valid
 from repro.wavelet.cost import filter_pass_cost, lifting_pass_cost
@@ -41,15 +43,14 @@ __all__ = [
     "run_spmd_wavelet",
 ]
 
-_TAG_DISTRIBUTE = 1
-_TAG_ROW_GUARD = 2
-_TAG_COL_GUARD = 3
-_TAG_COLLECT = 4
+_TAG_DISTRIBUTE = tags.WAVELET_DISTRIBUTE
+_TAG_ROW_GUARD = tags.WAVELET_ROW_GUARD
+_TAG_COL_GUARD = tags.WAVELET_COL_GUARD
+_TAG_COLLECT = tags.WAVELET_COLLECT
 # Lifting steps reach backwards as well as forwards, so the lifting/fused
-# kernels add a front-guard exchange in the opposite direction (tags 31+
-# keep clear of the per-module 1-30 range and the collective 900k range).
-_TAG_COL_GUARD_FRONT = 31
-_TAG_ROW_GUARD_FRONT = 32
+# kernels add a front-guard exchange in the opposite direction.
+_TAG_COL_GUARD_FRONT = tags.WAVELET_COL_GUARD_FRONT
+_TAG_ROW_GUARD_FRONT = tags.WAVELET_ROW_GUARD_FRONT
 
 
 @dataclass

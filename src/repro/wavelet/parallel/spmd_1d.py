@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DecompositionError
+from repro.machines import tags
 from repro.machines.engine import Engine, Machine, RunResult
 from repro.wavelet.conv import analyze_axis_valid
 from repro.wavelet.cost import filter_pass_cost, lifting_pass_cost
@@ -32,13 +33,12 @@ __all__ = [
     "run_spmd_idwt_1d",
 ]
 
-_TAG_DISTRIBUTE = 8
-_TAG_GUARD = 9
-_TAG_COLLECT = 10
-# Opposite-direction guards only the lifting/fused kernels need (31+ range,
-# matching the 2-D SPMD convention).
-_TAG_GUARD_FRONT = 33
-_TAG_GUARD_BACK = 34
+_TAG_DISTRIBUTE = tags.DWT1D_DISTRIBUTE
+_TAG_GUARD = tags.DWT1D_GUARD
+_TAG_COLLECT = tags.DWT1D_COLLECT
+# Opposite-direction guards only the lifting/fused kernels need.
+_TAG_GUARD_FRONT = tags.DWT1D_GUARD_FRONT
+_TAG_GUARD_BACK = tags.DWT1D_GUARD_BACK
 
 
 @dataclass

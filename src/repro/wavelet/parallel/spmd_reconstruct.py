@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DecompositionError
+from repro.machines import tags
 from repro.machines.engine import Engine, Machine, RunResult
 from repro.wavelet.conv import synthesize_axis, synthesize_axis_valid
 from repro.wavelet.cost import lifting_pass_cost, synthesis_pass_cost
@@ -29,12 +30,12 @@ from repro.wavelet.pyramid import WaveletPyramid
 
 __all__ = ["SpmdReconstructOutcome", "striped_reconstruct_program", "run_spmd_reconstruct"]
 
-_TAG_DISTRIBUTE = 5
-_TAG_GUARD = 6
-_TAG_COLLECT = 7
+_TAG_DISTRIBUTE = tags.RECONSTRUCT_DISTRIBUTE
+_TAG_GUARD = tags.RECONSTRUCT_GUARD
+_TAG_COLLECT = tags.RECONSTRUCT_COLLECT
 # Extra guard the lifting/fused kernels fetch from the *south* neighbor
-# when the inverse lifting steps reach forwards (31+ convention).
-_TAG_GUARD_BACK = 35
+# when the inverse lifting steps reach forwards.
+_TAG_GUARD_BACK = tags.RECONSTRUCT_GUARD_BACK
 
 
 @dataclass
