@@ -33,7 +33,15 @@ writing code:
     every registered kernel (conv/lifting/fused), cross-check the numerics
     against the conv reference, and write ``BENCH_wavelet.json``.
     ``--virtual`` reports deterministic virtual time through the runtime
-    layer instead.
+    layer instead.  ``--ratchet BASELINE`` compares kernel speedups
+    against a committed baseline and fails on regression.
+``serve``
+    Multi-tenant service simulation in virtual time: seeded open-loop
+    arrivals over a tenant mix, admission control, batching, fair-share
+    or FIFO queueing over buddy partitions, p50/p99 steady-state metrics
+    (``repro.service.snapshot/v1``).  ``--sweep`` runs the closed-loop
+    autopilot across an offered-load grid and reports the saturation
+    knee (``repro.service.loadsweep/v1``).
 
 Every simulated-machine subcommand goes through the
 :mod:`repro.runtime` layer: the flags assemble a
@@ -165,6 +173,24 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--particles", type=int, default=1024, help="particles (pic)")
     schedule.add_argument("--grid", type=int, default=8, dest="grid_m")
     schedule.add_argument("--steps", type=int, default=2, help="steps (nbody/pic)")
+    schedule.add_argument(
+        "--seed", type=int, default=0,
+        help="arrival-stream seed (with --arrival)",
+    )
+    schedule.add_argument(
+        "--arrival", default=None, metavar="KIND:RATE",
+        help="stagger submissions with a seeded arrival process "
+        "(poisson|bursty|diurnal, e.g. poisson:2.0); default: all at t=0",
+    )
+    schedule.add_argument(
+        "--count", type=int, default=0,
+        help="with --arrival: total submissions, cycling the --job pool "
+        "(default: one per --job entry)",
+    )
+    schedule.add_argument(
+        "--policy", default="fifo", choices=("fifo", "fair"),
+        help="queue policy (default fifo)",
+    )
 
     bench = sub.add_parser(
         "bench", help="wall-clock kernel benchmark (conv vs lifting vs fused)"
@@ -193,6 +219,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_wavelet.json",
         help="output JSON path (default BENCH_wavelet.json)",
     )
+    bench.add_argument(
+        "--ratchet", default=None, metavar="BASELINE",
+        help="compare kernel speedups against a committed baseline JSON "
+        "and exit 1 on regression beyond tolerance",
+    )
+    bench.add_argument(
+        "--ratchet-tolerance", type=float, default=0.25,
+        help="allowed fractional speedup regression for --ratchet "
+        "(default 0.25)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant service simulation (virtual time)"
+    )
+    serve.add_argument(
+        "--machine", default="paragon", choices=("paragon", "t3d", "workstation")
+    )
+    serve.add_argument("--mix", default="default", help="tenant mix name")
+    serve.add_argument(
+        "--arrival", default="poisson", metavar="KIND[:RATE]",
+        help="arrival process: poisson|bursty|diurnal, optional rate/s "
+        "(default poisson at --load x capacity)",
+    )
+    serve.add_argument(
+        "--load", type=float, default=0.7,
+        help="offered load as a fraction of estimated capacity, used when "
+        "--arrival carries no rate (default 0.7)",
+    )
+    serve.add_argument("--horizon", type=float, default=60.0, dest="horizon_s",
+                       help="arrival horizon in virtual seconds (default 60)")
+    serve.add_argument("--seed", type=int, default=0, help="simulation seed")
+    serve.add_argument(
+        "--policy", default="fair", choices=("fifo", "fair"),
+        help="queue policy (default fair = weighted fair-share)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=0,
+        help="shed arrivals beyond this total backlog (0 = off)",
+    )
+    serve.add_argument(
+        "--tenant-backlog", type=int, default=0,
+        help="shed arrivals beyond this per-tenant backlog (0 = off)",
+    )
+    serve.add_argument(
+        "--sweep", action="store_true",
+        help="closed-loop load sweep: find the saturation knee",
+    )
+    serve.add_argument(
+        "--sweep-loads", default=None, metavar="M1,M2,...",
+        help="ascending offered-load multipliers for --sweep "
+        "(default 0.25,0.5,0.75,1.0,1.5,2.0)",
+    )
+    serve.add_argument(
+        "--format", choices=("human", "json"), default="human", dest="fmt",
+        help="report format (default human)",
+    )
+    serve.add_argument("--out", default=None, help="also write the JSON report here")
 
     lint = sub.add_parser(
         "lint",
@@ -654,16 +737,44 @@ def _schedule_spec(args, entry: str, index: int):
     )
 
 
+def _arrival_times(process, count: int) -> list:
+    """First ``count`` instants of a seeded arrival process.
+
+    ``times()`` regenerates the identical stream from its seed on every
+    call, so growing the horizon until enough events land is replay-safe.
+    """
+    horizon_s = max(1.0, 4.0 * count / process.mean_rate_s)
+    while True:
+        times = list(process.times(horizon_s))
+        if len(times) >= count:
+            return times[:count]
+        horizon_s *= 2.0
+
+
 def _cmd_schedule(args) -> int:
     from repro.perf import format_table
-    from repro.runtime import Scheduler, machine_template
+    from repro.runtime import Scheduler, machine_template, make_policy
 
     entries = args.jobs or ["wavelet:32", "wavelet:32"]
     protocol = "nx" if args.machine == "paragon" else None
     template = machine_template(args.machine, protocol=protocol)
-    sched = Scheduler(template)
-    for index, entry in enumerate(entries):
-        sched.submit(_schedule_spec(args, entry, index))
+    sched = Scheduler(template, policy=make_policy(args.policy))
+    if args.arrival:
+        from repro.service.arrivals import parse_arrival_spec
+
+        process = parse_arrival_spec(args.arrival, args.seed)
+        count = args.count if args.count > 0 else len(entries)
+        submit_times = _arrival_times(process, count)
+        print(
+            f"staggering {count} submission(s) over {process.describe()}: "
+            f"last arrival t={submit_times[-1]:.3f}s"
+        )
+        for index, submit_s in enumerate(submit_times):
+            entry = entries[index % len(entries)]
+            sched.submit(_schedule_spec(args, entry, index), submit_s=submit_s)
+    else:
+        for index, entry in enumerate(entries):
+            sched.submit(_schedule_spec(args, entry, index))
     results = sched.run()
 
     rows = [
@@ -694,6 +805,17 @@ def _cmd_schedule(args) -> int:
         f"total queue wait {sched.total_queue_wait_s():.4f} s"
     )
     return 0
+
+
+def _bench_ratchet(args, doc) -> int:
+    """Apply the --ratchet speedup comparison; returns the exit code."""
+    if not args.ratchet:
+        return 0
+    from repro.perf.ratchet import check_ratchet, format_ratchet
+
+    report = check_ratchet(doc, args.ratchet, tolerance=args.ratchet_tolerance)
+    print(format_ratchet(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_bench(args) -> int:
@@ -734,7 +856,7 @@ def _cmd_bench(args) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {len(doc['results'])} results to {args.out}")
-        return 0
+        return _bench_ratchet(args, doc)
 
     cases = quick_cases() if args.quick else default_cases()
     repeats = min(args.repeats, 3) if args.quick else args.repeats
@@ -768,6 +890,196 @@ def _cmd_bench(args) -> int:
     )
     write_bench_json(args.out, doc)
     print(f"wrote {len(doc['results'])} results to {args.out}")
+    return _bench_ratchet(args, doc)
+
+
+def _serve_human(doc: dict) -> None:
+    """Render a service snapshot as tables on stdout."""
+    from repro.perf import format_table
+
+    config = doc["config"]
+    jobs = doc["jobs"]
+    latency = doc["latency"]
+    backlog = doc["backlog"]
+    print(
+        f"service on {config['usable_nodes']} nodes: mix={config['mix']}, "
+        f"arrival={config['arrival']}, policy={config['policy']}, "
+        f"admission={config['admission']}"
+    )
+    print(
+        f"offered {jobs['offered']} item(s), admitted {jobs['admitted']}, "
+        f"completed {jobs['completed']} in {jobs['submissions']} submission(s), "
+        f"shed {jobs['shed']} ({jobs['shed_rate']:.1%})"
+    )
+    if jobs["shed_reasons"]:
+        reasons = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(jobs["shed_reasons"].items())
+        )
+        print(f"shed reasons: {reasons}")
+    rows = [
+        [
+            name,
+            str(latency[key]["count"]),
+            f"{latency[key]['p50']:.4f}",
+            f"{latency[key]['p99']:.4f}",
+            f"{latency[key]['mean']:.4f}",
+            f"{latency[key]['max']:.4f}",
+        ]
+        for name, key in (
+            ("queue wait", "queue_wait"),
+            ("turnaround", "turnaround"),
+            ("pipeline", "pipeline_makespan"),
+        )
+        if latency[key]["count"]
+    ]
+    print(
+        format_table(
+            "latency (virtual seconds)",
+            ["metric", "n", "p50", "p99", "mean", "max"],
+            rows,
+        )
+    )
+    tenant_rows = [
+        [
+            entry["tenant"],
+            str(entry["completed"]),
+            str(entry["shed"]),
+            f"{entry['queue_wait']['p99']:.4f}",
+            f"{entry['turnaround']['p50']:.4f}",
+            f"{entry['turnaround']['p99']:.4f}",
+        ]
+        for entry in doc["per_tenant"]
+    ]
+    print(
+        format_table(
+            "per-tenant",
+            ["tenant", "done", "shed", "wait p99", "turn p50", "turn p99"],
+            tenant_rows,
+        )
+    )
+    print(
+        f"utilization {doc['utilization']:.0%}, backlog peak {backlog['peak']} "
+        f"mean {backlog['mean']:.1f} end {backlog['end']}, "
+        f"drained at t={doc['elapsed_s']:.3f}s"
+    )
+
+
+def _sweep_human(doc: dict) -> None:
+    """Render a load-sweep report as a table plus the knee verdict."""
+    from repro.perf import format_table
+
+    config = doc["config"]
+    print(
+        f"load sweep on {config['usable_nodes']} nodes: mix={config['mix']}, "
+        f"arrival={config['arrival']}, policy={config['policy']}, "
+        f"estimated capacity {config['capacity_rate_s']:.3f} req/s"
+    )
+    rows = [
+        [
+            f"{p['offered_load']:.2f}",
+            f"{p['rate_s']:.3f}",
+            str(p["completed"]),
+            f"{p['shed_rate']:.1%}",
+            f"{p['p50_turnaround_s']:.4f}",
+            f"{p['p99_turnaround_s']:.4f}",
+            f"{p['utilization']:.0%}",
+            str(p["backlog_end"]),
+            "yes" if p["unstable"] else "",
+        ]
+        for p in doc["points"]
+    ]
+    print(
+        format_table(
+            "offered-load sweep (virtual seconds)",
+            ["load", "req/s", "done", "shed", "p50", "p99", "util", "backlog", "unstable"],
+            rows,
+        )
+    )
+    knee = doc["knee"]
+    if knee["detected"]:
+        print(
+            f"saturation knee at offered load {knee['offered_load']:.2f}x "
+            f"({knee['rate_s']:.3f} req/s), p99 turnaround "
+            f"{knee['p99_turnaround_s']:.4f}s [{knee['method']}]"
+        )
+    else:
+        print("no saturation knee detected inside the sweep range")
+
+
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from repro.runtime import machine_template, make_policy
+    from repro.service import (
+        AdmissionController,
+        EngineOracle,
+        Service,
+        ServiceConfig,
+        estimate_capacity_rate,
+        get_mix,
+        parse_arrival_spec,
+        run_load_sweep,
+    )
+
+    protocol = "nx" if args.machine == "paragon" else None
+    template = machine_template(args.machine, protocol=protocol)
+    usable_nodes = template.total_nodes
+    mix = get_mix(args.mix)
+    oracle = EngineOracle(args.machine, protocol=protocol)
+    admission = None
+    if args.queue_limit or args.tenant_backlog:
+        admission = AdmissionController(
+            tenant_backlog_limit=args.tenant_backlog,
+            queue_limit=args.queue_limit,
+        )
+
+    if args.sweep:
+        # The sweep sets each point's rate itself; only the kind carries.
+        arrival_kind = args.arrival.partition(":")[0]
+        multipliers = (
+            tuple(float(m) for m in args.sweep_loads.split(","))
+            if args.sweep_loads
+            else (0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
+        )
+        doc = run_load_sweep(
+            usable_nodes,
+            mix,
+            oracle,
+            multipliers=multipliers,
+            arrival_kind=arrival_kind,
+            seed=args.seed,
+            horizon_s=args.horizon_s,
+            policy_name=args.policy,
+            admission=admission,
+        )
+        if args.fmt == "json":
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            _sweep_human(doc)
+    else:
+        default_rate = args.load * estimate_capacity_rate(mix, oracle, usable_nodes)
+        arrivals = parse_arrival_spec(args.arrival, args.seed, rate_s=default_rate)
+        service = Service(
+            usable_nodes,
+            mix,
+            arrivals,
+            oracle,
+            policy=make_policy(args.policy, weights=mix.tenant_weights()),
+            admission=admission,
+            config=ServiceConfig(horizon_s=args.horizon_s),
+            seed=args.seed,
+        )
+        doc = service.run().snapshot
+        if args.fmt == "json":
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            _serve_human(doc)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
     return 0
 
 
@@ -802,6 +1114,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "schedule": _cmd_schedule,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -1,0 +1,137 @@
+"""Benchmark ratchet: fail CI when kernel speedups regress.
+
+A committed ``BENCH_wavelet.json`` baseline pins the speedups the
+lifting and fused kernels achieved over the conv reference on the
+machine that produced it.  :func:`compare_bench` re-aggregates a fresh
+run against that baseline — per-kernel geometric mean of
+``speedup_vs_conv`` over the *intersection* of benchmark cases, so a
+quick CI run ratchets against the matching subset of a full baseline —
+and flags any kernel whose mean speedup fell more than ``tolerance``
+below the pinned value.
+
+Wall-clock numbers are noisy across hosts, which is why the tolerance is
+generous by default (25%) and the comparison is against ratios
+(speedup), not absolute ns/op: machine-wide slowdowns cancel out, while
+a real kernel regression (lost fusion, broken lifting path) does not.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["load_bench", "compare_bench", "format_ratchet", "check_ratchet"]
+
+
+def load_bench(path: str) -> dict:
+    """Read a benchmark JSON document and check its shape."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"cannot read benchmark baseline {path!r}: {exc}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("results"), list):
+        raise ConfigurationError(
+            f"benchmark baseline {path!r} has no 'results' list"
+        )
+    return doc
+
+
+def _case_key(row: dict) -> tuple:
+    return (row["size"], row["filter_length"], row["levels"])
+
+
+def _speedups_by_kernel(doc: dict) -> dict:
+    """``{kernel: {case_key: speedup_vs_conv}}``, conv excluded."""
+    table: dict = {}
+    for row in doc["results"]:
+        if row["kernel"] == "conv":
+            continue
+        table.setdefault(row["kernel"], {})[_case_key(row)] = float(
+            row["speedup_vs_conv"]
+        )
+    return table
+
+
+def _geomean(values: list) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare_bench(current: dict, baseline: dict, *, tolerance: float = 0.25) -> dict:
+    """Compare two benchmark documents kernel by kernel.
+
+    Returns ``{"ok": bool, "tolerance": float, "kernels": [...]}`` where
+    each kernel entry carries the baseline/current geometric-mean
+    speedup over the shared cases, the ratio, and a ``regressed`` flag
+    (``current < baseline * (1 - tolerance)``).  Kernels or cases absent
+    from either side are skipped (reported with ``cases == 0``), never
+    treated as regressions.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ConfigurationError(
+            f"ratchet tolerance must be in [0, 1), got {tolerance}"
+        )
+    current_table = _speedups_by_kernel(current)
+    baseline_table = _speedups_by_kernel(baseline)
+    kernels = []
+    ok = True
+    for kernel in sorted(set(current_table) | set(baseline_table)):
+        shared = sorted(
+            set(current_table.get(kernel, {})) & set(baseline_table.get(kernel, {}))
+        )
+        if not shared:
+            kernels.append(
+                {
+                    "kernel": kernel,
+                    "cases": 0,
+                    "baseline": None,
+                    "current": None,
+                    "ratio": None,
+                    "regressed": False,
+                }
+            )
+            continue
+        base = _geomean([baseline_table[kernel][key] for key in shared])
+        cur = _geomean([current_table[kernel][key] for key in shared])
+        ratio = cur / base
+        regressed = ratio < 1.0 - tolerance
+        ok = ok and not regressed
+        kernels.append(
+            {
+                "kernel": kernel,
+                "cases": len(shared),
+                "baseline": base,
+                "current": cur,
+                "ratio": ratio,
+                "regressed": regressed,
+            }
+        )
+    return {"ok": ok, "tolerance": tolerance, "kernels": kernels}
+
+
+def format_ratchet(report: dict) -> str:
+    """Human-readable ratchet verdict."""
+    lines = [
+        f"speedup ratchet (tolerance {report['tolerance']:.0%} regression)"
+    ]
+    for entry in report["kernels"]:
+        if entry["cases"] == 0:
+            lines.append(f"  {entry['kernel']:<10} no shared cases; skipped")
+            continue
+        verdict = "REGRESSED" if entry["regressed"] else "ok"
+        lines.append(
+            f"  {entry['kernel']:<10} baseline {entry['baseline']:.2f}x, "
+            f"current {entry['current']:.2f}x over {entry['cases']} case(s) "
+            f"({entry['ratio']:.0%}) -> {verdict}"
+        )
+    lines.append(
+        "ratchet passed" if report["ok"] else "ratchet FAILED: kernel speedup regressed"
+    )
+    return "\n".join(lines)
+
+
+def check_ratchet(current: dict, baseline_path: str, *, tolerance: float = 0.25) -> dict:
+    """Load the baseline, compare, and return the report."""
+    return compare_bench(current, load_bench(baseline_path), tolerance=tolerance)

@@ -22,6 +22,12 @@ produce byte-identical results for identical inputs.
 """
 
 from repro.runtime.exec import Execution, execute, launch, run_program
+from repro.runtime.policy import (
+    FifoBackfill,
+    QueuePolicy,
+    WeightedFairShare,
+    make_policy,
+)
 from repro.runtime.registry import (
     Launch,
     ProgramDef,
@@ -56,4 +62,8 @@ __all__ = [
     "JobResult",
     "MachineTemplate",
     "machine_template",
+    "QueuePolicy",
+    "FifoBackfill",
+    "WeightedFairShare",
+    "make_policy",
 ]

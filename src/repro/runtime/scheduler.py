@@ -35,6 +35,7 @@ from repro.machines.engine import Machine, RunResult
 from repro.machines.network import ContentionNetwork, FullyConnected
 from repro.machines.partition import Partition, PartitionManager
 from repro.runtime.exec import Execution, execute
+from repro.runtime.policy import FifoBackfill, QueuePolicy
 from repro.runtime.spec import JobSpec
 
 __all__ = ["MachineTemplate", "machine_template", "JobResult", "Scheduler"]
@@ -182,6 +183,21 @@ class _QueuedJob:
     submit_s: float
     partition_size: int
 
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def cost(self) -> float:
+        """Node demand the fair-share policy charges (no service estimate
+        exists before a batch job has run, so the partition size is the
+        cost unit)."""
+        return float(self.partition_size)
+
 
 class Scheduler:
     """FIFO + backfill batch scheduler space-sharing one machine.
@@ -191,6 +207,13 @@ class Scheduler:
     partition request) and run when a partition frees up.  Everything is
     deterministic: job ids increase in submission order, scheduling
     points are job completions, ties break on the smaller job id.
+
+    The queue discipline is pluggable: ``policy`` ranks the eligible
+    queue at every scheduling point
+    (:class:`~repro.runtime.policy.QueuePolicy`); the scheduler walks the
+    ranking and starts whatever fits, so any policy backfills around
+    blocked jobs.  The default :class:`~repro.runtime.policy.FifoBackfill`
+    reproduces the original FIFO + greedy backfill byte-for-byte.
 
     Example
     -------
@@ -202,10 +225,13 @@ class Scheduler:
         results = sched.run()
     """
 
-    def __init__(self, template: MachineTemplate) -> None:
+    def __init__(
+        self, template: MachineTemplate, *, policy: QueuePolicy | None = None
+    ) -> None:
         if isinstance(template, Machine):
             template = MachineTemplate(template)
         self.template = template
+        self.policy = policy if policy is not None else FifoBackfill()
         # The buddy allocator runs over placement-order positions; a
         # FullyConnected topology of that size is the cleanest pure
         # index space (the allocator only reads ``num_nodes``).
@@ -240,19 +266,22 @@ class Scheduler:
             )
         job_id = self._next_job_id
         self._next_job_id += 1
-        self._queue.append(_QueuedJob(job_id, spec, submit_s, size))
+        job = _QueuedJob(job_id, spec, submit_s, size)
+        self._queue.append(job)
+        self.policy.on_submit(job, submit_s)
         return job_id
 
     def run(self) -> list:
         """Drain the queue; returns :class:`JobResult`s in job-id order."""
-        running: list = []  # heap of (finish_s, job_id, partition)
+        running: list = []  # heap of (finish_s, job_id, partition, job)
         now = 0.0
         while self._queue or running:
             self._start_eligible(now, running)
             if running:
-                finish_s, job_id, partition = heapq.heappop(running)
+                finish_s, job_id, partition, job = heapq.heappop(running)
                 now = max(now, finish_s)
                 self.partitions.release(partition)
+                self.policy.on_finish(job, now)
                 continue
             # Nothing running and nothing startable: jump to the next
             # submission instant (the machine is idle until then).
@@ -268,24 +297,29 @@ class Scheduler:
     # -- internals -----------------------------------------------------------
 
     def _start_eligible(self, now: float, running: list) -> None:
-        """Start every queued job that fits, scanning FIFO order.
+        """Start every queued job that fits, scanning policy order.
 
-        The head of the queue gets the first shot at the free partitions;
-        later jobs may backfill around it only when it cannot be placed.
+        The policy's front-runner gets the first shot at the free
+        partitions; jobs ranked behind it may backfill around it only
+        when it cannot be placed (allocation failures skip, not stall).
         """
-        remaining = []
-        for job in self._queue:
-            if job.submit_s > now:
-                remaining.append(job)
-                continue
+        eligible = [job for job in self._queue if job.submit_s <= now]
+        started = set()
+        for job in self.policy.order(eligible, now):
             try:
                 partition = self.partitions.allocate(job.partition_size)
             except ConfigurationError:
-                remaining.append(job)  # blocked; later jobs may backfill
-                continue
+                continue  # blocked; jobs ranked behind it may backfill
+            self.policy.on_start(job, now)
             result = self._run_job(job, partition, now)
-            heapq.heappush(running, (result.finish_s, job.job_id, partition))
-        self._queue = remaining
+            heapq.heappush(
+                running, (result.finish_s, job.job_id, partition, job)
+            )
+            started.add(job.job_id)
+        if started:
+            self._queue = [
+                job for job in self._queue if job.job_id not in started
+            ]
 
     def _run_job(self, job: _QueuedJob, partition: Partition, now: float) -> JobResult:
         nranks = job.spec.options.nranks

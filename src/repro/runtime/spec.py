@@ -85,12 +85,21 @@ class JobSpec:
     ...); ``options`` holds the cross-cutting :class:`RunOptions`;
     ``name`` labels the job in scheduler reports (defaults to the
     program name).
+
+    ``tenant`` and ``priority`` identify the submitting tenant for the
+    multi-tenant service layer: the fair-share queue policy
+    (:class:`~repro.runtime.policy.WeightedFairShare`) charges the job's
+    cost against the tenant's share and ranks strictly by descending
+    priority first.  The defaults (anonymous tenant, priority 0) leave
+    batch FIFO scheduling untouched.
     """
 
     program: str
     params: dict = field(default_factory=dict)
     options: RunOptions = field(default_factory=RunOptions)
     name: str = ""
+    tenant: str = ""
+    priority: int = 0
 
     @property
     def label(self) -> str:

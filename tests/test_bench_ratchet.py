@@ -1,0 +1,149 @@
+"""Tests for the benchmark speedup ratchet."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.ratchet import (
+    check_ratchet,
+    compare_bench,
+    format_ratchet,
+    load_bench,
+)
+
+
+def doc_with(speedups):
+    """A minimal bench document: {(kernel, size, filter, levels): speedup}."""
+    results = []
+    cases = sorted({key[1:] for key in speedups})
+    for size, filter_length, levels in cases:
+        results.append(
+            {
+                "kernel": "conv",
+                "size": size,
+                "filter_length": filter_length,
+                "levels": levels,
+                "speedup_vs_conv": 1.0,
+            }
+        )
+    for (kernel, size, filter_length, levels), speedup in sorted(speedups.items()):
+        results.append(
+            {
+                "kernel": kernel,
+                "size": size,
+                "filter_length": filter_length,
+                "levels": levels,
+                "speedup_vs_conv": speedup,
+            }
+        )
+    return {"results": results}
+
+
+BASE = doc_with(
+    {
+        ("fused", 256, 4, 2): 2.0,
+        ("fused", 512, 4, 2): 2.2,
+        ("lifting", 256, 4, 2): 1.8,
+        ("lifting", 512, 4, 2): 1.9,
+    }
+)
+
+
+class TestCompare:
+    def test_identical_docs_pass(self):
+        report = compare_bench(BASE, BASE, tolerance=0.25)
+        assert report["ok"]
+        for entry in report["kernels"]:
+            assert entry["ratio"] == pytest.approx(1.0)
+            assert entry["cases"] == 2
+
+    def test_within_tolerance_passes(self):
+        current = doc_with(
+            {
+                ("fused", 256, 4, 2): 1.7,
+                ("fused", 512, 4, 2): 1.9,
+                ("lifting", 256, 4, 2): 1.8,
+                ("lifting", 512, 4, 2): 1.9,
+            }
+        )
+        assert compare_bench(current, BASE, tolerance=0.25)["ok"]
+
+    def test_regression_fails(self):
+        current = doc_with(
+            {
+                ("fused", 256, 4, 2): 1.0,
+                ("fused", 512, 4, 2): 1.1,
+                ("lifting", 256, 4, 2): 1.8,
+                ("lifting", 512, 4, 2): 1.9,
+            }
+        )
+        report = compare_bench(current, BASE, tolerance=0.25)
+        assert not report["ok"]
+        flagged = {e["kernel"]: e["regressed"] for e in report["kernels"]}
+        assert flagged == {"fused": True, "lifting": False}
+        assert "REGRESSED" in format_ratchet(report)
+
+    def test_improvement_always_passes(self):
+        current = doc_with(
+            {
+                ("fused", 256, 4, 2): 5.0,
+                ("fused", 512, 4, 2): 5.0,
+                ("lifting", 256, 4, 2): 5.0,
+                ("lifting", 512, 4, 2): 5.0,
+            }
+        )
+        assert compare_bench(current, BASE, tolerance=0.25)["ok"]
+
+    def test_comparison_uses_only_shared_cases(self):
+        # Current run covers a subset of the baseline (a --quick run
+        # ratcheting against a committed full sweep).
+        current = doc_with(
+            {("fused", 256, 4, 2): 2.0, ("lifting", 256, 4, 2): 1.8}
+        )
+        report = compare_bench(current, BASE, tolerance=0.25)
+        assert report["ok"]
+        assert all(e["cases"] == 1 for e in report["kernels"])
+
+    def test_disjoint_cases_skip_not_fail(self):
+        current = doc_with({("fused", 1024, 8, 1): 0.1})
+        report = compare_bench(current, BASE, tolerance=0.25)
+        fused = next(e for e in report["kernels"] if e["kernel"] == "fused")
+        assert fused["cases"] == 0 and not fused["regressed"]
+        assert report["ok"]
+        assert "skipped" in format_ratchet(report)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            compare_bench(BASE, BASE, tolerance=1.5)
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(BASE))
+        assert check_ratchet(BASE, str(path))["ok"]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_bench(str(tmp_path / "absent.json"))
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"nope\": 1}")
+        with pytest.raises(ConfigurationError):
+            load_bench(str(path))
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_loadable_and_self_consistent(self):
+        # The committed artifact must always ratchet cleanly against
+        # itself — guards against hand-edits breaking the schema.
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parent.parent / "BENCH_wavelet.json"
+        doc = load_bench(str(baseline))
+        report = compare_bench(doc, doc)
+        assert report["ok"]
+        kernels = {e["kernel"] for e in report["kernels"]}
+        assert kernels == {"lifting", "fused"}

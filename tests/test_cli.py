@@ -73,3 +73,136 @@ class TestCommands:
             ["nbody", "--bodies", "128", "--procs", "2", "--steps", "1",
              "--machine", "t3d"]
         ) == 0
+
+
+class TestScheduleCommand:
+    def test_default_two_jobs(self, capsys):
+        assert main(["schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "space-shared" in out and "makespan" in out
+
+    def test_seeded_arrival_staggering(self, capsys):
+        assert main(
+            [
+                "schedule", "--job", "workload:8", "--arrival", "poisson:2.0",
+                "--seed", "7", "--count", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "staggering 4 submission(s)" in out
+        assert "poisson(rate=2/s, seed=7)" in out
+        assert "workload#3" in out
+
+    def test_arrival_replay_is_deterministic(self, capsys):
+        argv = [
+            "schedule", "--job", "workload:8", "--arrival", "poisson:3.0",
+            "--seed", "5", "--count", "3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fair_policy_accepted(self, capsys):
+        assert main(
+            ["schedule", "--job", "workload:8", "--job", "workload:8",
+             "--policy", "fair"]
+        ) == 0
+        assert "space-shared" in capsys.readouterr().out
+
+    def test_bad_arrival_spec_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["schedule", "--arrival", "weibull:2.0"])
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.mix == "default" and args.policy == "fair"
+        assert args.load == 0.7 and not args.sweep
+
+    def test_single_run_human(self, capsys):
+        assert main(
+            ["serve", "--horizon", "5", "--seed", "1", "--load", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "service on" in out
+        assert "latency (virtual seconds)" in out
+        assert "per-tenant" in out and "utilization" in out
+
+    def test_single_run_json_is_schema_valid(self, capsys):
+        import json
+
+        from repro.service import validate_snapshot
+
+        assert main(
+            ["serve", "--horizon", "5", "--seed", "1", "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_snapshot(doc)
+        assert doc["config"]["seed"] == 1
+
+    def test_admission_flags_shed(self, capsys):
+        assert main(
+            [
+                "serve", "--horizon", "5", "--seed", "1", "--load", "2.0",
+                "--queue-limit", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "queue-full" in out
+
+    def test_sweep_writes_valid_report(self, tmp_path, capsys):
+        import json
+
+        from repro.service import validate_loadsweep
+
+        out_path = tmp_path / "sweep.json"
+        assert main(
+            [
+                "serve", "--sweep", "--horizon", "5", "--seed", "2",
+                "--sweep-loads", "0.25,0.5,1.0,1.5,2.0",
+                "--out", str(out_path),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "offered-load sweep" in text
+        assert "knee" in text or "no saturation knee" in text
+        doc = json.loads(out_path.read_text())
+        validate_loadsweep(doc)
+        assert len(doc["points"]) == 5
+
+    def test_fifo_policy_accepted(self, capsys):
+        assert main(
+            ["serve", "--horizon", "5", "--policy", "fifo"]
+        ) == 0
+        assert "policy=fifo" in capsys.readouterr().out
+
+
+class TestBenchRatchetFlag:
+    def test_ratchet_pass_and_fail(self, tmp_path, capsys):
+        import json
+
+        from repro.perf.bench import BenchCase, run_bench
+
+        doc = run_bench([BenchCase(32, 2, 1)], warmup=0, repeats=2, trim=0, seed=0)
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(doc))
+        from repro.cli import _bench_ratchet
+
+        class Args:
+            ratchet = str(baseline)
+            ratchet_tolerance = 0.25
+
+        assert _bench_ratchet(Args, doc) == 0
+        assert "ratchet passed" in capsys.readouterr().out
+
+        inflated = json.loads(json.dumps(doc))
+        for row in inflated["results"]:
+            if row["kernel"] != "conv":
+                row["speedup_vs_conv"] *= 10.0
+        baseline.write_text(json.dumps(inflated))
+        assert _bench_ratchet(Args, doc) == 1
+        assert "REGRESSED" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Arrival-process tests: replay determinism, statistics, shapes."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.arrivals import (
+    ARRIVAL_KINDS,
+    DiurnalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    parse_arrival_spec,
+)
+
+HORIZON = 200.0
+
+
+def _cv2(times):
+    """Squared coefficient of variation of the interarrival gaps."""
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean = sum(gaps) / len(gaps)
+    var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    return var / mean**2
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonProcess(3.0, seed=42),
+            MMPPProcess(3.0, seed=42),
+            DiurnalProcess(3.0, seed=42),
+        ],
+        ids=ARRIVAL_KINDS,
+    )
+    def test_times_replays_identically(self, process):
+        first = list(process.times(HORIZON))
+        second = list(process.times(HORIZON))
+        assert first == second
+        assert first, "expected arrivals over a long horizon"
+
+    def test_prefix_stability_across_horizons(self):
+        # Growing the horizon must extend the stream, not reshuffle it.
+        process = PoissonProcess(2.0, seed=9)
+        short = list(process.times(50.0))
+        long = list(process.times(HORIZON))
+        assert long[: len(short)] == short
+
+    def test_different_seeds_differ(self):
+        a = list(PoissonProcess(3.0, seed=0).times(HORIZON))
+        b = list(PoissonProcess(3.0, seed=1).times(HORIZON))
+        assert a != b
+
+    def test_times_are_strictly_increasing_and_bounded(self):
+        for process in (
+            PoissonProcess(5.0, seed=3),
+            MMPPProcess(5.0, seed=3),
+            DiurnalProcess(5.0, seed=3),
+        ):
+            times = list(process.times(HORIZON))
+            assert all(b > a for a, b in zip(times, times[1:]))
+            assert all(0.0 < t <= HORIZON for t in times)
+
+
+class TestPoissonStatistics:
+    def test_mean_interarrival_matches_rate(self):
+        rate = 4.0
+        times = list(PoissonProcess(rate, seed=1).times(500.0))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_count_matches_rate_times_horizon(self):
+        rate = 4.0
+        count = len(list(PoissonProcess(rate, seed=1).times(500.0)))
+        expected = rate * 500.0
+        # 5-sigma band of the Poisson count.
+        assert abs(count - expected) < 5.0 * math.sqrt(expected)
+
+    def test_interarrival_cv2_near_one(self):
+        times = list(PoissonProcess(4.0, seed=1).times(500.0))
+        assert _cv2(times) == pytest.approx(1.0, abs=0.25)
+
+
+class TestMMPP:
+    def test_long_run_rate_preserved(self):
+        rate = 4.0
+        count = len(list(MMPPProcess(rate, seed=5).times(2000.0)))
+        assert count == pytest.approx(rate * 2000.0, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        times = list(MMPPProcess(4.0, seed=5).times(2000.0))
+        assert _cv2(times) > 1.3
+
+    def test_phase_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            MMPPProcess(1.0, seed=0, burst=0.5)
+        with pytest.raises(ConfigurationError):
+            MMPPProcess(1.0, seed=0, idle=1.5)
+        with pytest.raises(ConfigurationError):
+            MMPPProcess(1.0, seed=0, cycle_s=0.0)
+
+
+class TestDiurnal:
+    def test_rate_at_follows_sinusoid(self):
+        process = DiurnalProcess(10.0, seed=0, amplitude=0.8, period_s=60.0)
+        assert process.rate_at(15.0) == pytest.approx(18.0)  # peak
+        assert process.rate_at(45.0) == pytest.approx(2.0)  # trough
+        assert process.rate_at(0.0) == pytest.approx(10.0)
+
+    def test_peak_half_beats_trough_half(self):
+        process = DiurnalProcess(10.0, seed=2, amplitude=0.8, period_s=60.0)
+        times = list(process.times(600.0))  # 10 periods
+        peak = sum(1 for t in times if (t % 60.0) < 30.0)
+        trough = len(times) - peak
+        assert peak > 2.0 * trough
+
+    def test_mean_rate_preserved_by_thinning(self):
+        process = DiurnalProcess(10.0, seed=2, amplitude=0.8, period_s=60.0)
+        count = len(list(process.times(600.0)))
+        assert count == pytest.approx(10.0 * 600.0, rel=0.1)
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalProcess(1.0, seed=0, amplitude=1.0)
+
+
+class TestParseSpec:
+    def test_kind_with_rate(self):
+        process = parse_arrival_spec("poisson:2.5", seed=7)
+        assert isinstance(process, PoissonProcess)
+        assert process.rate_s == 2.5 and process.seed == 7
+
+    def test_kind_case_insensitive(self):
+        assert isinstance(parse_arrival_spec("BURSTY:1", 0), MMPPProcess)
+
+    def test_fallback_rate_keyword(self):
+        process = parse_arrival_spec("diurnal", 0, rate_s=3.0)
+        assert isinstance(process, DiurnalProcess) and process.rate_s == 3.0
+
+    def test_spec_rate_wins_over_keyword(self):
+        assert parse_arrival_spec("poisson:9", 0, rate_s=1.0).rate_s == 9.0
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            parse_arrival_spec("weibull:1", 0)
+        with pytest.raises(ConfigurationError):
+            parse_arrival_spec("poisson:fast", 0)
+        with pytest.raises(ConfigurationError):
+            parse_arrival_spec("poisson", 0)  # no rate anywhere
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0, seed=0)

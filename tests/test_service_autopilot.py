@@ -1,0 +1,147 @@
+"""Autopilot tests: capacity estimate, knee detection, loadsweep schema."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (
+    LOADSWEEP_SCHEMA,
+    FixedOracle,
+    JobTemplate,
+    Mix,
+    TenantProfile,
+    detect_knee,
+    estimate_capacity_rate,
+    run_load_sweep,
+    validate_loadsweep,
+)
+
+
+def flat_mix() -> Mix:
+    """One tenant, one 4-node template — capacity math is closed-form."""
+    return Mix(
+        name="flat",
+        tenants=(TenantProfile(name="solo", work=(("job", 1.0),)),),
+        templates={"job": JobTemplate(name="job", nranks=4)},
+    )
+
+
+ORACLE = FixedOracle({"job": 0.5})
+
+
+class TestCapacityEstimate:
+    def test_closed_form(self):
+        # Each arrival demands 4 nodes x 0.5 s = 2 node-seconds; 16 nodes
+        # supply 16 node-seconds/s => 8 requests/s.
+        assert estimate_capacity_rate(flat_mix(), ORACLE, 16) == pytest.approx(8.0)
+
+    def test_scales_with_machine(self):
+        assert estimate_capacity_rate(flat_mix(), ORACLE, 32) == pytest.approx(16.0)
+
+
+class TestDetectKnee:
+    def test_hockey_stick_finds_the_bend(self):
+        loads = [0.25, 0.5, 1.0, 2.0, 4.0]
+        turnarounds = [0.5, 0.5, 0.6, 4.0, 12.0]
+        knee = detect_knee(loads, turnarounds, [False] * 5)
+        assert knee["detected"] and knee["method"] == "kneedle-chord"
+        # The chord construction flags the last point before the curve
+        # shoots up — the highest still-flat load, not the blown-up one.
+        assert knee["offered_load"] == 1.0
+
+    def test_flat_curve_no_knee(self):
+        loads = [0.25, 0.5, 1.0, 2.0]
+        knee = detect_knee(loads, [0.5, 0.5, 0.5, 0.5], [False] * 4)
+        assert not knee["detected"] and knee["method"] == "none"
+
+    def test_backlog_divergence_fallback(self):
+        loads = [0.5, 1.0, 2.0]
+        # Linear curve (no curvature) but the last point went unstable.
+        knee = detect_knee(loads, [1.0, 2.0, 4.0], [False, False, True])
+        assert knee["detected"] and knee["method"] == "backlog-divergence"
+        assert knee["offered_load"] == 2.0
+
+    def test_instability_clamps_a_later_curvature_knee(self):
+        loads = [0.25, 0.5, 1.0, 2.0, 4.0]
+        turnarounds = [0.5, 0.5, 0.6, 4.0, 12.0]
+        knee = detect_knee(loads, turnarounds, [False, True, False, False, False])
+        assert knee["method"] == "backlog-divergence"
+        assert knee["offered_load"] == 0.5
+
+    def test_parallel_lists_enforced(self):
+        with pytest.raises(ConfigurationError):
+            detect_knee([1.0, 2.0], [0.5], [False])
+
+
+class TestRunLoadSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_load_sweep(
+            16,
+            flat_mix(),
+            ORACLE,
+            multipliers=(0.25, 0.5, 1.0, 2.0, 4.0),
+            seed=5,
+            horizon_s=30.0,
+        )
+
+    def test_schema_and_validation(self, sweep):
+        assert sweep["schema"] == LOADSWEEP_SCHEMA
+        validate_loadsweep(sweep)  # no raise
+        assert len(sweep["points"]) == 5
+
+    def test_turnaround_grows_with_load(self, sweep):
+        p99s = [p["p99_turnaround_s"] for p in sweep["points"]]
+        assert p99s[-1] > 3.0 * p99s[0]
+
+    def test_overload_points_flagged_unstable(self, sweep):
+        assert not sweep["points"][0]["unstable"]
+        assert sweep["points"][-1]["unstable"]
+
+    def test_knee_detected_inside_the_grid(self, sweep):
+        knee = sweep["knee"]
+        assert knee["detected"]
+        assert 0.25 < knee["offered_load"] <= 4.0
+        assert knee["rate_s"] == pytest.approx(
+            knee["offered_load"] * sweep["config"]["capacity_rate_s"]
+        )
+
+    def test_replay_identical(self, sweep):
+        again = run_load_sweep(
+            16,
+            flat_mix(),
+            ORACLE,
+            multipliers=(0.25, 0.5, 1.0, 2.0, 4.0),
+            seed=5,
+            horizon_s=30.0,
+        )
+        assert again == sweep
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_load_sweep(16, flat_mix(), ORACLE, multipliers=(1.0,))
+        with pytest.raises(ConfigurationError):
+            run_load_sweep(16, flat_mix(), ORACLE, multipliers=(2.0, 1.0))
+
+
+class TestValidateLoadsweep:
+    def test_rejects_wrong_schema(self, ):
+        with pytest.raises(ConfigurationError):
+            validate_loadsweep({"schema": "bogus", "points": [], "config": {}})
+
+    def test_rejects_descending_points(self):
+        doc = run_load_sweep(
+            16, flat_mix(), ORACLE, multipliers=(0.5, 1.0), horizon_s=10.0
+        )
+        doc["points"] = list(reversed(doc["points"]))
+        doc["knee"]["index"] = 0
+        doc["knee"]["offered_load"] = doc["points"][0]["offered_load"]
+        with pytest.raises(ConfigurationError):
+            validate_loadsweep(doc)
+
+    def test_rejects_knee_point_mismatch(self):
+        doc = run_load_sweep(
+            16, flat_mix(), ORACLE, multipliers=(0.5, 1.0), horizon_s=10.0
+        )
+        doc["knee"]["offered_load"] = 99.0
+        with pytest.raises(ConfigurationError):
+            validate_loadsweep(doc)

@@ -1,0 +1,241 @@
+"""Service event-loop tests: pinned metrics, batching, admission,
+pipelines, policies, and snapshot validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.policy import FifoBackfill
+from repro.service import (
+    SNAPSHOT_SCHEMA,
+    AdmissionController,
+    FixedOracle,
+    JobTemplate,
+    Mix,
+    PipelineTemplate,
+    PoissonProcess,
+    Service,
+    ServiceConfig,
+    TenantProfile,
+    percentile,
+    validate_snapshot,
+)
+
+
+def tiny_mix() -> Mix:
+    templates = {
+        "small": JobTemplate(name="small", nranks=2, batchable=True),
+        "big": JobTemplate(name="big", nranks=4),
+    }
+    pipelines = {
+        "pipe": PipelineTemplate(name="pipe", stages=(("small", "small"), ("big",))),
+    }
+    tenants = (
+        TenantProfile(name="alpha", weight=2.0, priority=1, work=(("small", 1.0),)),
+        TenantProfile(
+            name="beta", weight=1.0, priority=0, work=(("big", 0.6), ("pipe", 0.4))
+        ),
+    )
+    return Mix(name="tiny", tenants=tenants, templates=templates, pipelines=pipelines)
+
+
+ORACLE = FixedOracle({"small": 0.2, "big": 0.5})
+CONFIG = ServiceConfig(horizon_s=30.0, batch_window_s=0.25, max_batch=4)
+
+
+def run_tiny(**overrides):
+    kwargs = dict(config=CONFIG, seed=11)
+    kwargs.update(overrides)
+    return Service(
+        8, tiny_mix(), PoissonProcess(3.0, seed=11), ORACLE, **kwargs
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_tiny()
+
+
+class TestPinnedMetrics:
+    """Exact values for (mix=tiny, poisson 3/s, seed 11, horizon 30)."""
+
+    def test_counts(self, report):
+        jobs = report.snapshot["jobs"]
+        assert jobs["offered"] == 116
+        assert jobs["completed"] == 116
+        assert jobs["shed"] == 0
+        assert jobs["pipelines_completed"] == 15
+        # Batching coalesced items: fewer submissions than items.
+        assert jobs["submissions"] == 97
+
+    def test_latency_percentiles(self, report):
+        latency = report.snapshot["latency"]
+        assert latency["queue_wait"]["p50"] == pytest.approx(0.1326905016, abs=1e-9)
+        assert latency["queue_wait"]["p99"] == pytest.approx(0.8940031330, abs=1e-9)
+        assert latency["turnaround"]["p50"] == pytest.approx(0.5, abs=1e-9)
+        assert latency["turnaround"]["p99"] == pytest.approx(1.3940031330, abs=1e-9)
+
+    def test_backlog_and_utilization(self, report):
+        backlog = report.snapshot["backlog"]
+        assert backlog["peak"] == 3
+        assert backlog["end"] == 0
+        assert backlog["mean"] == pytest.approx(0.5333333333, abs=1e-9)
+        assert report.snapshot["utilization"] == pytest.approx(0.3675082738, abs=1e-9)
+        assert report.makespan_s == pytest.approx(30.4755043586, abs=1e-9)
+
+    def test_per_tenant_split(self, report):
+        per = {e["tenant"]: e["completed"] for e in report.snapshot["per_tenant"]}
+        assert per == {"alpha": 59, "beta": 57}
+
+    def test_snapshot_is_schema_valid(self, report):
+        assert report.snapshot["schema"] == SNAPSHOT_SCHEMA
+        validate_snapshot(report.snapshot)  # no raise
+
+
+class TestDeterminism:
+    def test_replay_identical_snapshot(self, report):
+        assert run_tiny().snapshot == report.snapshot
+
+    def test_seed_changes_outcome(self, report):
+        other = run_tiny(seed=12)
+        assert other.snapshot != report.snapshot
+
+    def test_service_runs_exactly_once(self):
+        service = Service(
+            8, tiny_mix(), PoissonProcess(3.0, seed=11), ORACLE,
+            config=CONFIG, seed=11,
+        )
+        service.run()
+        with pytest.raises(ConfigurationError):
+            service.run()
+
+
+class TestBatching:
+    def test_batches_share_one_submission(self, report):
+        jobs = report.snapshot["jobs"]
+        assert jobs["submissions"] < jobs["offered"]
+        batched = [
+            item for item in report.accounting.items if item.batch_size > 1
+        ]
+        assert batched, "expected at least one coalesced batch"
+        assert all(item.template == "small" for item in batched)
+        assert max(item.batch_size for item in batched) <= CONFIG.max_batch
+
+    def test_batch_window_bounds_added_wait(self, report):
+        for item in report.accounting.items:
+            if item.batch_size > 1:
+                # An item never waits in an open batch past the window
+                # unless the queue itself is backed up; with this light
+                # load the wait stays under window + service + epsilon.
+                assert item.queue_wait_s < CONFIG.batch_window_s + 1.5
+
+    def test_disabling_batching_means_one_item_per_submission(self):
+        report = run_tiny(
+            config=ServiceConfig(horizon_s=30.0, batch_window_s=0.25, max_batch=1)
+        )
+        jobs = report.snapshot["jobs"]
+        # A pipeline is 3 items and 3 submissions, a single request 1 and
+        # 1 — with coalescing off the two counts must agree exactly.
+        assert jobs["submissions"] == jobs["offered"]
+        assert all(item.batch_size == 1 for item in report.accounting.items)
+
+
+class TestAdmission:
+    def test_queue_limit_sheds_typed_rejections(self):
+        report = run_tiny(
+            admission=AdmissionController(queue_limit=2),
+        )
+        jobs = report.snapshot["jobs"]
+        assert jobs["shed"] > 0
+        assert jobs["admitted"] + jobs["shed"] == jobs["offered"]
+        assert set(jobs["shed_reasons"]) == {"queue-full"}
+        validate_snapshot(report.snapshot)
+
+    def test_rate_limit_sheds_only_the_capped_tenant(self):
+        report = run_tiny(
+            admission=AdmissionController(tenant_rate_limits={"alpha": 0.5}),
+        )
+        sheds = report.accounting.sheds
+        assert sheds and all(s.tenant == "alpha" for s in sheds)
+        assert all(s.reason == "rate-limit" for s in sheds)
+
+    def test_open_door_sheds_nothing(self, report):
+        assert report.snapshot["jobs"]["shed"] == 0
+
+
+class TestPipelines:
+    def test_stage_ordering_is_respected(self, report):
+        # Every completed pipeline's makespan covers at least one small
+        # stage followed by the big stage (stages gate sequentially).
+        makespans = [
+            finish - arrival
+            for arrival, finish, _ in report.accounting.pipelines
+        ]
+        assert len(makespans) == 15
+        assert min(makespans) >= 0.2 + 0.5 - 1e-9
+
+    def test_pipeline_makespan_reported(self, report):
+        dist = report.snapshot["latency"]["pipeline_makespan"]
+        assert dist["count"] == 15
+        assert dist["p50"] >= 0.7
+
+
+class TestPolicies:
+    def test_fifo_and_fair_complete_the_same_work(self, report):
+        fifo = run_tiny(policy=FifoBackfill())
+        assert (
+            fifo.snapshot["jobs"]["completed"]
+            == report.snapshot["jobs"]["completed"]
+        )
+        # Ordering differs under load, but both drain fully.
+        assert fifo.backlog_end == 0 and report.backlog_end == 0
+
+    def test_fair_share_protects_the_high_priority_tenant(self):
+        # Saturate the machine: alpha (priority 1) must keep its p99
+        # below beta's despite the shared queue.
+        heavy = Service(
+            8,
+            tiny_mix(),
+            PoissonProcess(12.0, seed=3),
+            ORACLE,
+            config=ServiceConfig(horizon_s=20.0, batch_window_s=0.25, max_batch=4),
+            seed=3,
+        ).run()
+        per = {e["tenant"]: e for e in heavy.snapshot["per_tenant"]}
+        assert (
+            per["alpha"]["turnaround"]["p99"] < per["beta"]["turnaround"]["p99"]
+        )
+
+
+class TestValidation:
+    def test_template_too_big_for_machine(self):
+        mix = Mix(
+            name="huge",
+            tenants=(TenantProfile(name="t", work=(("big", 1.0),)),),
+            templates={"big": JobTemplate(name="big", nranks=64)},
+        )
+        with pytest.raises(ConfigurationError):
+            Service(8, mix, PoissonProcess(1.0, seed=0), ORACLE)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(horizon_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(batch_window_s=-1.0)
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == 2.0
+        assert percentile(values, 99.0) == 4.0
+        assert percentile(values, 0.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+
+    def test_validate_snapshot_rejects_tampering(self, report):
+        doc = {**report.snapshot, "schema": "bogus/v9"}
+        with pytest.raises(ConfigurationError):
+            validate_snapshot(doc)
+        broken = {**report.snapshot, "utilization": 1.7}
+        with pytest.raises(ConfigurationError):
+            validate_snapshot(broken)
