@@ -70,6 +70,7 @@ DEFAULT_STRICT_MODULES = (
     "repro.machines.engine",
     "repro.machines.causality",
     "repro.runtime",
+    "repro.scenarios",
     "repro.service",
 )
 

@@ -42,6 +42,13 @@ writing code:
     (``repro.service.snapshot/v1``).  ``--sweep`` runs the closed-loop
     autopilot across an offered-load grid and reports the saturation
     knee (``repro.service.loadsweep/v1``).
+``attack``
+    Adversarial scenario suite: certify registered hostile-rank
+    scenarios detect-or-survive against the SPMD apps, fuzz the
+    (scenario, seed, placement) grid into a persisted findings corpus
+    (``--fuzz``), replay persisted findings bitwise (``--replay``), or
+    re-measure the service saturation knee under a hostile-tenant
+    flood (``--knee``).
 
 Every simulated-machine subcommand goes through the
 :mod:`repro.runtime` layer: the flags assemble a
@@ -276,6 +283,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default human)",
     )
     serve.add_argument("--out", default=None, help="also write the JSON report here")
+
+    attack = sub.add_parser(
+        "attack", help="adversarial scenarios: certify, fuzz, replay"
+    )
+    attack.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario id to certify (default: the full registered matrix)",
+    )
+    attack.add_argument(
+        "--app", default=None, choices=("wavelet", "nbody", "pic"),
+        help="restrict certification to one target app (default: all)",
+    )
+    attack.add_argument("--seed", type=int, default=0, help="adversary seed")
+    attack.add_argument(
+        "--placement", type=int, default=None,
+        help="move the adversary to this rank (default: as registered)",
+    )
+    attack.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios with expected verdicts and exit",
+    )
+    attack.add_argument(
+        "--fuzz", action="store_true",
+        help="sweep the (scenario, app, seed, placement) grid",
+    )
+    attack.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="fuzz seeds (default 0,1)",
+    )
+    attack.add_argument(
+        "--placements", default=None, metavar="R1,R2,...",
+        help="fuzz adversary placements (default 1,2)",
+    )
+    attack.add_argument(
+        "--corpus", default=None, metavar="PATH",
+        help="findings corpus: --fuzz merges novel findings into it, "
+        "--replay re-certifies from it",
+    )
+    attack.add_argument(
+        "--replay", default=None, metavar="FINDING_ID",
+        help="re-certify one persisted finding from --corpus bitwise "
+        "('all' replays every finding)",
+    )
+    attack.add_argument(
+        "--knee", action="store_true",
+        help="re-measure the service load-sweep knee under a "
+        "hostile-tenant flood (clean vs attacked vs defended)",
+    )
+    attack.add_argument(
+        "--machine", default="paragon", choices=("paragon", "t3d", "workstation"),
+        help="service machine for --knee (default paragon)",
+    )
+    attack.add_argument("--mix", default="default", help="tenant mix for --knee")
+    attack.add_argument(
+        "--horizon", type=float, default=40.0, dest="horizon_s",
+        help="arrival horizon per --knee sweep point (default 40)",
+    )
+    attack.add_argument(
+        "--format", choices=("human", "json"), default="human", dest="fmt",
+        help="report format (default human)",
+    )
+    attack.add_argument("--out", default=None, help="also write the JSON report here")
 
     lint = sub.add_parser(
         "lint",
@@ -1083,6 +1152,209 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _attack_cell_row(cell: dict) -> str:
+    mark = {True: "ok", False: "MISMATCH", None: "-"}[cell["expected_ok"]]
+    return (
+        f"  {cell['scenario']:22s} {cell['app']:8s} "
+        f"{cell['verdict']}/{cell['layer']:20s} "
+        f"attacks={cell['attacks']:<4d} restarts={cell['restarts']:<2d} {mark}"
+    )
+
+
+def _cmd_attack(args) -> int:
+    import json as _json
+
+    from repro.scenarios import (
+        APPS,
+        DEFAULT_PLACEMENTS,
+        DEFAULT_SEEDS,
+        SCENARIOS,
+        certify,
+        empty_corpus,
+        finding_from_certification,
+        get_scenario,
+        load_corpus,
+        merge_findings,
+        replay_finding,
+        run_fuzz,
+        write_corpus,
+    )
+
+    if args.list:
+        for sc in SCENARIOS:
+            expected = ", ".join(
+                f"{app}={verdict}/{layer}"
+                for app, (verdict, layer) in sorted(sc.expected.items())
+            )
+            print(f"{sc.scenario_id:22s} {sc.title}")
+            print(f"{'':22s} expected: {expected}")
+        return 0
+
+    failures = 0
+    if args.knee:
+        from repro.runtime import machine_template
+        from repro.scenarios import attacked_sweep
+        from repro.service import EngineOracle, get_mix
+
+        protocol = "nx" if args.machine == "paragon" else None
+        template = machine_template(args.machine, protocol=protocol)
+        doc = attacked_sweep(
+            template.total_nodes,
+            get_mix(args.mix),
+            EngineOracle(args.machine, protocol=protocol),
+            seed=args.seed,
+            horizon_s=args.horizon_s,
+        )
+        if args.fmt == "json":
+            slim = {key: value for key, value in doc.items() if key != "sweeps"}
+            print(_json.dumps(slim, indent=2, sort_keys=True))
+        else:
+            atk = doc["attack"]
+            print(
+                f"hostile tenant {atk['tenant']!r} weight {atk['weight']:g}, "
+                f"defense rate limit {atk['defense_rate_s']:.3f}/s"
+            )
+            for name in ("clean", "attacked", "defended"):
+                s = doc[name]
+                knee = (
+                    f"knee @ {s['knee_rate_s']:.3f}/s "
+                    f"(load {s['knee_offered_load']:g}, "
+                    f"p99 {s['knee_p99_turnaround_s']:.2f}s)"
+                    if s["knee_detected"]
+                    else "no knee in sweep range"
+                )
+                print(
+                    f"  {name:9s} {knee}; completed {s['completed']}/"
+                    f"{s['offered']}, worst shed {s['worst_shed_rate']:.2f}, "
+                    f"worst backlog {s['worst_backlog_end']}"
+                )
+    elif args.replay:
+        if not args.corpus:
+            print("--replay needs --corpus PATH", file=sys.stderr)
+            return 2
+        corpus = load_corpus(args.corpus)
+        if args.replay == "all":
+            targets = corpus["findings"]
+        else:
+            targets = [f for f in corpus["findings"] if f["id"] == args.replay]
+            if not targets:
+                print(
+                    f"no finding {args.replay!r} in {args.corpus}", file=sys.stderr
+                )
+                return 2
+        replays = []
+        for finding in targets:
+            _cert, mismatches = replay_finding(finding, nranks=corpus["nranks"])
+            replays.append({"id": finding["id"], "mismatches": mismatches})
+            failures += bool(mismatches)
+        doc = {
+            "schema": "repro.scenarios.replay/v1",
+            "corpus": args.corpus,
+            "replayed": len(replays),
+            "failures": failures,
+            "replays": replays,
+        }
+        if args.fmt == "json":
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for row in replays:
+                status = (
+                    "bitwise" if not row["mismatches"]
+                    else "; ".join(row["mismatches"])
+                )
+                print(f"  {row['id']:48s} {status}")
+            print(f"replayed {len(replays)} finding(s), {failures} failure(s)")
+    elif args.fuzz:
+        seeds = (
+            tuple(int(s) for s in args.seeds.split(","))
+            if args.seeds
+            else DEFAULT_SEEDS
+        )
+        placements = (
+            tuple(int(r) for r in args.placements.split(","))
+            if args.placements
+            else DEFAULT_PLACEMENTS
+        )
+        scenario_filter = (args.scenario,) if args.scenario else None
+        apps = (args.app,) if args.app else APPS
+        findings = run_fuzz(scenario_filter, apps, seeds, placements)
+        added = None
+        if args.corpus:
+            try:
+                corpus = load_corpus(args.corpus)
+            except FileNotFoundError:
+                corpus = empty_corpus()
+            added = merge_findings(corpus, findings)
+            write_corpus(args.corpus, corpus)
+        doc = {
+            "schema": "repro.scenarios.fuzz/v1",
+            "seeds": list(seeds),
+            "placements": list(placements),
+            "findings": findings,
+            "novel": added,
+        }
+        if args.fmt == "json":
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for finding in findings:
+                print(
+                    f"  {finding['id']:48s} "
+                    f"{finding['verdict']}/{finding['layer']}"
+                )
+            print(f"{len(findings)} finding(s) from the sweep")
+            if added is not None:
+                print(f"merged {added} novel finding(s) into {args.corpus}")
+    else:
+        scenarios = (
+            (get_scenario(args.scenario),) if args.scenario else SCENARIOS
+        )
+        apps = (args.app,) if args.app else APPS
+        pinned = args.placement is None and args.seed == 0
+        cells = []
+        for sc in scenarios:
+            cell_apps = ("static",) if sc.kind == "static" else apps
+            for app in cell_apps:
+                cert = certify(
+                    sc, app, seed=args.seed, placement=args.placement
+                )
+                expected = sc.expected.get(app)
+                expected_ok = (
+                    (cert.verdict, cert.layer) == tuple(expected)
+                    if pinned and expected is not None
+                    else None
+                )
+                failures += expected_ok is False
+                cell = finding_from_certification(cert)
+                cell["detail"] = cert.detail
+                cell["expected_ok"] = expected_ok
+                cells.append(cell)
+        doc = {
+            "schema": "repro.scenarios.certification/v1",
+            "seed": args.seed,
+            "placement": args.placement,
+            "cells": cells,
+            "failures": failures,
+        }
+        if args.fmt == "json":
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for cell in cells:
+                print(_attack_cell_row(cell))
+            verdicts = sum(cell["verdict"] == "detected" for cell in cells)
+            print(
+                f"{len(cells)} cell(s): {verdicts} detected, "
+                f"{len(cells) - verdicts} survived, {failures} "
+                f"expectation mismatch(es)"
+            )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
+    return 1 if failures else 0
+
+
 def _cmd_lint(args) -> int:
     import json as _json
 
@@ -1115,6 +1387,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "attack": _cmd_attack,
     "lint": _cmd_lint,
 }
 

@@ -142,6 +142,22 @@ class _SendOp:
 
 
 @dataclass(frozen=True)
+class _JammedFate:
+    """Stand-in for a :class:`~repro.machines.faults.plan.MessageFate`
+    on a jammed channel: every transmission attempt is lost.  Defined
+    here (not imported) because :mod:`repro.machines.faults.plan` imports
+    from this module."""
+
+    delivered: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    extra_delay_s: float = 0.0
+
+
+_JAMMED_FATE = _JammedFate()
+
+
+@dataclass(frozen=True)
 class _RecvOp:
     src: int
     tag: int
@@ -840,12 +856,46 @@ class Engine:
         src_node = machine.placement[st.rank]
         dst_node = machine.placement[op.dst]
         contention_before = machine.network.total_contention_s
-        if self.faults is None or op.dst == st.rank:
+        action = None
+        if self.faults is not None and op.dst != st.rank:
+            intercept = getattr(self.faults, "intercept_send", None)
+            if intercept is not None:
+                action = intercept(st.rank, op.dst, op.tag, op.payload, st.clock)
+                if action is not None and action.replace:
+                    op = _SendOp(op.dst, action.payload, op.tag, op.nbytes)
+        if action is not None and not action.deliver:
+            if action.jam:
+                # Wire-level jamming: the reliable transport hammers the
+                # dead channel until its retransmission budget raises.
+                deliver, deliveries = self._faulty_transfer(
+                    st, op, src_node, dst_node, force_drop=True
+                )
+            else:
+                # Application-level silence: the hostile NIC never puts
+                # the envelope on the wire, so nothing arrives, ever.
+                deliver, deliveries = st.clock, []
+        elif self.faults is None or op.dst == st.rank:
             # Self-sends never touch a wire, so they are never faulted.
             deliver = machine.network.transfer(src_node, dst_node, op.nbytes, st.clock)
             deliveries = [(deliver, op.payload)]
         else:
             deliver, deliveries = self._faulty_transfer(st, op, src_node, dst_node)
+        if action is not None and deliveries:
+            if action.extra_delay_s > 0.0:
+                deliver += action.extra_delay_s
+                deliveries = [
+                    (arrive + action.extra_delay_s, payload)
+                    for arrive, payload in deliveries
+                ]
+            if action.replay:
+                # Stale duplicate of the channel's previous payload
+                # front-runs the real message: it is enqueued first, so
+                # the receiver's next recv on the channel consumes the
+                # replayed payload while the real one rides behind.
+                dup = machine.network.transfer(
+                    src_node, dst_node, op.nbytes, st.clock
+                )
+                deliveries = [(dup, action.replay_payload)] + deliveries
         meta = None
         if self.record_trace:
             # Contention-free arrival: transfer() books any wait for busy
@@ -875,10 +925,25 @@ class Engine:
             arrive = max(arrive, dst.arrive_floor.get(key, 0.0))
             dst.arrive_floor[key] = arrive
             queue.append((arrive, _copy_payload(payload), meta))
-        if dst.waiting is not None and deliveries:
+        if action is not None and action.spam:
+            # Junk flood: each copy genuinely occupies the network but
+            # lands on the dedicated spam channel (never matched by a
+            # concrete-tag receive).
+            for spam_tag, spam_payload, spam_nbytes in action.spam:
+                spam_arrive = machine.network.transfer(
+                    src_node, dst_node, spam_nbytes, st.clock
+                )
+                spam_key = (st.rank, spam_tag)
+                spam_queue = dst.mailbox.setdefault(spam_key, [])
+                spam_arrive = max(spam_arrive, dst.arrive_floor.get(spam_key, 0.0))
+                dst.arrive_floor[spam_key] = spam_arrive
+                spam_queue.append((spam_arrive, spam_payload, None))
+        if dst.waiting is not None and (deliveries or (action is not None and action.spam)):
             self._push(dst, heap, in_heap)
 
-    def _faulty_transfer(self, st: _RankState, op: _SendOp, src_node, dst_node):
+    def _faulty_transfer(
+        self, st: _RankState, op: _SendOp, src_node, dst_node, *, force_drop=False
+    ):
         """Ship one message across the faulty network.
 
         Returns ``(last_wire_arrival, deliveries)`` where ``deliveries``
@@ -891,6 +956,10 @@ class Engine:
         occupying the network, until the payload lands intact.  The
         sender does not block (the transport is asynchronous); the cost
         shows up as delivery latency and wasted wire traffic.
+
+        ``force_drop=True`` models a jammed channel (an adversary eating
+        every transmission): reliable mode exhausts its retransmission
+        budget and raises; raw mode loses the single attempt.
         """
         plan = self.faults
         cfg = plan.config
@@ -902,7 +971,7 @@ class Engine:
             inject = st.clock
             attempt = 0
             while True:
-                fate = plan.message_fate(msg_index, attempt)
+                fate = _JAMMED_FATE if force_drop else plan.message_fate(msg_index, attempt)
                 deliver = network.transfer(src_node, dst_node, op.nbytes, inject)
                 if fate.duplicate:
                     # The spurious copy burns bandwidth; the transport's
@@ -926,7 +995,7 @@ class Engine:
                 attempt += 1
                 stats["retransmits"] += 1
         # Raw mode: the program sees the lossy channel as-is.
-        fate = plan.message_fate(msg_index, 0)
+        fate = _JAMMED_FATE if force_drop else plan.message_fate(msg_index, 0)
         deliver = network.transfer(src_node, dst_node, op.nbytes, st.clock)
         if not fate.delivered:
             stats["dropped"] += 1

@@ -26,6 +26,8 @@ Layout
 21              PIC final particle collection
 31-35           lifting/fused front- and back-guard exchanges (opposite
                 direction to the conv guards)
+36              adversarial spam-flood junk channel
+                (:mod:`repro.scenarios.adversary`)
 900_001-900_010 collectives (:mod:`repro.machines.api`)
 950k/975k       reliable-transport data/ack blocks
                 (:mod:`repro.machines.faults.transport`)
@@ -65,6 +67,8 @@ __all__ = [
     # applications
     "NBODY_UPDATE",
     "PIC_FINAL",
+    # adversarial scenarios
+    "ADVERSARY_SPAM",
     # collectives
     "COLLECTIVE_TAG_BASE",
     "COLLECTIVE_BCAST",
@@ -236,6 +240,11 @@ WAVELET_ROW_GUARD_FRONT = REGISTRY.allocate("wavelet.spmd.row_guard_front", 32)
 DWT1D_GUARD_FRONT = REGISTRY.allocate("wavelet.dwt1d.guard_front", 33)
 DWT1D_GUARD_BACK = REGISTRY.allocate("wavelet.dwt1d.guard_back", 34)
 RECONSTRUCT_GUARD_BACK = REGISTRY.allocate("wavelet.reconstruct.guard_back", 35)
+
+# -- adversarial scenarios (repro.scenarios.adversary) ---------------------
+# Spam-flood junk lands on its own channel so a concrete-tag receive can
+# never match it: the flood burns wire time and mailbox space only.
+ADVERSARY_SPAM = REGISTRY.allocate("scenarios.adversary.spam", 36)
 
 # -- collectives (repro.machines.api) --------------------------------------
 COLLECTIVE_TAG_BASE = 900_000

@@ -1,0 +1,298 @@
+"""Detect-or-survive certification of adversarial scenarios.
+
+:func:`certify` runs one ``(scenario, app)`` cell: build the app, run it
+under the scenario's :class:`~repro.scenarios.adversary.AdversaryPlan`
+through the checkpoint/restart recovery driver, and classify what
+happened:
+
+* **detected** — a defense layer flagged the attack: the causality
+  layer's deadlock diagnosis (``deadlock``), the reliable transport's
+  retransmission budget (``transport``), a receive timeout (``timeout``),
+  an exhausted restart budget (``crash``), a crash of the hostile data
+  inside the program itself (``runtime-error``), the static linter
+  (``lint``), or the value-transparency oracle — the recovered result's
+  sha256 digest differs from the clean reference (``value-transparency``).
+* **survived** — the run completed with results digest-identical to the
+  clean fault-free reference (``clean``, or ``recovery`` when
+  checkpoint/restart cycles were needed).
+
+Silent corruption cannot be classified: every completed run is digested
+against the reference, so wrong values are always *detected*.  What the
+certification matrix additionally enforces (via each scenario's
+``expected`` map) is that an attack meant to be survivable really does
+come back bitwise clean — a survivable scenario that corrupts is a
+certification failure, not a reclassification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    DeadlockError,
+    RankCrashError,
+    RecvTimeoutError,
+    ReproError,
+    TransportError,
+)
+from repro.scenarios.adversary import AdversaryPlan
+from repro.scenarios.registry import (
+    APPS,
+    NRANKS,
+    SCENARIOS,
+    HOSTILE_SOURCE,
+    ScenarioDef,
+    build_app,
+    build_machine,
+)
+
+__all__ = [
+    "Certification",
+    "CertificationError",
+    "result_digest",
+    "clean_reference_digest",
+    "certify",
+    "certify_matrix",
+    "check_expected",
+]
+
+
+class CertificationError(ReproError):
+    """A scenario's certified verdict contradicts its registered one."""
+
+
+def _feed(h, obj) -> None:
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A")
+        h.update(str(obj.dtype).encode())
+        h.update(str(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, (bool, int, float, complex, str, np.generic)):
+        h.update(repr(obj).encode())
+    elif isinstance(obj, bytes):
+        h.update(b"B")
+        h.update(obj)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L")
+        for item in obj:
+            _feed(h, item)
+        h.update(b"l")
+    elif isinstance(obj, dict):
+        h.update(b"D")
+        for key in sorted(obj, key=repr):
+            _feed(h, key)
+            _feed(h, obj[key])
+        h.update(b"d")
+    else:
+        raise TypeError(f"undigestable object {type(obj)!r}")
+
+
+def result_digest(results) -> str:
+    """sha256 over the per-rank return values (the value-transparency
+    oracle: two runs digest equal iff their results are byte-identical)."""
+    h = hashlib.sha256()
+    _feed(h, results)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class Certification:
+    """The certified outcome of one ``(scenario, app, seed, placement)``."""
+
+    scenario_id: str
+    app: str
+    seed: int
+    placement: int
+    verdict: str  # "detected" | "survived"
+    layer: str
+    detail: str
+    attacks: int
+    restarts: int
+    digest: str  # result digest ("" when the run never completed)
+    reference_digest: str
+
+    @property
+    def key(self) -> tuple:
+        return (self.scenario_id, self.app, self.seed, self.placement)
+
+
+# Clean fault-free references, cached per (app, nranks): the value
+# oracle and the non-adversarial byte-identity pins both read these.
+_REFERENCE_CACHE: dict = {}
+
+
+def _reference(app: str, nranks: int = NRANKS):
+    """Fault-free reference Execution for ``app`` (cached)."""
+    from repro.runtime.exec import run_program
+
+    key = (app, nranks)
+    cached = _REFERENCE_CACHE.get(key)
+    if cached is None:
+        program, args, kwargs = build_app(app, nranks)
+        cached = run_program(build_machine(nranks), program, *args, **kwargs)
+        _REFERENCE_CACHE[key] = cached
+    return cached
+
+
+def clean_reference_digest(app: str, nranks: int = NRANKS) -> str:
+    """Digest of the fault-free run of ``app`` — the byte-identity pin."""
+    return result_digest(_reference(app, nranks).run.results)
+
+
+def _certify_static(scenario: ScenarioDef, seed: int) -> Certification:
+    """Certify a static scenario: the linter must flag the hostile source."""
+    from repro.analysis import lint_sources
+
+    report = lint_sources({"hostile_rank": HOSTILE_SOURCE})
+    findings = report.findings
+    if findings:
+        rules = sorted({f.rule_id for f in findings})
+        verdict, layer = "detected", "lint"
+        detail = f"{len(findings)} finding(s): {', '.join(rules)}"
+    else:  # pragma: no cover - would be a linter regression
+        verdict, layer = "survived", "clean"
+        detail = "linter found nothing"
+    return Certification(
+        scenario_id=scenario.scenario_id,
+        app="static",
+        seed=seed,
+        placement=-1,
+        verdict=verdict,
+        layer=layer,
+        detail=detail,
+        attacks=len(findings),
+        restarts=0,
+        digest="",
+        reference_digest="",
+    )
+
+
+def certify(
+    scenario: ScenarioDef,
+    app: str = "wavelet",
+    *,
+    seed: int = 0,
+    placement: int | None = None,
+    nranks: int = NRANKS,
+    max_restarts: int = 8,
+) -> Certification:
+    """Run one certification cell and classify detect-or-survive.
+
+    ``placement`` moves the adversary to another rank (the fuzzer's
+    placement axis); ``None`` keeps the scenario's registered placement.
+    """
+    from repro.runtime.exec import run_program
+
+    if scenario.kind == "static":
+        return _certify_static(scenario, seed)
+    placed = scenario if placement is None else scenario.placed(placement)
+    adversary_rank = placed.adversary.rank
+    program, args, kwargs = build_app(app, nranks)
+    plan = AdversaryPlan(seed, placed.adversary)
+    reference_digest = clean_reference_digest(app, nranks)
+    digest = ""
+    restarts = 0
+    try:
+        outcome = run_program(
+            build_machine(nranks),
+            program,
+            *args,
+            faults=plan,
+            max_restarts=max_restarts,
+            **kwargs,
+        )
+    except DeadlockError as exc:
+        from repro.machines.causality import diagnose_deadlock
+
+        report = diagnose_deadlock(exc)
+        verdict, layer = "detected", "deadlock"
+        detail = (
+            f"wait-for cycle {report.cycle}" if report.cycle
+            else f"starvation: {sorted(exc.waiting)} blocked"
+        )
+    except TransportError as exc:
+        verdict, layer, detail = "detected", "transport", str(exc)
+    except RecvTimeoutError as exc:
+        verdict, layer, detail = "detected", "timeout", str(exc)
+    except RankCrashError as exc:
+        verdict, layer = "detected", "crash"
+        detail = f"restart budget exhausted at rank {exc.rank}"
+    except ReproError as exc:
+        verdict, layer = "detected", "runtime-error"
+        detail = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:
+        # Hostile data crashing the rank program itself (shape errors,
+        # key errors, ...) is a loud failure, not silent corruption.
+        verdict, layer = "detected", "runtime-error"
+        detail = f"{type(exc).__name__}: {exc}"
+    else:
+        digest = result_digest(outcome.run.results)
+        restarts = outcome.restarts
+        if digest == reference_digest:
+            verdict = "survived"
+            layer = "recovery" if restarts else "clean"
+            detail = (
+                f"recovered through {restarts} restart(s), digest-identical"
+                if restarts
+                else "completed digest-identical to the clean reference"
+            )
+        else:
+            verdict, layer = "detected", "value-transparency"
+            detail = "recovered results differ from the clean reference digest"
+    return Certification(
+        scenario_id=placed.scenario_id,
+        app=app,
+        seed=seed,
+        placement=adversary_rank,
+        verdict=verdict,
+        layer=layer,
+        detail=detail,
+        attacks=plan.attacks_fired,
+        restarts=restarts,
+        digest=digest,
+        reference_digest=reference_digest,
+    )
+
+
+def check_expected(cert: Certification, scenario: ScenarioDef) -> None:
+    """Raise :class:`CertificationError` when a certified verdict
+    contradicts the scenario's registered expectation (in particular: a
+    survivable scenario that came back corrupted)."""
+    expected = scenario.expected.get(cert.app)
+    if expected is None:
+        return
+    if (cert.verdict, cert.layer) != tuple(expected):
+        raise CertificationError(
+            f"{scenario.scenario_id} x {cert.app}: certified "
+            f"{cert.verdict}/{cert.layer}, registered expectation is "
+            f"{expected[0]}/{expected[1]} — {cert.detail}"
+        )
+
+
+def certify_matrix(
+    scenarios=SCENARIOS,
+    apps=APPS,
+    *,
+    seed: int = 0,
+    nranks: int = NRANKS,
+    enforce: bool = False,
+) -> list:
+    """Certify every registered (scenario x app) cell, registry order.
+
+    With ``enforce=True`` a verdict contradicting the registry raises
+    :class:`CertificationError` instead of being returned quietly.
+    """
+    certifications = []
+    for scenario in scenarios:
+        cell_apps = ("static",) if scenario.kind == "static" else apps
+        for app in cell_apps:
+            cert = certify(scenario, app, seed=seed, nranks=nranks)
+            if enforce:
+                check_expected(cert, scenario)
+            certifications.append(cert)
+    return certifications

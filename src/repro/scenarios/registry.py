@@ -1,0 +1,298 @@
+"""Scenario registry: named, stable-id adversarial scenarios.
+
+Each :class:`ScenarioDef` pairs an :class:`~repro.scenarios.adversary.
+AdversaryConfig` with the *expected* detect-or-survive verdict per SPMD
+app, so the certification matrix (``tests/test_scenarios_certification
+.py``) and the ``python -m repro attack`` CLI agree on what every attack
+is supposed to do.  Scenario ids are stable — the persisted fuzz corpus
+(``tests/data/scenario_findings.json``) replays findings by
+``(scenario_id, seed, placement)`` key, so renaming an id orphans its
+findings the same way renumbering a tag would break the digest pins.
+
+The three target apps are CI-sized builds of the paper's programs (the
+same shapes the fault fuzzer certifies): a 64x64/F4/L2 striped wavelet
+decomposition, a 48-body manager-worker Barnes-Hut step pair, and a
+96-particle PIC step pair — all on a 4-rank NX Paragon with per-step
+checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.scenarios.adversary import AdversaryConfig
+
+__all__ = [
+    "APPS",
+    "NRANKS",
+    "CHECKPOINT_INTERVAL",
+    "ScenarioDef",
+    "SCENARIOS",
+    "scenario_ids",
+    "get_scenario",
+    "build_app",
+    "build_machine",
+    "HOSTILE_SOURCE",
+]
+
+#: The SPMD apps every engine scenario is certified against.
+APPS = ("wavelet", "nbody", "pic")
+
+#: Rank count of the certification machine (matching the fault fuzzer).
+NRANKS = 4
+
+#: Steps/levels between coordinated checkpoints in the target apps.
+CHECKPOINT_INTERVAL = 1
+
+
+@dataclass(frozen=True)
+class ScenarioDef:
+    """One registered adversarial scenario.
+
+    ``expected`` maps app name -> ``(verdict, layer)`` where verdict is
+    ``"detected"`` or ``"survived"`` and layer names the detecting (or
+    proving) subsystem: ``deadlock``, ``transport``, ``value-transparency``,
+    ``lint`` for detections; ``clean`` or ``recovery`` for survivals.
+    ``kind`` is ``"engine"`` for adversary runs or ``"static"`` for
+    source-level scenarios certified by the determinism/communication
+    linter instead of the engine.
+    """
+
+    scenario_id: str
+    title: str
+    adversary: AdversaryConfig | None
+    expected: dict
+    description: str = ""
+    kind: str = "engine"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("engine", "static"):
+            raise ConfigurationError(f"unknown scenario kind {self.kind!r}")
+        if self.kind == "engine" and self.adversary is None:
+            raise ConfigurationError(
+                f"engine scenario {self.scenario_id!r} needs an adversary"
+            )
+        for app, (verdict, layer) in sorted(self.expected.items()):
+            if verdict not in ("detected", "survived"):
+                raise ConfigurationError(
+                    f"scenario {self.scenario_id!r} app {app!r}: verdict "
+                    f"must be detected/survived, got {verdict!r}"
+                )
+            if not layer:
+                raise ConfigurationError(
+                    f"scenario {self.scenario_id!r} app {app!r}: empty layer"
+                )
+
+    def placed(self, rank: int) -> "ScenarioDef":
+        """The same scenario with the adversary moved to ``rank`` (the
+        fuzzer's placement axis)."""
+        if self.adversary is None:
+            return self
+        return replace(self, adversary=replace(self.adversary, rank=rank))
+
+
+#: A deliberately hostile rank-program source: every line trips a
+#: different static rule (wildcard receive without timeout, unseeded
+#: global RNG, wall-clock read).  The ``hostile-source-lint`` scenario
+#: certifies the linter flags it without ever running it.
+HOSTILE_SOURCE = '''\
+"""A hostile rank program the static linter must flag."""
+
+import random
+import time
+
+from repro.machines.engine import ANY_SOURCE, ANY_TAG
+
+
+def hostile_program(ctx):
+    deadline = time.time() + 1.0
+    jitter = random.random()
+    victim = yield ctx.recv(ANY_SOURCE, tag=ANY_TAG)
+    yield ctx.send((ctx.rank + 1) % ctx.nranks, victim, tag=17)
+    return jitter + deadline
+'''
+
+
+def build_machine(nranks: int = NRANKS):
+    """The certification machine: an ``nranks``-node NX Paragon."""
+    from repro.machines import paragon
+
+    return paragon(nranks, protocol="nx")
+
+
+def build_app(app: str, nranks: int = NRANKS):
+    """Build ``(program, args, kwargs)`` for one certification app."""
+    if app == "wavelet":
+        from repro.data import landsat_like_scene
+        from repro.wavelet import filter_bank_for_length
+        from repro.wavelet.parallel.decomposition import StripeDecomposition
+        from repro.wavelet.parallel.spmd import striped_wavelet_program
+
+        image = landsat_like_scene((64, 64))
+        bank = filter_bank_for_length(4)
+        decomp = StripeDecomposition(64, 64, nranks, 2)
+        return (
+            striped_wavelet_program,
+            (image, bank, 2, decomp),
+            {"checkpoint_interval": CHECKPOINT_INTERVAL},
+        )
+    if app == "nbody":
+        from repro.data import plummer_sphere
+        from repro.nbody.parallel import manager_worker_program
+
+        particles = plummer_sphere(48, dim=2, seed=0)
+        return (
+            manager_worker_program,
+            (particles, 2),
+            {"checkpoint_interval": CHECKPOINT_INTERVAL},
+        )
+    if app == "pic":
+        from repro.data import uniform_cube
+        from repro.pic import Grid3D
+        from repro.pic.parallel import pic_program
+
+        particles = uniform_cube(96, thermal_speed=0.05, seed=0)
+        return (
+            pic_program,
+            (Grid3D(8), particles, 2),
+            {"collect": False, "checkpoint_interval": CHECKPOINT_INTERVAL},
+        )
+    raise ConfigurationError(f"unknown scenario app {app!r}; expected one of {APPS}")
+
+
+SCENARIOS = (
+    ScenarioDef(
+        scenario_id="withhold-silence",
+        title="selective silence: hostile NIC eats every outgoing message",
+        adversary=AdversaryConfig(behavior="withhold", rank=1),
+        expected={
+            "wavelet": ("detected", "deadlock"),
+            "nbody": ("detected", "deadlock"),
+            "pic": ("detected", "deadlock"),
+        },
+        description="Rank 1 silently discards everything it sends; its "
+        "peers block forever and the causality layer diagnoses the "
+        "wait-for graph.",
+    ),
+    ScenarioDef(
+        scenario_id="withhold-jam",
+        title="wire jam: every transmission from the hostile rank is lost",
+        adversary=AdversaryConfig(behavior="jam", rank=1),
+        expected={
+            "wavelet": ("detected", "transport"),
+            "nbody": ("detected", "transport"),
+            "pic": ("detected", "transport"),
+        },
+        description="Rank 1's channel loses every attempt; the reliable "
+        "transport exhausts its retransmission budget and raises.",
+    ),
+    ScenarioDef(
+        scenario_id="spam-flood",
+        title="tag-flood: junk copies ride along with every real send",
+        adversary=AdversaryConfig(behavior="spam", rank=1, spam_copies=4),
+        expected={
+            "wavelet": ("survived", "clean"),
+            "nbody": ("survived", "clean"),
+            "pic": ("survived", "clean"),
+        },
+        description="Rank 1 floods its peers with junk on the dedicated "
+        "spam channel; wire time burns but values are untouched, so the "
+        "run completes digest-identical to the clean reference.",
+    ),
+    ScenarioDef(
+        scenario_id="poison-boundary",
+        title="payload poisoning: one plausible sample error per message",
+        adversary=AdversaryConfig(behavior="poison", rank=1, magnitude=0.25),
+        expected={
+            "wavelet": ("detected", "value-transparency"),
+            "nbody": ("detected", "value-transparency"),
+            "pic": ("detected", "value-transparency"),
+        },
+        description="Rank 1 nudges one float per outgoing payload by 25% "
+        "of its own scale — plausible data, silently wrong — and the "
+        "value-transparency oracle flags the digest mismatch.",
+    ),
+    ScenarioDef(
+        scenario_id="replay-stale",
+        title="message replay: stale duplicates front-run real sends",
+        adversary=AdversaryConfig(behavior="replay", rank=1, rate=1.0),
+        expected={
+            "wavelet": ("detected", "runtime-error"),
+            "nbody": ("detected", "value-transparency"),
+            "pic": ("detected", "runtime-error"),
+        },
+        description="Rank 1 re-injects each channel's previous payload "
+        "ahead of the real one, so receives consume stale data: the "
+        "value oracle flags the drift, or the program crashes loudly on "
+        "shape-mismatched stale payloads.",
+    ),
+    ScenarioDef(
+        scenario_id="reorder-delay",
+        title="cross-channel reorder: hostile delays on outgoing traffic",
+        adversary=AdversaryConfig(behavior="reorder", rank=1, delay_s=2e-3),
+        expected={
+            "wavelet": ("survived", "clean"),
+            "nbody": ("survived", "clean"),
+            "pic": ("survived", "clean"),
+        },
+        description="Rank 1 jitters delivery of its messages across "
+        "channels; per-channel FIFO and deterministic matching keep the "
+        "values bitwise identical — only the schedule stretches.",
+    ),
+    ScenarioDef(
+        scenario_id="straggler-cartel",
+        title="straggler cartel: a coalition slows its compute 4x",
+        adversary=AdversaryConfig(
+            behavior="cartel", rank=1, accomplices=(2,), slowdown=4.0
+        ),
+        expected={
+            "wavelet": ("survived", "clean"),
+            "nbody": ("survived", "clean"),
+            "pic": ("survived", "clean"),
+        },
+        description="Ranks 1 and 2 collude to run 4x slow; the run drags "
+        "but completes with values identical to the clean reference.",
+    ),
+    ScenarioDef(
+        scenario_id="byzantine-reduce",
+        title="Byzantine reducer: poisoning restricted to collectives",
+        adversary=AdversaryConfig(behavior="byzantine", rank=1, magnitude=0.25),
+        expected={
+            "wavelet": ("survived", "clean"),
+            "nbody": ("survived", "clean"),
+            "pic": ("detected", "value-transparency"),
+        },
+        description="Rank 1 poisons only collective-band traffic: PIC's "
+        "allreduce/gather contributions corrupt the global field and the "
+        "oracle flags it.  The wavelet app routes no collective traffic "
+        "through rank 1, and the manager-worker app's poisoned bcast "
+        "relays land on inert slots of the serialized tree at the "
+        "certified seed — both survive bitwise clean.",
+    ),
+    ScenarioDef(
+        scenario_id="hostile-source-lint",
+        title="hostile program source: flagged before it ever runs",
+        adversary=None,
+        kind="static",
+        expected={"static": ("detected", "lint")},
+        description="A rank program built on wildcard receives, global "
+        "RNG, and wall-clock reads; the static analyzer detects it "
+        "without executing a single rank.",
+    ),
+)
+
+
+def scenario_ids() -> tuple:
+    """Stable ids of every registered scenario, registry order."""
+    return tuple(s.scenario_id for s in SCENARIOS)
+
+
+def get_scenario(scenario_id: str) -> ScenarioDef:
+    """Look up one scenario by stable id."""
+    for scenario in SCENARIOS:
+        if scenario.scenario_id == scenario_id:
+            return scenario
+    raise ConfigurationError(
+        f"unknown scenario {scenario_id!r}; registered: {sorted(scenario_ids())}"
+    )

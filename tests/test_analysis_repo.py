@@ -75,6 +75,7 @@ class TestTagRegistry:
             "wavelet.dwt1d.guard_front": 33,
             "wavelet.dwt1d.guard_back": 34,
             "wavelet.reconstruct.guard_back": 35,
+            "scenarios.adversary.spam": 36,
         }
         assert REGISTRY.all_tags() == expected
 

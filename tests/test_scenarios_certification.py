@@ -1,0 +1,188 @@
+"""Adversarial scenario certification: the detect-or-survive matrix.
+
+Every registered scenario must certify exactly as the registry pins it
+for every target app — an attack is either *detected* by a named defense
+layer or *survived* bitwise; silent corruption is the failure mode this
+suite exists to rule out.  The clean fault-free references are pinned by
+sha256 digest, proving the adversary plumbing (the ``intercept_send``
+hook, the spam tag, the overlay) costs nothing when no adversary runs:
+non-adversarial results stay byte-identical to the seed behavior.
+
+The committed corpus ``tests/data/scenario_findings.json`` is the fuzz
+regression: every persisted finding must replay bitwise from its
+``(scenario, seed, placement)`` key.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    APPS,
+    NRANKS,
+    SCENARIOS,
+    AdversaryConfig,
+    CertificationError,
+    ScenarioDef,
+    certify,
+    check_expected,
+    clean_reference_digest,
+    empty_corpus,
+    finding_from_certification,
+    finding_id,
+    get_scenario,
+    load_corpus,
+    merge_findings,
+    replay_finding,
+    run_fuzz,
+    scenario_ids,
+    validate_findings,
+)
+
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "data", "scenario_findings.json")
+
+#: sha256 pins of the fault-free reference results on the 4-rank NX
+#: Paragon — the byte-identity proof that scenario plumbing changes
+#: nothing when no adversary is attached.
+REFERENCE_DIGESTS = {
+    "wavelet": "23055fbbaaa9185b1212a19ce14a68768d0b1546924a8196a7e7c49f7021b2df",
+    "nbody": "236edb1162cab5b39577be24688fd854fb8101eb94b84bd086e8719d0437844f",
+    "pic": "828035f90034af275b3c6d29c352f6d09da8400e81757df2055003804852645c",
+}
+
+ENGINE_CELLS = [
+    (scenario, app)
+    for scenario in SCENARIOS
+    if scenario.kind == "engine"
+    for app in APPS
+]
+
+
+class TestReferencePins:
+    @pytest.mark.parametrize("app", APPS)
+    def test_clean_reference_digest_pinned(self, app):
+        assert clean_reference_digest(app) == REFERENCE_DIGESTS[app]
+
+
+class TestCertificationMatrix:
+    @pytest.mark.parametrize(
+        "scenario, app",
+        ENGINE_CELLS,
+        ids=[f"{s.scenario_id}-{app}" for s, app in ENGINE_CELLS],
+    )
+    def test_engine_cell_matches_registry(self, scenario, app):
+        cert = certify(scenario, app)
+        check_expected(cert, scenario)  # raises on contradiction
+        assert cert.reference_digest == REFERENCE_DIGESTS[app]
+        if cert.verdict == "survived":
+            # Survival is bitwise: the digest equals the clean pin.
+            assert cert.digest == REFERENCE_DIGESTS[app]
+        elif cert.layer == "value-transparency":
+            # The oracle only fires when a completed run's digest drifts.
+            assert cert.digest and cert.digest != REFERENCE_DIGESTS[app]
+        else:
+            # Loud detections never complete, so there is nothing to digest.
+            assert cert.digest == ""
+
+    def test_static_scenario_detected_by_linter(self):
+        scenario = get_scenario("hostile-source-lint")
+        cert = certify(scenario)
+        check_expected(cert, scenario)
+        assert cert.verdict == "detected" and cert.layer == "lint"
+        assert cert.attacks > 0  # the linter found at least one rule hit
+
+    def test_attacking_scenarios_actually_fire(self):
+        # A scenario that never intervenes certifies vacuously; every
+        # engine scenario must register at least one attack on some app.
+        for scenario in SCENARIOS:
+            if scenario.kind != "engine":
+                continue
+            fired = sum(certify(scenario, app).attacks for app in APPS)
+            assert fired > 0, f"{scenario.scenario_id} never attacked"
+
+    def test_mismatch_raises_certification_error(self):
+        scenario = ScenarioDef(
+            scenario_id="wrong-expectation",
+            title="registered wrong on purpose",
+            adversary=AdversaryConfig(behavior="withhold", rank=1),
+            expected={"wavelet": ("survived", "clean")},
+        )
+        cert = certify(scenario, "wavelet")
+        with pytest.raises(CertificationError, match="wrong-expectation"):
+            check_expected(cert, scenario)
+
+
+class TestRegistry:
+    def test_ids_are_stable_and_unique(self):
+        ids = scenario_ids()
+        assert len(ids) == len(set(ids))
+        assert "withhold-silence" in ids and "hostile-source-lint" in ids
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("no-such-attack")
+
+    def test_placed_moves_the_adversary(self):
+        scenario = get_scenario("poison-boundary")
+        moved = scenario.placed(2)
+        assert moved.adversary.rank == 2
+        assert scenario.adversary.rank == 1  # original untouched
+
+    def test_engine_scenarios_cover_every_app(self):
+        for scenario in SCENARIOS:
+            if scenario.kind == "engine":
+                assert sorted(scenario.expected) == sorted(APPS)
+
+
+class TestFindingsCorpus:
+    def test_committed_corpus_validates(self):
+        corpus = load_corpus(CORPUS_PATH)
+        assert corpus["nranks"] == NRANKS
+        assert corpus["findings"], "committed corpus must not be empty"
+        # Every registered scenario contributed at least one finding.
+        covered = {finding["scenario"] for finding in corpus["findings"]}
+        assert covered == set(scenario_ids())
+
+    def test_every_finding_replays_bitwise(self):
+        corpus = load_corpus(CORPUS_PATH)
+        for finding in corpus["findings"]:
+            _cert, mismatches = replay_finding(finding, nranks=corpus["nranks"])
+            assert not mismatches, f"{finding['id']}: {mismatches}"
+
+    def test_merge_keeps_novel_signatures_only(self):
+        findings = run_fuzz(
+            ["withhold-silence"], apps=("wavelet",), seeds=(0, 1), placements=(1,)
+        )
+        corpus = empty_corpus()
+        added = merge_findings(corpus, findings)
+        # Both seeds certify detected/deadlock: one signature, one finding.
+        assert added == 1 and len(corpus["findings"]) == 1
+        assert merge_findings(corpus, findings) == 0  # idempotent
+
+    def test_validate_rejects_malformed_documents(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_findings({"schema": "bogus", "nranks": 4, "findings": []})
+        good = finding_from_certification(
+            certify(get_scenario("withhold-silence"), "wavelet")
+        )
+        bad_type = dict(good, attacks="three")
+        with pytest.raises(ConfigurationError, match="attacks"):
+            validate_findings(
+                {"schema": "repro.scenarios.findings/v1", "nranks": 4,
+                 "findings": [bad_type]}
+            )
+        bad_id = dict(good, id="someone/else/s9/r9")
+        with pytest.raises(ConfigurationError, match="does not match"):
+            validate_findings(
+                {"schema": "repro.scenarios.findings/v1", "nranks": 4,
+                 "findings": [bad_id]}
+            )
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            validate_findings(
+                {"schema": "repro.scenarios.findings/v1", "nranks": 4,
+                 "findings": [good, dict(good)]}
+            )
+
+    def test_finding_id_round_trips(self):
+        assert finding_id("spam-flood", "pic", 3, 2) == "spam-flood/pic/s3/r2"

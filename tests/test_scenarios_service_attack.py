@@ -1,0 +1,166 @@
+"""Shed/backlog attacks on the service loop (``repro.scenarios.service_attack``).
+
+The hostile tenant is the service-level twin of the engine adversaries:
+maximally plausible traffic, far too much of it.  These tests pin the
+three-sweep story — clean / attacked / defended — and the admission
+defense's typed ``rate-limit`` sheds, all in virtual time, all replay
+deterministic.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ATTACK_SWEEP_SCHEMA,
+    ATTACKER_TENANT,
+    attacked_sweep,
+    hostile_mix,
+)
+from repro.service import (
+    AdmissionController,
+    FixedOracle,
+    JobTemplate,
+    Mix,
+    PoissonProcess,
+    Service,
+    ServiceConfig,
+    TenantProfile,
+    estimate_capacity_rate,
+    validate_loadsweep,
+)
+
+
+def duo_mix() -> Mix:
+    """Two legitimate tenants; the small template is the flood target."""
+    return Mix(
+        name="duo",
+        tenants=(
+            TenantProfile(name="alice", weight=2.0, work=(("small", 1.0),)),
+            TenantProfile(name="bob", weight=1.0, work=(("big", 1.0),)),
+        ),
+        templates={
+            "small": JobTemplate(name="small", nranks=2, batchable=True),
+            "big": JobTemplate(name="big", nranks=8),
+        },
+    )
+
+
+ORACLE = FixedOracle({"small": 0.25, "big": 1.0})
+
+
+class TestHostileMix:
+    def test_attacker_floods_smallest_batchable_template(self):
+        flooded = hostile_mix(duo_mix(), weight=4.0)
+        assert flooded.name == "duo+attack"
+        attacker = flooded.tenants[-1]
+        assert attacker.name == ATTACKER_TENANT
+        assert attacker.weight == 4.0
+        assert attacker.work == (("small", 1.0),)
+        # Legitimate tenants are untouched.
+        assert flooded.tenants[:-1] == duo_mix().tenants
+
+    def test_explicit_work_override(self):
+        flooded = hostile_mix(duo_mix(), work="big")
+        assert flooded.tenants[-1].work == (("big", 1.0),)
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            hostile_mix(duo_mix(), weight=0.0)
+        with pytest.raises(ConfigurationError, match="no template"):
+            hostile_mix(duo_mix(), work="no-such-template")
+        with pytest.raises(ConfigurationError, match="already has an attacker"):
+            hostile_mix(hostile_mix(duo_mix()))
+
+
+class TestDefendedService:
+    def test_rate_limit_sheds_only_the_attacker(self):
+        # One service run, hostile mix, admission defense: the flood is
+        # turned away with typed rate-limit rejections while legitimate
+        # tenants sail through untouched.
+        flooded = hostile_mix(duo_mix(), weight=4.0)
+        capacity = estimate_capacity_rate(duo_mix(), ORACLE, 16)
+        service = Service(
+            16,
+            flooded,
+            PoissonProcess(seed=0, rate_s=2.0 * capacity),
+            ORACLE,
+            admission=AdmissionController(
+                tenant_rate_limits={ATTACKER_TENANT: 0.1 * capacity}
+            ),
+            config=ServiceConfig(horizon_s=20.0),
+            seed=0,
+        )
+        snapshot = service.run().snapshot
+        reasons = snapshot["jobs"]["shed_reasons"]
+        assert reasons.get("rate-limit", 0) > 0
+        by_tenant = {entry["tenant"]: entry for entry in snapshot["per_tenant"]}
+        assert by_tenant[ATTACKER_TENANT]["shed"] > 0
+        assert by_tenant["alice"]["shed"] == 0
+        assert by_tenant["bob"]["shed"] == 0
+
+
+class TestAttackedSweep:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return attacked_sweep(
+            16,
+            duo_mix(),
+            ORACLE,
+            multipliers=(0.5, 1.0, 2.0, 4.0),
+            horizon_s=20.0,
+            seed=0,
+        )
+
+    def test_schema_and_sweep_documents(self, doc):
+        assert doc["schema"] == ATTACK_SWEEP_SCHEMA
+        for name in ("clean", "attacked", "defended"):
+            validate_loadsweep(doc["sweeps"][name])
+        attack = doc["attack"]
+        assert attack["tenant"] == ATTACKER_TENANT
+        assert attack["defense_rate_s"] == pytest.approx(
+            0.1 * attack["clean_capacity_rate_s"]
+        )
+
+    def test_all_sweeps_offer_the_same_absolute_rates(self, doc):
+        # The comparability contract: hostile multipliers are rescaled
+        # by the capacity ratio, so every sweep's absolute req/s grid is
+        # identical and the knees compare in one unit.
+        grids = {
+            name: [p["rate_s"] for p in doc["sweeps"][name]["points"]]
+            for name in ("clean", "attacked", "defended")
+        }
+        assert grids["attacked"] == pytest.approx(grids["clean"])
+        assert grids["defended"] == pytest.approx(grids["clean"])
+
+    def test_attack_degrades_latency_and_defense_recovers_it(self, doc):
+        # Same absolute offered load, but under attack most of it is the
+        # flood: the knee's tail latency degrades, and the admission
+        # defense brings it back down by shedding the attacker.
+        assert doc["clean"]["knee_detected"]
+        assert doc["attacked"]["knee_detected"]
+        assert (
+            doc["attacked"]["knee_p99_turnaround_s"]
+            > doc["clean"]["knee_p99_turnaround_s"]
+        )
+        assert (
+            doc["defended"]["knee_p99_turnaround_s"]
+            < doc["attacked"]["knee_p99_turnaround_s"]
+        )
+
+    def test_defense_sheds_where_clean_never_does(self, doc):
+        assert doc["clean"]["worst_shed_rate"] == 0.0
+        assert doc["defended"]["worst_shed_rate"] > 0.0
+        # Shed work means fewer completions than offered — the flood is
+        # turned away, not served.
+        assert doc["defended"]["completed"] < doc["defended"]["offered"]
+
+    def test_replay_determinism(self, doc):
+        again = attacked_sweep(
+            16,
+            duo_mix(),
+            ORACLE,
+            multipliers=(0.5, 1.0, 2.0, 4.0),
+            horizon_s=20.0,
+            seed=0,
+        )
+        assert again == doc
