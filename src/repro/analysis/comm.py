@@ -93,6 +93,9 @@ COLLECTIVE_FUNCS = frozenset(
         "bcast",
         "reduce",
         "allreduce",
+        "allreduce_rabenseifner",
+        "broadcast_tree",
+        "get_allreduce",
         "gssum_naive",
         "gather",
         "allgather",

@@ -198,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="fifo", choices=("fifo", "fair"),
         help="queue policy (default fifo)",
     )
+    schedule.add_argument(
+        "--collective", default="rdouble", choices=("rdouble", "rabenseifner"),
+        help="all-reduce schedule for programs with global reductions "
+        "(pic/workload; default rdouble)",
+    )
 
     bench = sub.add_parser(
         "bench", help="wall-clock kernel benchmark (conv vs lifting vs fused)"
@@ -235,6 +240,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--ratchet-tolerance", type=float, default=0.25,
         help="allowed fractional speedup regression for --ratchet "
         "(default 0.25)",
+    )
+    bench.add_argument(
+        "--engine", action="store_true",
+        help="engine rank-scaling sweep (indexed vs linear matcher on "
+        "1k-4k-rank meshes) instead of the kernel benchmark; writes "
+        "BENCH_engine.json unless --out is given",
+    )
+    bench.add_argument(
+        "--ranks", default=None, metavar="R1,R2,...",
+        help="rank counts for --engine (default 64,256,1024,4096; "
+        "--quick uses 1024 only)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=2,
+        help="wavelet/collect rounds per --engine case (default 2)",
     )
 
     serve = sub.add_parser(
@@ -277,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-loads", default=None, metavar="M1,M2,...",
         help="ascending offered-load multipliers for --sweep "
         "(default 0.25,0.5,0.75,1.0,1.5,2.0)",
+    )
+    serve.add_argument(
+        "--collective", default="rdouble", choices=("rdouble", "rabenseifner"),
+        help="all-reduce schedule for templates with global reductions "
+        "(default rdouble)",
     )
     serve.add_argument(
         "--format", choices=("human", "json"), default="human", dest="fmt",
@@ -765,7 +790,11 @@ def _schedule_spec(args, entry: str, index: int):
         raise ConfigurationError(
             f"--job expects program:procs, got {entry!r}"
         ) from None
-    options = RunOptions(nranks=procs)
+    # The collective knob rides along verbatim: ProgramDef.validate rejects
+    # it with a ConfigurationError on programs without a global reduction.
+    options = RunOptions(
+        nranks=procs, collective=getattr(args, "collective", "rdouble")
+    )
     if name == "wavelet":
         from repro.data import landsat_like_scene
         from repro.wavelet import filter_bank_for_length
@@ -887,6 +916,37 @@ def _bench_ratchet(args, doc) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_engine_bench(args) -> int:
+    import json
+
+    from repro.perf.engine_bench import (
+        DEFAULT_RANKS,
+        format_engine_bench,
+        run_engine_sweep,
+        validate_engine_bench_document,
+    )
+
+    if args.ranks:
+        ranks = tuple(int(r) for r in args.ranks.split(","))
+    elif args.quick:
+        ranks = (1024,)
+    else:
+        ranks = DEFAULT_RANKS
+    # --quick trims the rank list, not the rounds: speedups at rounds=1
+    # are structurally lower (matching cost grows with queue depth), so
+    # a quick run must measure the same per-case shape it ratchets
+    # against.
+    doc = run_engine_sweep(ranks, rounds=args.rounds)
+    validate_engine_bench_document(doc)
+    print(format_engine_bench(doc))
+    out = args.out if args.out != "BENCH_wavelet.json" else "BENCH_engine.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(doc['results'])} results to {out}")
+    return _bench_ratchet(args, doc)
+
+
 def _cmd_bench(args) -> int:
     from repro.perf import format_table
     from repro.perf.bench import (
@@ -896,6 +956,9 @@ def _cmd_bench(args) -> int:
         run_virtual_bench,
         write_bench_json,
     )
+
+    if args.engine:
+        return _cmd_engine_bench(args)
 
     if args.virtual:
         cases = quick_cases() if args.quick else default_cases()
@@ -1094,6 +1157,8 @@ def _cmd_serve(args) -> int:
     template = machine_template(args.machine, protocol=protocol)
     usable_nodes = template.total_nodes
     mix = get_mix(args.mix)
+    if args.collective != "rdouble":
+        mix = mix.with_collective(args.collective)
     oracle = EngineOracle(args.machine, protocol=protocol)
     admission = None
     if args.queue_limit or args.tenant_backlog:

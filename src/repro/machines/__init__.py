@@ -18,10 +18,13 @@ references exactly.
 from repro.machines.api import (
     allgather,
     allreduce,
+    allreduce_rabenseifner,
     alltoall,
     barrier,
     bcast,
+    broadcast_tree,
     exercise_collectives,
+    get_allreduce,
     gather,
     gssum_naive,
     reduce,
@@ -111,6 +114,9 @@ __all__ = [
     "bcast",
     "reduce",
     "allreduce",
+    "allreduce_rabenseifner",
+    "broadcast_tree",
+    "get_allreduce",
     "gssum_naive",
     "gather",
     "allgather",

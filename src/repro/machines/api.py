@@ -28,10 +28,14 @@ from repro.machines.engine import RankContext
 
 __all__ = [
     "COLLECTIVE_TAG_BASE",
+    "ALLREDUCE_ALGORITHMS",
     "barrier",
     "bcast",
+    "broadcast_tree",
     "reduce",
     "allreduce",
+    "allreduce_rabenseifner",
+    "get_allreduce",
     "gssum_naive",
     "gather",
     "allgather",
@@ -53,6 +57,8 @@ _TAG_BARRIER = tags.COLLECTIVE_BARRIER
 _TAG_ALLGATHER = tags.COLLECTIVE_ALLGATHER
 _TAG_ALLTOALL = tags.COLLECTIVE_ALLTOALL
 _TAG_SENDRECV = tags.COLLECTIVE_SENDRECV
+_TAG_RABENSEIFNER = tags.COLLECTIVE_RABENSEIFNER
+_TAG_BCAST_TREE = tags.COLLECTIVE_BCAST_TREE
 
 
 def _add(a, b):
@@ -149,6 +155,166 @@ def allreduce(ctx: RankContext, value, op=_add, *, tag: int = _TAG_ALLREDUCE):
     elif rank >= pow2:
         acc = yield ctx.recv(rank - pow2, tag=tag)
     return acc
+
+
+def allreduce_rabenseifner(
+    ctx: RankContext, value, op=_add, *, tag: int = _TAG_RABENSEIFNER
+):
+    """Rabenseifner all-reduce: reduce-scatter by recursive halving, then
+    allgather by recursive doubling.
+
+    Bandwidth-optimal for large payloads: each rank moves roughly ``2n``
+    bytes of an ``n``-byte vector instead of recursive doubling's
+    ``n log P``.  Requires an array payload whose leading axis can be
+    split across the power-of-two rank subset and an *elementwise*
+    ``op``; anything else (scalars, short vectors, one rank) falls back
+    to :func:`allreduce`, which is value-equivalent.
+
+    Like :func:`allreduce`, non-power-of-two rank counts fold the excess
+    ranks into the largest power-of-two subset first and unfold the
+    result at the end.  Floating-point results can differ from
+    :func:`allreduce` only by association order (exact for ints and
+    exactly representable floats).
+    """
+    n = ctx.nranks
+    rank = ctx.rank
+    pow2 = 1
+    while pow2 * 2 <= n:
+        pow2 *= 2
+    if (
+        pow2 == 1
+        or not isinstance(value, np.ndarray)
+        or value.ndim < 1
+        or value.shape[0] < pow2
+    ):
+        return (yield from allreduce(ctx, value, op, tag=tag))
+    rem = n - pow2
+    acc = value
+
+    # Fold phase: ranks >= pow2 hand their value to rank - pow2.
+    if rank >= pow2:
+        yield ctx.send(rank - pow2, acc, tag=tag)
+    else:
+        if rank < rem:
+            other = yield ctx.recv(rank + pow2, tag=tag)
+            acc = op(acc, other)
+        acc = np.array(acc)  # private copy: segments are reduced in place
+        rows = acc.shape[0]
+
+        def cuts(i):
+            # Row offset of chunk boundary i (0 <= i <= pow2), closed
+            # form rather than a precomputed list: building pow2+1
+            # entries on every rank is O(P^2) across the job.
+            return (rows * i) // pow2
+
+        # Reduce-scatter by recursive halving: each round trades half of
+        # the active window with the partner and keeps reducing the other
+        # half; after log2(pow2) rounds rank r owns chunk r exactly.
+        lo, hi = 0, pow2
+        mask = pow2 >> 1
+        while mask:
+            partner = rank ^ mask
+            mid = (lo + hi) // 2
+            if rank & mask:
+                send_lo, send_hi = lo, mid
+                keep_lo, keep_hi = mid, hi
+            else:
+                send_lo, send_hi = mid, hi
+                keep_lo, keep_hi = lo, mid
+            yield ctx.send(partner, acc[cuts(send_lo) : cuts(send_hi)], tag=tag)
+            other = yield ctx.recv(partner, tag=tag)
+            seg = slice(cuts(keep_lo), cuts(keep_hi))
+            acc[seg] = op(acc[seg], other)
+            lo, hi = keep_lo, keep_hi
+            mask >>= 1
+
+        # Allgather by recursive doubling, mirroring the halving order:
+        # each round doubles the owned window by swapping it with the
+        # partner's adjacent window.
+        mask = 1
+        while mask < pow2:
+            partner = rank ^ mask
+            span = hi - lo
+            yield ctx.send(partner, acc[cuts(lo) : cuts(hi)], tag=tag)
+            other = yield ctx.recv(partner, tag=tag)
+            if rank & mask:
+                acc[cuts(lo - span) : cuts(lo)] = other
+                lo -= span
+            else:
+                acc[cuts(hi) : cuts(hi + span)] = other
+                hi += span
+            mask <<= 1
+
+    # Unfold phase: send the result back to the folded ranks.
+    if rank < rem:
+        yield ctx.send(rank + pow2, acc, tag=tag)
+    elif rank >= pow2:
+        acc = yield ctx.recv(rank - pow2, tag=tag)
+    return acc
+
+
+#: Selectable all-reduce schedules for the runtime's ``collective=`` knob.
+ALLREDUCE_ALGORITHMS = {
+    "rdouble": allreduce,
+    "rabenseifner": allreduce_rabenseifner,
+}
+
+
+def get_allreduce(name: str):
+    """Resolve a ``collective=`` knob value to its all-reduce schedule."""
+    try:
+        return ALLREDUCE_ALGORITHMS[name]
+    except KeyError:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown collective {name!r}; "
+            f"use one of {sorted(ALLREDUCE_ALGORITHMS)}"
+        ) from None
+
+
+def broadcast_tree(
+    ctx: RankContext,
+    data=None,
+    root: int = 0,
+    *,
+    radix: int = 2,
+    tag: int = _TAG_BCAST_TREE,
+):
+    """k-nomial tree broadcast from ``root``.
+
+    ``radix=2`` is the classic binomial tree (same schedule family as
+    :func:`bcast` but with the high-order subtrees forwarded first, the
+    MPICH ordering); larger radices trade tree depth for per-node fanout,
+    which pays off when the per-message latency dominates.
+    """
+    n = ctx.nranks
+    if not 0 <= root < n:
+        raise CommunicationError(f"broadcast_tree root {root} out of range")
+    if radix < 2:
+        raise CommunicationError(f"broadcast_tree radix must be >= 2, got {radix}")
+    vrank = _shifted(ctx.rank, root, n)
+    # Receive from the parent: the rank whose label clears our lowest
+    # nonzero base-radix digit.
+    p = 1
+    if vrank != 0:
+        while (vrank // p) % radix == 0:
+            p *= radix
+        parent = vrank - ((vrank // p) % radix) * p
+        data = yield ctx.recv(_unshifted(parent, root, n), tag=tag)
+    else:
+        while p < n:
+            p *= radix
+    # Forward to children: one subtree per digit position below the
+    # receive position, deepest (largest) subtree first.
+    q = p // radix
+    while q >= 1:
+        for j in range(1, radix):
+            child = vrank + j * q
+            if child < n:
+                yield ctx.send(_unshifted(child, root, n), data, tag=tag)
+        q //= radix
+    return data
 
 
 def gssum_naive(ctx: RankContext, value, op=_add, *, tag: int = _TAG_GSSUM):
@@ -265,8 +431,8 @@ def exercise_collectives(ctx: RankContext, value=None):
     The sweep the certification tests trace: with ``value`` defaulting to
     the rank index, runs ``bcast``, ``reduce``, ``allreduce``,
     ``gssum_naive``, ``gather``, ``allgather``, ``scatter``, ``alltoall``,
-    ``barrier``, and a ring ``sendrecv``, returning a dict keyed by
-    collective name.  Used with the causality race detector to certify
+    ``barrier``, a ring ``sendrecv``, ``allreduce_rabenseifner``, and
+    ``broadcast_tree``, returning a dict keyed by collective name.  Used with the causality race detector to certify
     that no collective relies on wildcard matching
     (``tests/test_causality_collectives.py``).
     """
@@ -286,4 +452,9 @@ def exercise_collectives(ctx: RankContext, value=None):
     out["alltoall"] = yield from alltoall(ctx, [(rank, dst) for dst in range(n)])
     yield from barrier(ctx)
     out["sendrecv"] = yield from sendrecv(ctx, (rank + 1) % n, value, (rank - 1) % n)
+    vec = np.full(max(n, 2), float(rank))
+    out["allreduce_rabenseifner"] = yield from allreduce_rabenseifner(ctx, vec)
+    out["broadcast_tree"] = yield from broadcast_tree(
+        ctx, value if rank == 0 else None, root=0
+    )
     return out

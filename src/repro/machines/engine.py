@@ -459,6 +459,10 @@ class RunResult:
     #: Fault-injection and recovery counters for the run (always present):
     #: retransmits, dropped, corrupted, duplicates, delayed, checkpoints.
     fault_stats: dict = None
+    #: Engine-internals counters for the run (always present): ops retired
+    #: (``events``), matcher mode, wildcard-heap activity, and route/path
+    #: cache hits from the network layer.
+    engine_stats: dict = None
 
     @property
     def nranks(self) -> int:
@@ -496,6 +500,10 @@ class _RankState:
         "resident",
         "mailbox",
         "arrive_floor",
+        "chan_popped",
+        "wild_any",
+        "wild_src",
+        "wild_tag",
         "waiting",
         "deadline",
         "timeout_token",
@@ -519,6 +527,14 @@ class _RankState:
         # delivery is FIFO non-overtaking per channel (a fault-delayed
         # message holds back its successors, like an in-order transport).
         self.arrive_floor: dict = {}
+        # Matching-index state (see Engine._match).  ``chan_popped`` counts
+        # messages consumed per (src, tag) channel so wildcard-heap entries
+        # can be lazily invalidated; the three heap families are created on
+        # first use by the wildcard shape that needs them.
+        self.chan_popped: dict = {}
+        self.wild_any = None  # heap of (arrive, src, tag, idx) | None
+        self.wild_src: dict = {}  # src -> heap of (arrive, tag, idx)
+        self.wild_tag: dict = {}  # tag -> heap of (arrive, src, idx)
         self.waiting = None
         self.deadline = None  # absolute virtual time the parked recv times out
         self.timeout_token = 0  # invalidates stale timeout wake-ups
@@ -528,7 +544,9 @@ class _RankState:
         self.result = None
         self.pending_value = None
         self.lamport = 0
-        self.vc = [0] * nranks
+        # Vector clocks are O(P) per rank; untraced runs pass nranks=0 and
+        # carry no clock state at all (satellite: zero vclock cost untraced).
+        self.vc = [0] * nranks if nranks else None
 
 
 class Engine:
@@ -545,19 +563,40 @@ class Engine:
     With the plan's default ``reliable=True`` transport, lost attempts are
     retransmitted (exponential backoff charged in virtual time) so program
     *values* are unaffected — only the schedule and the budgets change.
+
+    ``matcher`` selects the mailbox-matching implementation: ``"indexed"``
+    (the default — O(1) exact-key lookup plus arrival-ordered wildcard
+    heaps) or ``"linear"`` (the original full-mailbox scan, retained as
+    the differential-testing reference and benchmark baseline).  The two
+    are bitwise-equivalent: both implement the documented
+    ``(arrive, (src, tag))`` lexicographic matching rule.
     """
 
     def __init__(
-        self, machine: Machine, *, record_trace: bool = False, faults=None
+        self,
+        machine: Machine,
+        *,
+        record_trace: bool = False,
+        faults=None,
+        matcher: str = "indexed",
     ) -> None:
+        if matcher not in ("indexed", "linear"):
+            raise ConfigurationError(
+                f"unknown matcher {matcher!r}; use 'indexed' or 'linear'"
+            )
         self.machine = machine
         self.record_trace = record_trace
         self.faults = faults
+        self.matcher = matcher
         self.fault_stats: dict = {}
+        self.engine_stats: dict = {}
         self._trace: list = []
         self._next_msg_id = 0
         self._msg_counter = 0
         self._seq = 0
+        self._events = 0
+        self._wildcard_matches = 0
+        self._wildcard_backfills = 0
 
     def _record(self, rank, kind, start, end, peer=-1, nbytes=0, **causal) -> None:
         if self.record_trace:
@@ -602,6 +641,9 @@ class Engine:
         self._next_msg_id = 0
         self._msg_counter = 0
         self._seq = 0
+        self._events = 0
+        self._wildcard_matches = 0
+        self._wildcard_backfills = 0
         self.fault_stats = {
             "retransmits": 0,
             "dropped": 0,
@@ -666,6 +708,18 @@ class Engine:
         for st in states:
             st.budget.imbalance_s = elapsed - st.clock
 
+        network = machine.network
+        route_hits, route_misses = network.topology.route_cache_stats()
+        self.engine_stats = {
+            "matcher": self.matcher,
+            "events": self._events,
+            "wildcard_matches": self._wildcard_matches,
+            "wildcard_backfills": self._wildcard_backfills,
+            "route_cache_hits": route_hits,
+            "route_cache_misses": route_misses,
+            "path_cache_hits": getattr(network, "path_cache_hits", 0),
+            "path_cache_misses": getattr(network, "path_cache_misses", 0),
+        }
         return RunResult(
             elapsed_s=elapsed,
             results=[st.result for st in states],
@@ -676,6 +730,7 @@ class Engine:
             contention_s=machine.network.total_contention_s,
             trace=self._trace if self.record_trace else None,
             fault_stats=self.fault_stats,
+            engine_stats=self.engine_stats,
         )
 
     # -- scheduling internals ------------------------------------------------
@@ -742,6 +797,7 @@ class Engine:
                 st.result = stop.value
                 return
 
+            self._events += 1
             if isinstance(op, _ComputeOp):
                 dt = machine.cpu.seconds_for(op.ops, st.resident) / machine.rank_speed[
                     st.rank
@@ -917,14 +973,13 @@ class Engine:
             )
         dst = states[op.dst]
         key = (st.rank, op.tag)
-        queue = dst.mailbox.setdefault(key, [])
         for arrive, payload in deliveries:
             # In-order transport: a delayed message holds back later ones
             # on the same (src, tag) channel (no-op on a fault-free run,
             # where per-path serialization already makes arrivals monotone).
             arrive = max(arrive, dst.arrive_floor.get(key, 0.0))
             dst.arrive_floor[key] = arrive
-            queue.append((arrive, _copy_payload(payload), meta))
+            self._enqueue(dst, key, arrive, _copy_payload(payload), meta)
         if action is not None and action.spam:
             # Junk flood: each copy genuinely occupies the network but
             # lands on the dedicated spam channel (never matched by a
@@ -934,10 +989,9 @@ class Engine:
                     src_node, dst_node, spam_nbytes, st.clock
                 )
                 spam_key = (st.rank, spam_tag)
-                spam_queue = dst.mailbox.setdefault(spam_key, [])
                 spam_arrive = max(spam_arrive, dst.arrive_floor.get(spam_key, 0.0))
                 dst.arrive_floor[spam_key] = spam_arrive
-                spam_queue.append((spam_arrive, spam_payload, None))
+                self._enqueue(dst, spam_key, spam_arrive, spam_payload, None)
         if dst.waiting is not None and (deliveries or (action is not None and action.spam)):
             self._push(dst, heap, in_heap)
 
@@ -1013,6 +1067,93 @@ class Engine:
             deliveries.append((dup + fate.extra_delay_s, payload))
         return deliver, deliveries
 
+    # -- mailbox matching ----------------------------------------------------
+    #
+    # Both matchers implement the same documented rule: the earliest-
+    # arriving matching message wins, ties on arrival time break on the
+    # smallest (src, tag) pair — the (arrive, (src, tag)) lexicographic
+    # minimum.  Per-channel arrivals are monotone non-decreasing
+    # (arrive_floor enforces FIFO non-overtaking), so only each queue's
+    # head can ever be the minimum, which is what makes heap indexing of
+    # channel heads sound.
+
+    def _enqueue(self, dst: _RankState, key, arrive, payload, meta) -> None:
+        """Append a message to ``dst``'s mailbox and mirror it into any
+        wildcard heaps that already exist for its shape.
+
+        The heap entry's ``idx`` is the message's absolute position on its
+        channel (messages popped so far + queue length before the append);
+        an entry is stale once ``chan_popped`` has moved past it.
+        """
+        queue = dst.mailbox.get(key)
+        if queue is None:
+            queue = dst.mailbox[key] = []
+        idx = dst.chan_popped.get(key, 0) + len(queue)
+        queue.append((arrive, payload, meta))
+        src, tag = key
+        heap = dst.wild_any
+        if heap is not None:
+            heapq.heappush(heap, (arrive, src, tag, idx))
+        heap = dst.wild_src.get(src)
+        if heap is not None:
+            heapq.heappush(heap, (arrive, tag, idx))
+        heap = dst.wild_tag.get(tag)
+        if heap is not None:
+            heapq.heappush(heap, (arrive, src, idx))
+
+    def _pop_channel(self, st: _RankState, key):
+        """Consume the head of one mailbox channel, advancing its pop
+        counter so stale wildcard-heap entries are recognized."""
+        st.chan_popped[key] = st.chan_popped.get(key, 0) + 1
+        return st.mailbox[key].pop(0)
+
+    def _wildcard_heap(self, st: _RankState, src: int, tag: int) -> list:
+        """The heap serving a wildcard shape, built on first use from the
+        mailbox's current contents (so externally seeded mailboxes work)."""
+        if src == ANY_SOURCE and tag == ANY_TAG:
+            heap = st.wild_any
+            if heap is None:
+                heap = st.wild_any = self._backfill_heap(st, None, None)
+            return heap
+        if tag == ANY_TAG:
+            heap = st.wild_src.get(src)
+            if heap is None:
+                heap = st.wild_src[src] = self._backfill_heap(st, src, None)
+            return heap
+        heap = st.wild_tag.get(tag)
+        if heap is None:
+            heap = st.wild_tag[tag] = self._backfill_heap(st, None, tag)
+        return heap
+
+    def _backfill_heap(self, st: _RankState, src, tag) -> list:
+        """Index every queued message matching the (src, tag) filter
+        (``None`` = wildcard).  Entry tuples are ordered so the heap
+        minimum IS the (arrive, (src, tag)) lexicographic minimum."""
+        self._wildcard_backfills += 1
+        heap: list = []
+        popped = st.chan_popped
+        # Order-insensitive: heapify sorts the entries, so mailbox
+        # insertion order cannot leak into matching.
+        for (q_src, q_tag), queue in st.mailbox.items():  # lint: disable=DET-DICT-ITERATION
+            if not queue:
+                continue
+            if src is not None and q_src != src:
+                continue
+            if tag is not None and q_tag != tag:
+                continue
+            base = popped.get((q_src, q_tag), 0)
+            if src is None and tag is None:
+                for off, entry in enumerate(queue):
+                    heap.append((entry[0], q_src, q_tag, base + off))
+            elif tag is None:
+                for off, entry in enumerate(queue):
+                    heap.append((entry[0], q_tag, base + off))
+            else:
+                for off, entry in enumerate(queue):
+                    heap.append((entry[0], q_src, base + off))
+        heapq.heapify(heap)
+        return heap
+
     def _match(self, st: _RankState, op: _RecvOp, before: float | None = None):
         """Find the earliest-arriving mailbox entry matching a recv.
 
@@ -1020,6 +1161,53 @@ class Engine:
         the ``(arrive, (src, tag))`` lexicographic rule.  With ``before``
         set (a timed receive's deadline), messages arriving strictly
         after it cannot satisfy the receive and stay queued.
+        """
+        if self.matcher == "linear":
+            return self._match_linear(st, op, before)
+        src, tag = op.src, op.tag
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            # Exact-key receive: one dict lookup, no scan.
+            key = (src, tag)
+            queue = st.mailbox.get(key)
+            if not queue:
+                return None
+            if before is not None and queue[0][0] > before:
+                return None
+            return key, self._pop_channel(st, key)
+        heap = self._wildcard_heap(st, src, tag)
+        mailbox = st.mailbox
+        popped = st.chan_popped
+        while heap:
+            entry = heap[0]
+            if src == ANY_SOURCE and tag == ANY_TAG:
+                arrive, e_src, e_tag, idx = entry
+            elif tag == ANY_TAG:
+                arrive, e_tag, idx = entry
+                e_src = src
+            else:
+                arrive, e_src, idx = entry
+                e_tag = tag
+            key = (e_src, e_tag)
+            queue = mailbox.get(key)
+            if not queue or idx != popped.get(key, 0):
+                # Stale: that message was consumed through another recv
+                # shape (lazy deletion).
+                heapq.heappop(heap)
+                continue
+            if before is not None and arrive > before:
+                # The heap minimum already arrives past the deadline, so
+                # every other candidate does too.
+                return None
+            heapq.heappop(heap)
+            self._wildcard_matches += 1
+            return key, self._pop_channel(st, key)
+        return None
+
+    def _match_linear(self, st: _RankState, op: _RecvOp, before: float | None = None):
+        """Reference matcher: full scan over every (src, tag) queue.
+
+        Kept verbatim as the differential-testing oracle for the indexed
+        matcher and as the benchmark baseline (``Engine(matcher="linear")``).
         """
         best_key = None
         best_arrive = None
@@ -1043,7 +1231,7 @@ class Engine:
                 best_arrive, best_key = arrive, (src, tag)
         if best_key is None:
             return None
-        return best_key, st.mailbox[best_key].pop(0)
+        return best_key, self._pop_channel(st, best_key)
 
     def _complete_recv(self, st: _RankState, op: _RecvOp, matched) -> None:
         machine = self.machine

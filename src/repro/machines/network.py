@@ -25,11 +25,30 @@ Transfer time for an ``n``-byte message over ``h`` hops:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import CommunicationError, ConfigurationError
 
 __all__ = ["Topology", "Mesh2D", "Torus3D", "FullyConnected", "ContentionNetwork"]
+
+#: Bound on memoized entries so adversarial traffic patterns cannot grow
+#: the caches without limit (LRU eviction).  The route cache stores tuples
+#: of channel tuples — heavy in small GC-tracked objects — so its bound is
+#: deliberately tight: hot pairs survive via LRU promotion while one-shot
+#: routes (butterfly exchange partners at 4k ranks) cycle out instead of
+#: bloating every generation-2 GC pass.  The path cache stores one compact
+#: numpy array per pair and can afford a much larger bound.
+_ROUTE_CACHE_MAX = 8192
+_PATH_CACHE_MAX = 131072
+
+#: Paths at or below this hop count use a scalar free-time walk; longer
+#: paths (row-crossing routes on big meshes) get the vectorized numpy
+#: gather/max/scatter, which only pays off once the per-call overhead is
+#: amortized over many channels.
+_VECTOR_HOPS = 12
 
 
 def _canonical(a: tuple, b: tuple) -> tuple:
@@ -54,9 +73,45 @@ class Topology:
         """Ordered list of undirected channel keys from ``src`` to ``dst``."""
         raise NotImplementedError
 
+    def route_cached(self, src: int, dst: int) -> tuple:
+        """Memoized :meth:`route` (routes are pure functions of the node
+        pair, so the LRU-bounded cache is exact).  Returns the path as an
+        immutable tuple; hit/miss counters are surfaced in engine stats.
+        """
+        cache = getattr(self, "_route_cache", None)
+        if cache is None:
+            cache = self._route_cache = OrderedDict()
+            self.route_cache_hits = 0
+            self.route_cache_misses = 0
+        key = (src, dst)
+        path = cache.get(key)
+        if path is not None:
+            self.route_cache_hits += 1
+            cache.move_to_end(key)
+            return path
+        self.route_cache_misses += 1
+        path = tuple(self.route(src, dst))
+        cache[key] = path
+        if len(cache) > _ROUTE_CACHE_MAX:
+            cache.popitem(last=False)
+        return path
+
+    def route_cache_stats(self) -> tuple:
+        """``(hits, misses)`` of the route cache (zeros if never used)."""
+        return (
+            getattr(self, "route_cache_hits", 0),
+            getattr(self, "route_cache_misses", 0),
+        )
+
+    def reset_route_cache_stats(self) -> None:
+        """Zero the hit/miss counters (cached routes stay valid)."""
+        if getattr(self, "_route_cache", None) is not None:
+            self.route_cache_hits = 0
+            self.route_cache_misses = 0
+
     def hops(self, src: int, dst: int) -> int:
         """Path length in channels."""
-        return len(self.route(src, dst))
+        return len(self.route_cached(src, dst))
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -222,13 +277,97 @@ class ContentionNetwork:
     messages_sent: int = field(default=0, repr=False)
     bytes_sent: int = field(default=0, repr=False)
     total_contention_s: float = field(default=0.0, repr=False)
+    #: ``True`` (default) uses the vectorized fast path: interned channel
+    #: ids, per-(src, dst) precomputed path-id arrays, and a NumPy
+    #: free-time vector.  ``False`` keeps the original per-channel dict
+    #: walk (the benchmark baseline).  Both are bitwise-identical:
+    #: ``max`` over floats returns one of its operands exactly, and the
+    #: duration arithmetic stays pure Python either way.
+    use_path_cache: bool = field(default=True, repr=False)
+    _chan_ids: dict = field(default_factory=dict, repr=False, compare=False)
+    _paths: OrderedDict = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
+    _free_times: object = field(
+        default_factory=lambda: np.zeros(64), repr=False, compare=False
+    )
+    _seen_pairs: set = field(default_factory=set, repr=False, compare=False)
+    path_cache_hits: int = field(default=0, repr=False, compare=False)
+    path_cache_misses: int = field(default=0, repr=False, compare=False)
 
     def reset(self) -> None:
-        """Clear all channel state and counters."""
+        """Clear all channel busy state and traffic counters.
+
+        Static route knowledge (interned channel ids, cached path arrays,
+        the topology's route cache) survives: it is a pure function of the
+        topology, so successive runs on one machine reuse it.
+        """
         self._free_at.clear()
+        self._free_times[:] = 0.0
         self.messages_sent = 0
         self.bytes_sent = 0
         self.total_contention_s = 0.0
+        self.path_cache_hits = 0
+        self.path_cache_misses = 0
+        self.topology.reset_route_cache_stats()
+
+    def _path_ids(self, src: int, dst: int):
+        """Interned-channel-id ``np.intp`` array for the ``src -> dst``
+        route, cached per node pair (LRU-bounded).
+
+        The array is the cache's only per-pair payload on purpose: numpy
+        arrays hold their ints as raw memory the garbage collector never
+        traverses, whereas caching Python lists/tuples of channel tuples
+        for tens of thousands of pairs puts millions of small objects on
+        every generation-2 GC pass and measurably slows the whole
+        simulation (observed at 4096 ranks)."""
+        key = (src << 32) | dst
+        paths = self._paths
+        ids = paths.get(key)
+        if ids is not None:
+            self.path_cache_hits += 1
+            paths.move_to_end(key)
+            return ids
+        self.path_cache_misses += 1
+        seen = self._seen_pairs
+        repeat = key in seen
+        if repeat:
+            # Second sighting: the pair is hot, retain its route and ids.
+            route = self.topology.route_cached(src, dst)
+        else:
+            # First sighting: butterfly exchanges at 4k ranks produce tens
+            # of thousands of pairs used exactly once; retaining a route
+            # tuple + id array for each would push millions of objects
+            # into generation 2 and slow every GC pass.  Compute the route
+            # transiently and remember only a packed int (GC-untracked).
+            seen.add(key)
+            route = self.topology.route(src, dst)
+        chan_ids = self._chan_ids
+        id_list = []
+        for channel in route:
+            cid = chan_ids.get(channel)
+            if cid is None:
+                cid = len(chan_ids)
+                chan_ids[channel] = cid
+            id_list.append(cid)
+        if len(chan_ids) > self._free_times.shape[0]:
+            grown = np.zeros(max(len(chan_ids), 2 * self._free_times.shape[0]))
+            grown[: self._free_times.shape[0]] = self._free_times
+            self._free_times = grown
+        if repeat:
+            # Long hot paths cache an intp array (vectorized walk); short
+            # ones cache the plain int list (scalar reads beat numpy's
+            # fancy-indexing overhead below _VECTOR_HOPS).
+            ids = (
+                np.array(id_list, dtype=np.intp)
+                if len(id_list) > _VECTOR_HOPS
+                else id_list
+            )
+            paths[key] = ids
+            if len(paths) > _PATH_CACHE_MAX:
+                paths.popitem(last=False)
+            return ids
+        return id_list
 
     def transfer(self, src: int, dst: int, nbytes: int, t_inject: float) -> float:
         """Reserve the path for a message and return its delivery time.
@@ -242,7 +381,46 @@ class ContentionNetwork:
         self.bytes_sent += nbytes
         if src == dst:
             return t_inject + nbytes / self.local_bytes_per_s
+        if not self.use_path_cache:
+            return self._transfer_uncached(src, dst, nbytes, t_inject)
 
+        ids = self._path_ids(src, dst)
+        free = self._free_times
+        t_start = t_inject
+        if type(ids) is list:
+            # Scalar walk (short or one-shot path): plain int indexing into
+            # the numpy store.  float() wraps the read so virtual clocks
+            # stay pure Python floats (digest-stable reprs).
+            hops = len(ids)
+            for cid in ids:
+                busy = free[cid]
+                if busy > t_start:
+                    t_start = float(busy)
+        else:
+            # Cached long row-crossing path: one vectorized gather + max.
+            # float() returns the stored operand exactly, so the math
+            # matches the scalar walk bit for bit.
+            hops = ids.shape[0]
+            busy = float(free[ids].max())
+            if busy > t_start:
+                t_start = busy
+        self.total_contention_s += t_start - t_inject
+        duration = self.latency_s + hops * self.per_hop_s + nbytes / self.bytes_per_s
+        if self.link_slowdown is not None:
+            duration *= self.link_slowdown(src, dst, t_start)
+        t_end = t_start + duration
+        if type(ids) is list:
+            for cid in ids:
+                free[cid] = t_end
+        else:
+            free[ids] = t_end
+        return t_end
+
+    def _transfer_uncached(
+        self, src: int, dst: int, nbytes: int, t_inject: float
+    ) -> float:
+        """Original per-channel dict walk, kept as the benchmark baseline
+        (``use_path_cache=False``) and scalar reference."""
         path = self.topology.route(src, dst)
         t_start = t_inject
         for channel in path:

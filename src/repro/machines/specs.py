@@ -45,6 +45,8 @@ __all__ = [
     "row_major_placement",
     "cooling_gradient_factors",
     "paragon",
+    "scaled_mesh",
+    "scaled_torus",
     "t3d",
     "workstation",
 ]
@@ -219,6 +221,76 @@ def paragon(
         sw_recv_overhead_s=sw_overhead,
         copy_bytes_per_s=copy_bw,
         speed_factors=speed_factors,
+    )
+
+
+def scaled_mesh(nranks: int, placement: str = "snake", *, torus: bool = False) -> Machine:
+    """Paragon-like machine scaled past the 64-node JPL cabinet.
+
+    A near-square 2-D mesh (power-of-two width) hosting up to thousands
+    of ranks with the NX cost regime, for the engine scale-out studies:
+    the paper's placement experiment (Section 5.1) re-run at 1k-4k ranks.
+    The naive row-major placement still puts logical neighbors at row
+    boundaries a full mesh row apart — and the rows are now ``width``
+    nodes wide, so the conflict the snake placement removes grows with
+    the machine.
+    """
+    if nranks < 1:
+        raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
+    width = 1
+    while width * width < nranks:
+        width *= 2
+    height = (nranks + width - 1) // width
+    topo = Mesh2D(width, height, torus=torus)
+    if placement == "snake":
+        nodes = snake_placement(nranks, width)
+    elif placement == "naive":
+        nodes = row_major_placement(nranks, width)
+    else:
+        raise ConfigurationError(f"unknown placement {placement!r}")
+    network = ContentionNetwork(
+        topology=topo,
+        latency_s=120e-6,
+        per_hop_s=2e-6,
+        bytes_per_s=30e6,
+        local_bytes_per_s=200e6,
+    )
+    return Machine(
+        name=f"bigmesh-{nranks}p-{placement}",
+        cpu=paragon_cpu(),
+        network=network,
+        placement=nodes,
+        sw_send_overhead_s=50e-6,
+        sw_recv_overhead_s=50e-6,
+        copy_bytes_per_s=100e6,
+    )
+
+
+def scaled_torus(nranks: int) -> Machine:
+    """T3D-like machine scaled past 256 nodes: the smallest power-of-two
+    cube torus hosting ``nranks`` ranks, with the T3D link/overhead
+    parameters."""
+    if nranks < 1:
+        raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
+    side = 1
+    while side * side * side < nranks:
+        side *= 2
+    topo = Torus3D(side, side, side)
+    network = ContentionNetwork(
+        topology=topo,
+        latency_s=60e-6,
+        per_hop_s=0.5e-6,
+        bytes_per_s=120e6,
+        local_bytes_per_s=400e6,
+    )
+    return Machine(
+        name=f"bigtorus-{nranks}p",
+        cpu=t3d_cpu(),
+        network=network,
+        placement=list(range(nranks)),
+        sw_send_overhead_s=110e-6,
+        sw_recv_overhead_s=110e-6,
+        copy_bytes_per_s=120e6,
     )
 
 

@@ -28,7 +28,7 @@ Layout
                 direction to the conv guards)
 36              adversarial spam-flood junk channel
                 (:mod:`repro.scenarios.adversary`)
-900_001-900_010 collectives (:mod:`repro.machines.api`)
+900_001-900_012 collectives (:mod:`repro.machines.api`)
 950k/975k       reliable-transport data/ack blocks
                 (:mod:`repro.machines.faults.transport`)
 ==============  =======================================================
@@ -69,6 +69,8 @@ __all__ = [
     "PIC_FINAL",
     # adversarial scenarios
     "ADVERSARY_SPAM",
+    # engine rank-scaling benchmark
+    "ENGINE_BENCH_TAG_BASE",
     # collectives
     "COLLECTIVE_TAG_BASE",
     "COLLECTIVE_BCAST",
@@ -81,6 +83,8 @@ __all__ = [
     "COLLECTIVE_ALLGATHER",
     "COLLECTIVE_ALLTOALL",
     "COLLECTIVE_SENDRECV",
+    "COLLECTIVE_RABENSEIFNER",
+    "COLLECTIVE_BCAST_TREE",
     # reliable transport
     "TRANSPORT_DATA_BASE",
     "TRANSPORT_ACK_BASE",
@@ -261,6 +265,17 @@ COLLECTIVE_BARRIER = COLLECTIVE_TAG_BASE + 7
 COLLECTIVE_ALLGATHER = COLLECTIVE_TAG_BASE + 8
 COLLECTIVE_ALLTOALL = COLLECTIVE_TAG_BASE + 9
 COLLECTIVE_SENDRECV = COLLECTIVE_TAG_BASE + 10
+COLLECTIVE_RABENSEIFNER = COLLECTIVE_TAG_BASE + 11
+COLLECTIVE_BCAST_TREE = COLLECTIVE_TAG_BASE + 12
+
+# -- engine rank-scaling benchmark (repro.perf.engine_bench) ---------------
+# The collect-stage workload ships one message per sub-band under its own
+# tag; reserving the small range keeps those tags collision-checked against
+# every program tag and the collective/transport bands.
+ENGINE_BENCH_TAG_BASE = 880_000
+_ENGINE_BENCH_RANGE = REGISTRY.reserve_range(
+    "bench.engine.collect", ENGINE_BENCH_TAG_BASE, ENGINE_BENCH_TAG_BASE + 16
+)
 
 # -- reliable transport (repro.machines.faults.transport) ------------------
 TRANSPORT_TAG_SPAN = 25_000

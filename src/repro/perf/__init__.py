@@ -4,8 +4,9 @@ methodology of Appendix B Section 3).
 The per-rank budget itself is collected by the engine
 (:class:`repro.machines.engine.RankBudget`); this package adds speedup /
 efficiency curves, the uniprocessor extrapolation device, plain-text
-rendering of the paper's tables and figures, and the wall-clock kernel
-benchmark harness (:mod:`repro.perf.bench`).
+rendering of the paper's tables and figures, the wall-clock kernel
+benchmark harness (:mod:`repro.perf.bench`), and the engine rank-scaling
+benchmark (:mod:`repro.perf.engine_bench`).
 """
 
 from repro.perf.bench import (
@@ -18,6 +19,15 @@ from repro.perf.bench import (
     run_virtual_bench,
     validate_bench_document,
     write_bench_json,
+)
+from repro.perf.engine_bench import (
+    DEFAULT_RANKS,
+    DEFAULT_WORKLOADS,
+    ENGINE_BENCH_SCHEMA,
+    format_engine_bench,
+    run_engine_case,
+    run_engine_sweep,
+    validate_engine_bench_document,
 )
 from repro.perf.metrics import ScalingCurve, ScalingPoint, linear_extrapolate
 from repro.perf.report import (
@@ -50,4 +60,11 @@ __all__ = [
     "run_virtual_bench",
     "validate_bench_document",
     "write_bench_json",
+    "ENGINE_BENCH_SCHEMA",
+    "DEFAULT_RANKS",
+    "DEFAULT_WORKLOADS",
+    "run_engine_case",
+    "run_engine_sweep",
+    "validate_engine_bench_document",
+    "format_engine_bench",
 ]

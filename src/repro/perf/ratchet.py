@@ -13,6 +13,14 @@ Wall-clock numbers are noisy across hosts, which is why the tolerance is
 generous by default (25%) and the comparison is against ratios
 (speedup), not absolute ns/op: machine-wide slowdowns cancel out, while
 a real kernel regression (lost fusion, broken lifting path) does not.
+
+The same machinery ratchets the engine rank-scaling benchmark
+(``BENCH_engine.json``, schema ``repro.bench.engine/v1``): there the
+group is ``placement/workload``, the case key is the rank count, and the
+pinned ratio is ``speedup_vs_linear`` — the indexed engine's advantage
+over the retained pre-optimization matcher.  A document's ``schema`` tag
+selects the aggregation; comparing documents of different schemas is a
+configuration error, not a silent skip.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import json
 import math
 
 from repro.errors import ConfigurationError
+from repro.perf.engine_bench import ENGINE_BENCH_SCHEMA
 
 __all__ = ["load_bench", "compare_bench", "format_ratchet", "check_ratchet"]
 
@@ -55,6 +64,24 @@ def _speedups_by_kernel(doc: dict) -> dict:
     return table
 
 
+def _is_engine_doc(doc: dict) -> bool:
+    return doc.get("schema") == ENGINE_BENCH_SCHEMA
+
+
+def _engine_speedups(doc: dict) -> dict:
+    """``{placement/workload: {nranks: speedup_vs_linear}}`` from indexed
+    rows that carry a measured baseline (``speedup_vs_linear > 0``)."""
+    table: dict = {}
+    for row in doc["results"]:
+        if row["matcher"] != "indexed" or row.get("speedup_vs_linear", 0.0) <= 0:
+            continue
+        group = f"{row['placement']}/{row['workload']}"
+        table.setdefault(group, {})[row["nranks"]] = float(
+            row["speedup_vs_linear"]
+        )
+    return table
+
+
 def _geomean(values: list) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -73,8 +100,17 @@ def compare_bench(current: dict, baseline: dict, *, tolerance: float = 0.25) -> 
         raise ConfigurationError(
             f"ratchet tolerance must be in [0, 1), got {tolerance}"
         )
-    current_table = _speedups_by_kernel(current)
-    baseline_table = _speedups_by_kernel(baseline)
+    if _is_engine_doc(current) != _is_engine_doc(baseline):
+        raise ConfigurationError(
+            "cannot ratchet across benchmark schemas: current is "
+            f"{current.get('schema')!r}, baseline is {baseline.get('schema')!r}"
+        )
+    if _is_engine_doc(current):
+        current_table = _engine_speedups(current)
+        baseline_table = _engine_speedups(baseline)
+    else:
+        current_table = _speedups_by_kernel(current)
+        baseline_table = _speedups_by_kernel(baseline)
     kernels = []
     ok = True
     for kernel in sorted(set(current_table) | set(baseline_table)):
@@ -118,16 +154,16 @@ def format_ratchet(report: dict) -> str:
     ]
     for entry in report["kernels"]:
         if entry["cases"] == 0:
-            lines.append(f"  {entry['kernel']:<10} no shared cases; skipped")
+            lines.append(f"  {entry['kernel']:<14} no shared cases; skipped")
             continue
         verdict = "REGRESSED" if entry["regressed"] else "ok"
         lines.append(
-            f"  {entry['kernel']:<10} baseline {entry['baseline']:.2f}x, "
+            f"  {entry['kernel']:<14} baseline {entry['baseline']:.2f}x, "
             f"current {entry['current']:.2f}x over {entry['cases']} case(s) "
             f"({entry['ratio']:.0%}) -> {verdict}"
         )
     lines.append(
-        "ratchet passed" if report["ok"] else "ratchet FAILED: kernel speedup regressed"
+        "ratchet passed" if report["ok"] else "ratchet FAILED: speedup regressed"
     )
     return "\n".join(lines)
 

@@ -12,7 +12,9 @@ Two ablations from the paper are selectable:
 
 * ``global_sum`` — ``"prefix"`` (the authors' recursive-doubling
   replacement) vs ``"gssum"`` (the vendor-style many-to-many exchange
-  whose collapse beyond 8 processors Section 4.2.2 reports).
+  whose collapse beyond 8 processors Section 4.2.2 reports) vs
+  ``"rabenseifner"`` (reduce-scatter + allgather over the charge grid,
+  bandwidth-optimal for large grids).
 * ``poisson`` — ``"slab"`` (parallel FFT) vs ``"replicated"`` (every rank
   solves the full grid locally: communication traded for duplication
   redundancy, the §5.3 observation).
@@ -27,7 +29,12 @@ import numpy as np
 from repro.data.particles import ParticleSet
 from repro.errors import ConfigurationError
 from repro.machines import tags
-from repro.machines.api import allreduce, gather, gssum_naive
+from repro.machines.api import (
+    allreduce,
+    allreduce_rabenseifner,
+    gather,
+    gssum_naive,
+)
 from repro.machines.engine import Machine, RunResult
 from repro.pic.cost import (
     deposit_cost,
@@ -94,7 +101,7 @@ def pic_program(
     ``restore`` is the per-rank state list from a
     :class:`~repro.errors.RankCrashError`.
     """
-    if global_sum not in ("prefix", "gssum"):
+    if global_sum not in ("prefix", "gssum", "rabenseifner"):
         raise ConfigurationError(f"unknown global_sum {global_sum!r}")
     if poisson not in ("slab", "replicated"):
         raise ConfigurationError(f"unknown poisson {poisson!r}")
@@ -126,6 +133,8 @@ def pic_program(
         # Global charge combine: the paper's gssum vs parallel-prefix story.
         if global_sum == "gssum":
             rho = yield from gssum_naive(ctx, rho_local)
+        elif global_sum == "rabenseifner":
+            rho = yield from allreduce_rabenseifner(ctx, rho_local)
         else:
             rho = yield from allreduce(ctx, rho_local)
 

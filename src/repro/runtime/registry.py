@@ -77,7 +77,7 @@ class ProgramDef:
     supports:
         Option names the program honors beyond the engine-level ones
         (``record_trace``/``faults`` always apply): any of ``"kernel"``,
-        ``"decomposition"``, ``"checkpointing"``.
+        ``"decomposition"``, ``"checkpointing"``, ``"collective"``.
     description:
         One-line summary for listings.
     """
@@ -103,6 +103,19 @@ class ProgramDef:
             raise ConfigurationError(
                 f"program {self.name!r} does not support checkpointing"
             )
+        if opts.collective != "rdouble":
+            from repro.machines.api import ALLREDUCE_ALGORITHMS
+
+            if opts.collective not in ALLREDUCE_ALGORITHMS:
+                raise ConfigurationError(
+                    f"unknown collective {opts.collective!r}; "
+                    f"use one of {sorted(ALLREDUCE_ALGORITHMS)}"
+                )
+            if "collective" not in self.supports:
+                raise ConfigurationError(
+                    f"program {self.name!r} does not support "
+                    f"collective={opts.collective!r}"
+                )
 
 
 _REGISTRY: dict = {}
@@ -280,6 +293,10 @@ def _build_pic(spec: JobSpec, nranks: int) -> Launch:
     }
     if opts.checkpoint_interval > 0:
         kwargs["checkpoint_interval"] = opts.checkpoint_interval
+    if opts.collective != "rdouble":
+        # The charge-density combine is the program's global reduction;
+        # the scalar dt allreduce stays on recursive doubling either way.
+        kwargs["global_sum"] = opts.collective
 
     def assemble(run):
         import numpy as np
@@ -301,15 +318,18 @@ def _build_pic(spec: JobSpec, nranks: int) -> Launch:
     )
 
 
-def _workload_program(ctx, mix_counts: dict, repeats: int):
+def _workload_program(ctx, mix_counts: dict, repeats: int, collective: str = "rdouble"):
     """Rank program replaying an instruction-type mix as compute charges.
 
     ``mix_counts`` maps engine cost categories (``flops``/``intops``/
     ``memops``) to total instruction counts; each rank charges an even
-    share per repeat, then the counts are allreduced as the SPMD epilogue.
+    share per repeat, then the counts are allreduced as the SPMD epilogue
+    (``collective`` picks the schedule; scalar payloads are
+    value-identical either way).
     """
-    from repro.machines.api import allreduce
+    from repro.machines.api import get_allreduce
 
+    allred = get_allreduce(collective)
     share = {k: v / ctx.nranks for k, v in mix_counts.items()}
     for _ in range(repeats):
         yield ctx.compute(
@@ -317,11 +337,12 @@ def _workload_program(ctx, mix_counts: dict, repeats: int):
             intops=share.get("intops", 0.0),
             memops=share.get("memops", 0.0),
         )
-    total = yield from allreduce(ctx, sum(share.values()))
+    total = yield from allred(ctx, sum(share.values()))
     return {"instructions": total, "rank_share": sum(share.values())}
 
 
 def _build_workload(spec: JobSpec, nranks: int) -> Launch:
+    opts = spec.options
     trace = spec.params["trace"]
     repeats = int(spec.param("repeats", 1))
     if repeats < 1:
@@ -339,8 +360,14 @@ def _build_workload(spec: JobSpec, nranks: int) -> Launch:
     def assemble(run):
         return run
 
+    kwargs = {}
+    if opts.collective != "rdouble":
+        kwargs["collective"] = opts.collective
     return Launch(
-        program=_workload_program, args=(counts, repeats), assemble=assemble
+        program=_workload_program,
+        args=(counts, repeats),
+        kwargs=kwargs,
+        assemble=assemble,
     )
 
 
@@ -364,7 +391,7 @@ register(
     ProgramDef(
         name="pic",
         build=_build_pic,
-        supports=frozenset({"checkpointing"}),
+        supports=frozenset({"checkpointing", "collective"}),
         description="3-D electrostatic PIC (worker-worker)",
     )
 )
@@ -372,7 +399,7 @@ register(
     ProgramDef(
         name="workload",
         build=_build_workload,
-        supports=frozenset(),
+        supports=frozenset({"collective"}),
         description="NAS-like instruction-mix replay",
     )
 )

@@ -49,6 +49,11 @@ class RunOptions:
         programs that do not filter reject non-default values.
     decomposition:
         Wavelet domain decomposition (``"striped"``/``"block"``).
+    collective:
+        All-reduce schedule for programs that do global reductions
+        (``"rdouble"`` recursive doubling, the default, or
+        ``"rabenseifner"`` reduce-scatter + allgather); programs without
+        a global reduction reject non-default values.
     record_trace:
         Collect :class:`~repro.machines.engine.TraceEvent` records.
     faults:
@@ -66,6 +71,7 @@ class RunOptions:
     protocol: str | None = None
     kernel: str = "conv"
     decomposition: str = "striped"
+    collective: str = "rdouble"
     record_trace: bool = False
     faults: object = None
     checkpoint_interval: int = 0

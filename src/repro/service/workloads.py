@@ -65,6 +65,7 @@ class JobTemplate:
     kernel: str = "fused"
     scale: float = 0.1
     repeats: int = 1
+    collective: str = "rdouble"
     batchable: bool = False
 
     @property
@@ -86,13 +87,18 @@ class JobTemplate:
                 "levels": self.levels,
             }
             options = RunOptions(
-                machine=machine, nranks=self.nranks, kernel=self.kernel
+                machine=machine,
+                nranks=self.nranks,
+                kernel=self.kernel,
+                collective=self.collective,
             )
         elif self.program == "workload":
             from repro.workload import nas_suite
 
             params = {"trace": nas_suite(self.scale)[0], "repeats": self.repeats}
-            options = RunOptions(machine=machine, nranks=self.nranks)
+            options = RunOptions(
+                machine=machine, nranks=self.nranks, collective=self.collective
+            )
         else:
             raise ConfigurationError(
                 f"template {self.name!r}: program {self.program!r} is not "
@@ -185,6 +191,30 @@ class Mix:
     def tenant_weights(self) -> dict:
         """``{tenant: weight}`` for the fair-share policy."""
         return {tenant.name: tenant.weight for tenant in self.tenants}
+
+    def with_collective(self, collective: str) -> "Mix":
+        """A copy whose templates run their global reductions under the
+        given all-reduce schedule (``serve --collective``).
+
+        The name is validated eagerly; templates whose program has no
+        global reduction (wavelet filtering) are left untouched rather
+        than poisoned with a knob their validation would reject.
+        """
+        from dataclasses import replace
+
+        from repro.machines.api import get_allreduce
+        from repro.runtime.registry import get_program
+
+        get_allreduce(collective)  # unknown name -> ConfigurationError
+        templates = {
+            name: (
+                replace(template, collective=collective)
+                if "collective" in get_program(template.program).supports
+                else template
+            )
+            for name, template in self.templates.items()
+        }
+        return replace(self, templates=templates)
 
     def pick_tenant(self, rng) -> TenantProfile:
         """Weighted tenant draw from a seeded ``random.Random``."""

@@ -147,3 +147,95 @@ class TestCommittedBaseline:
         assert report["ok"]
         kernels = {e["kernel"] for e in report["kernels"]}
         assert kernels == {"lifting", "fused"}
+
+
+def engine_doc(speedups):
+    """A minimal engine-schema document: {(group, nranks): speedup},
+    group being "placement/workload".  Each indexed row gets a matching
+    zero-speedup linear baseline row, which the aggregation must skip."""
+    results = []
+    for (group, nranks), speedup in sorted(speedups.items()):
+        placement, workload = group.split("/")
+        for matcher, value in (("indexed", speedup), ("linear", 0.0)):
+            results.append(
+                {
+                    "nranks": nranks,
+                    "placement": placement,
+                    "workload": workload,
+                    "matcher": matcher,
+                    "speedup_vs_linear": value,
+                }
+            )
+    return {"schema": "repro.bench.engine/v1", "results": results}
+
+
+ENGINE_BASE = engine_doc(
+    {
+        ("snake/collect", 64): 2.0,
+        ("snake/collect", 1024): 9.0,
+        ("snake/wavelet", 64): 1.0,
+        ("snake/wavelet", 1024): 1.1,
+    }
+)
+
+
+class TestEngineRatchet:
+    def test_identical_docs_pass(self):
+        report = compare_bench(ENGINE_BASE, ENGINE_BASE, tolerance=0.25)
+        assert report["ok"]
+        groups = {e["kernel"]: e["cases"] for e in report["kernels"]}
+        assert groups == {"snake/collect": 2, "snake/wavelet": 2}
+
+    def test_collect_regression_fails(self):
+        current = engine_doc(
+            {
+                ("snake/collect", 64): 1.0,
+                ("snake/collect", 1024): 2.0,
+                ("snake/wavelet", 64): 1.0,
+                ("snake/wavelet", 1024): 1.1,
+            }
+        )
+        report = compare_bench(current, ENGINE_BASE, tolerance=0.25)
+        assert not report["ok"]
+        flagged = {e["kernel"]: e["regressed"] for e in report["kernels"]}
+        assert flagged == {"snake/collect": True, "snake/wavelet": False}
+
+    def test_capped_baseline_rows_are_skipped(self):
+        # A --quick current run only covers 64 ranks; the 1024-rank pins
+        # in the baseline must not count against it.
+        current = engine_doc(
+            {("snake/collect", 64): 2.0, ("snake/wavelet", 64): 1.0}
+        )
+        report = compare_bench(current, ENGINE_BASE, tolerance=0.25)
+        assert report["ok"]
+        assert all(e["cases"] == 1 for e in report["kernels"])
+
+    def test_zero_speedup_rows_never_aggregate(self):
+        # Rows without a measured baseline (speedup 0.0) carry no pin.
+        current = engine_doc({("snake/collect", 4096): 0.0})
+        report = compare_bench(current, current, tolerance=0.25)
+        assert report["ok"] and report["kernels"] == []
+
+    def test_cross_schema_comparison_rejected(self):
+        with pytest.raises(ConfigurationError, match="schemas"):
+            compare_bench(ENGINE_BASE, BASE)
+        with pytest.raises(ConfigurationError, match="schemas"):
+            compare_bench(BASE, ENGINE_BASE)
+
+    def test_committed_engine_baseline_if_present(self):
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+        if not baseline.exists():
+            pytest.skip("no committed engine baseline")
+        doc = load_bench(str(baseline))
+        report = compare_bench(doc, doc)
+        assert report["ok"]
+        # The acceptance bar: the committed sweep must pin at least a 5x
+        # fan-in (collect) speedup at 1024 ranks.
+        rows = {
+            (r["placement"], r["workload"], r["nranks"]): r["speedup_vs_linear"]
+            for r in doc["results"]
+            if r["matcher"] == "indexed"
+        }
+        assert rows[("snake", "collect", 1024)] >= 5.0

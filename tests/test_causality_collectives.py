@@ -3,10 +3,16 @@ every collective is traced and certified free of wildcard hazards, and
 ``gssum_naive`` vs the prefix ``allreduce`` — the Section 4.2.2 global-sum
 comparison — are certified individually."""
 
+import numpy as np
 import pytest
 
 from repro.machines import Engine, Machine, exercise_collectives
-from repro.machines.api import allreduce, gssum_naive
+from repro.machines.api import (
+    allreduce,
+    allreduce_rabenseifner,
+    broadcast_tree,
+    gssum_naive,
+)
 from repro.machines.cpu import CpuModel
 from repro.machines.causality import certify_deterministic
 from repro.machines.network import ContentionNetwork, FullyConnected
@@ -71,3 +77,31 @@ def test_gssum_naive_vs_prefix_allreduce_race_free(nranks):
     for naive, prefix in run.results:
         assert naive == pytest.approx(expected)
         assert prefix == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+def test_rabenseifner_race_free(nranks):
+    """The hierarchical all-reduce (reduce-scatter + allgather) posts
+    only exact-shape receives, so it certifies clean like the rest."""
+
+    def prog(ctx):
+        vec = np.full(8, float(ctx.rank + 1))
+        out = yield from allreduce_rabenseifner(ctx, vec)
+        return float(out[0])
+
+    run, report = certified(nranks, prog)
+    assert report.wildcard_recvs == 0 and report.deterministic
+    expected = nranks * (nranks + 1) / 2
+    for out in run.results:
+        assert out == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("radix", [2, 3])
+def test_broadcast_tree_race_free(radix):
+    def prog(ctx):
+        data = "blob" if ctx.rank == 2 else None
+        return (yield from broadcast_tree(ctx, data, root=2, radix=radix))
+
+    run, report = certified(6, prog)
+    assert report.wildcard_recvs == 0 and report.deterministic
+    assert run.results == ["blob"] * 6

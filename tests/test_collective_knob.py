@@ -1,0 +1,81 @@
+"""The ``collective=`` knob end to end: RunOptions plumbing, registry
+validation through :class:`ConfigurationError`, and the service-mix
+rewrite behind ``serve --collective``."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import JobSpec, RunOptions, launch
+from repro.service.workloads import JobTemplate, default_mix
+
+
+def wavelet_spec(collective):
+    from repro.data import landsat_like_scene
+    from repro.wavelet import filter_bank_for_length
+
+    return JobSpec(
+        program="wavelet",
+        params={
+            "image": landsat_like_scene((32, 32)),
+            "bank": filter_bank_for_length(4),
+            "levels": 1,
+        },
+        options=RunOptions(machine="paragon", nranks=4, collective=collective),
+    )
+
+
+class TestRunOptionsCollective:
+    def test_default_is_rdouble(self):
+        assert RunOptions().collective == "rdouble"
+
+    def test_unsupported_program_rejected(self):
+        # The wavelet filter program has no global reduction; the knob
+        # must be rejected, not silently ignored.
+        with pytest.raises(ConfigurationError, match="does not support collective"):
+            launch(wavelet_spec("rabenseifner"))
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown collective"):
+            launch(wavelet_spec("butterfly"))
+
+    def test_supporting_program_runs_under_both_schedules(self):
+        runs = {}
+        for collective in ("rdouble", "rabenseifner"):
+            spec = JobTemplate(
+                name=f"knob-{collective}",
+                program="workload",
+                nranks=4,
+                scale=0.05,
+                collective=collective,
+            ).build_spec(machine="paragon")
+            runs[collective] = launch(spec)
+        # Same work, different wire schedule: results agree, virtual
+        # time is allowed to differ.
+        assert runs["rdouble"].total_virtual_s > 0
+        assert runs["rabenseifner"].total_virtual_s > 0
+
+
+class TestMixWithCollective:
+    def test_replaces_only_supporting_templates(self):
+        mix = default_mix().with_collective("rabenseifner")
+        # workload templates carry a global reduction -> rewritten.
+        assert mix.templates["mix-analytics"].collective == "rabenseifner"
+        assert mix.templates["fusion-merge"].collective == "rabenseifner"
+        # wavelet templates have none -> left on the default so their
+        # validation still passes.
+        assert mix.templates["dwt-small"].collective == "rdouble"
+        assert mix.templates["dwt-medium"].collective == "rdouble"
+
+    def test_original_mix_untouched(self):
+        mix = default_mix()
+        mix.with_collective("rabenseifner")
+        assert all(t.collective == "rdouble" for t in mix.templates.values())
+
+    def test_unknown_name_raises_eagerly(self):
+        with pytest.raises(ConfigurationError, match="unknown collective"):
+            default_mix().with_collective("bruck")
+
+    def test_rewritten_template_spec_carries_knob(self):
+        mix = default_mix().with_collective("rabenseifner")
+        spec = mix.templates["mix-analytics"].build_spec()
+        assert spec.options.collective == "rabenseifner"

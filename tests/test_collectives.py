@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommunicationError
+from repro.errors import CommunicationError, ConfigurationError
 from repro.machines import (
     Engine,
     Machine,
@@ -17,6 +17,12 @@ from repro.machines import (
     reduce,
     scatter,
     sendrecv,
+)
+from repro.machines.api import (
+    ALLREDUCE_ALGORITHMS,
+    allreduce_rabenseifner,
+    broadcast_tree,
+    get_allreduce,
 )
 from repro.machines.cpu import CpuModel
 from repro.machines.network import ContentionNetwork, FullyConnected
@@ -156,6 +162,93 @@ class TestGatherScatter:
         results = run(nranks, prog).results
         for rank, received in enumerate(results):
             assert received == [(src, rank) for src in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 4, 6, 8])
+class TestRabenseifner:
+    def test_array_sum_matches_rdouble(self, nranks):
+        def prog(ctx):
+            vec = np.full(16, float(ctx.rank + 1))
+            a = yield from allreduce_rabenseifner(ctx, vec)
+            b = yield from allreduce(ctx, vec)
+            return a.tolist(), b.tolist()
+
+        expected = [nranks * (nranks + 1) / 2] * 16
+        for a, b in run(nranks, prog).results:
+            assert a == pytest.approx(b)
+            assert a == pytest.approx(expected)
+
+    def test_scalar_falls_back_to_rdouble(self, nranks):
+        def prog(ctx):
+            a = yield from allreduce_rabenseifner(ctx, float(ctx.rank))
+            b = yield from allreduce(ctx, float(ctx.rank))
+            return a, b
+
+        for a, b in run(nranks, prog).results:
+            assert a == b
+
+    def test_custom_elementwise_op(self, nranks):
+        def prog(ctx):
+            vec = np.full(8, float(ctx.rank))
+            out = yield from allreduce_rabenseifner(ctx, vec, op=np.maximum)
+            return out.tolist()
+
+        for out in run(nranks, prog).results:
+            assert out == [float(nranks - 1)] * 8
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5, 8, 9])
+class TestBroadcastTree:
+    def test_reaches_all_ranks(self, nranks):
+        def prog(ctx):
+            data = {"v": 42} if ctx.rank == 0 else None
+            data = yield from broadcast_tree(ctx, data)
+            return data["v"]
+
+        assert run(nranks, prog).results == [42] * nranks
+
+    def test_radix_three(self, nranks):
+        def prog(ctx):
+            data = "payload" if ctx.rank == 0 else None
+            return (yield from broadcast_tree(ctx, data, radix=3))
+
+        assert run(nranks, prog).results == ["payload"] * nranks
+
+    def test_nonzero_root(self, nranks):
+        root = nranks - 1
+
+        def prog(ctx):
+            data = ("blob", root) if ctx.rank == root else None
+            return (yield from broadcast_tree(ctx, data, root=root))
+
+        assert run(nranks, prog).results == [("blob", root)] * nranks
+
+
+class TestBroadcastTreeErrors:
+    def test_bad_radix_raises(self):
+        def prog(ctx):
+            return (yield from broadcast_tree(ctx, 1, radix=1))
+
+        with pytest.raises(CommunicationError):
+            run(2, prog)
+
+    def test_bad_root_raises(self):
+        def prog(ctx):
+            return (yield from broadcast_tree(ctx, 1, root=5))
+
+        with pytest.raises(CommunicationError):
+            run(2, prog)
+
+
+class TestAllreduceRegistry:
+    def test_known_schedules_resolve(self):
+        assert get_allreduce("rdouble") is allreduce
+        assert get_allreduce("rabenseifner") is allreduce_rabenseifner
+        assert set(ALLREDUCE_ALGORITHMS) == {"rdouble", "rabenseifner"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown collective"):
+            get_allreduce("butterfly")
 
 
 class TestBarrierAndSendrecv:

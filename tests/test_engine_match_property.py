@@ -1,0 +1,212 @@
+"""Differential tests of the indexed mailbox matcher against the
+retained linear reference.
+
+The indexed matcher (exact-key lookup plus lazily-invalidated wildcard
+heaps) must pop the *identical* entry in the *identical* order as the
+linear scan for every interleaving of sends and receives — the
+``(arrive, (src, tag))`` tie-break is part of the engine's determinism
+contract and every digest pin depends on it.  The property test drives
+both matchers through random interleavings at the data-structure level;
+the engine-level test checks full runs agree bitwise.  Also here: the
+vclock-gating satellite (untraced runs carry no O(P) clock state) and
+the ``engine_stats`` surface.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import Engine, Machine
+from repro.machines.cpu import CpuModel
+from repro.machines.engine import ANY_SOURCE, ANY_TAG, _RankState, _RecvOp
+from repro.machines.network import ContentionNetwork, FullyConnected
+
+
+def ideal_machine(nranks):
+    return Machine(
+        name="ideal",
+        cpu=CpuModel(1e9, 1e9, 1e9),
+        network=ContentionNetwork(
+            topology=FullyConnected(nranks), latency_s=1e-6, per_hop_s=0, bytes_per_s=1e9
+        ),
+        placement=list(range(nranks)),
+        sw_send_overhead_s=1e-6,
+        sw_recv_overhead_s=1e-6,
+        copy_bytes_per_s=1e9,
+    )
+
+
+N_SRC = 4
+N_TAG = 3
+
+# One mailbox interleaving step: a message arriving on channel
+# (src, tag) at some (clamped-monotone) time, or a receive of one of the
+# four shapes — exact, wild-source, wild-tag, fully wild — optionally
+# with a timed-receive deadline.
+_send_step = st.tuples(
+    st.just("send"),
+    st.integers(0, N_SRC - 1),
+    st.integers(0, N_TAG - 1),
+    st.integers(0, 20),
+)
+_recv_step = st.tuples(
+    st.just("recv"),
+    st.integers(-1, N_SRC - 1),  # -1 -> ANY_SOURCE
+    st.integers(-1, N_TAG - 1),  # -1 -> ANY_TAG
+    st.one_of(st.none(), st.integers(0, 25)),  # timed-receive deadline
+)
+_interleavings = st.lists(st.one_of(_send_step, _recv_step), min_size=1, max_size=60)
+
+
+class TestMatcherDifferential:
+    @given(steps=_interleavings)
+    @settings(max_examples=200, deadline=None)
+    def test_indexed_pops_identical_entries_in_identical_order(self, steps):
+        machine = ideal_machine(2)
+        indexed = Engine(machine, matcher="indexed")
+        linear = Engine(machine, matcher="linear")
+        st_indexed = _RankState(0, None)
+        st_linear = _RankState(0, None)
+        floors = {}
+        serial = 0
+        for kind, a, b, c in steps:
+            if kind == "send":
+                key = (a, b)
+                # Per-channel arrivals are monotone non-decreasing (the
+                # engine's FIFO non-overtaking invariant); clamp to it.
+                arrive = float(max(floors.get(key, 0), c))
+                floors[key] = arrive
+                payload = ("msg", serial)
+                serial += 1
+                indexed._enqueue(st_indexed, key, arrive, payload, None)
+                linear._enqueue(st_linear, key, arrive, payload, None)
+            else:
+                op = _RecvOp(
+                    src=a if a >= 0 else ANY_SOURCE,
+                    tag=b if b >= 0 else ANY_TAG,
+                )
+                before = None if c is None else float(c)
+                got = indexed._match(st_indexed, op, before)
+                want = linear._match(st_linear, op, before)
+                assert got == want
+        # Whatever was never matched must agree too.
+        left_indexed = {k: q for k, q in st_indexed.mailbox.items() if q}
+        left_linear = {k: q for k, q in st_linear.mailbox.items() if q}
+        assert left_indexed == left_linear
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_full_runs_agree_bitwise(self, data):
+        """A fan-in with wildcard receives produces identical results,
+        finish times, and event counts under both matchers."""
+        nranks = data.draw(st.integers(2, 6), label="nranks")
+        # Each sender sends one message per tag, in its own drawn order
+        # and with its own compute skew, so arrival order varies.
+        orders = [
+            data.draw(st.permutations(list(range(N_TAG))), label=f"order{s}")
+            for s in range(1, nranks)
+        ]
+        skews = [
+            data.draw(st.integers(0, 5), label=f"skew{s}")
+            for s in range(1, nranks)
+        ]
+        # Root receives by tag in a drawn multiset order, then drains
+        # the tail with fully-wild receives (always satisfiable).
+        tag_multiset = [t for t in range(N_TAG) for _ in range(nranks - 1)]
+        recv_tags = data.draw(st.permutations(tag_multiset), label="recv_tags")
+        n_wild = data.draw(st.integers(0, len(recv_tags)), label="n_wild")
+        plan = recv_tags[: len(recv_tags) - n_wild]
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                got = []
+                for tag in plan:
+                    got.append((yield ctx.recv(tag=tag)))
+                for _ in range(n_wild):
+                    got.append((yield ctx.recv()))
+                return got
+            yield ctx.compute(flops=1e5 * skews[ctx.rank - 1])
+            for tag in orders[ctx.rank - 1]:
+                yield ctx.send(0, (ctx.rank, tag), tag=tag)
+            return None
+
+        runs = {
+            matcher: Engine(ideal_machine(nranks), matcher=matcher).run(prog)
+            for matcher in ("indexed", "linear")
+        }
+        a, b = runs["indexed"], runs["linear"]
+        assert a.results == b.results
+        assert a.elapsed_s == b.elapsed_s
+        assert a.finish_times == b.finish_times
+        assert a.engine_stats["events"] == b.engine_stats["events"]
+
+
+class TestVclockGating:
+    def run_collecting_states(self, monkeypatch, **engine_kw):
+        states = []
+        original = _RankState.__init__
+
+        def spy(self, rank, gen, nranks=0):
+            original(self, rank, gen, nranks)
+            states.append(self)
+
+        monkeypatch.setattr(_RankState, "__init__", spy)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                return (yield ctx.recv(1, tag=7))
+            yield ctx.send(0, "ping", tag=7)
+            return None
+
+        run = Engine(ideal_machine(2), **engine_kw).run(prog)
+        return run, states
+
+    def test_untraced_runs_carry_no_vector_clocks(self, monkeypatch):
+        run, states = self.run_collecting_states(monkeypatch)
+        assert len(states) == 2
+        assert all(state.vc is None for state in states)
+        assert run.trace is None
+
+    def test_traced_runs_do(self, monkeypatch):
+        run, states = self.run_collecting_states(monkeypatch, record_trace=True)
+        assert all(isinstance(state.vc, list) and len(state.vc) == 2 for state in states)
+        assert any(event.vclock for event in run.trace)
+
+
+class TestEngineStats:
+    def fan_in(self, matcher):
+        def prog(ctx):
+            if ctx.rank == 0:
+                got = []
+                for _ in range(ctx.nranks - 1):
+                    got.append((yield ctx.recv()))
+                return sorted(got)
+            yield ctx.send(0, ctx.rank, tag=3)
+            return None
+
+        return Engine(ideal_machine(4), matcher=matcher).run(prog)
+
+    def test_stats_surface(self):
+        stats = self.fan_in("indexed").engine_stats
+        assert stats["matcher"] == "indexed"
+        assert stats["events"] > 0
+        assert stats["wildcard_matches"] == 3
+        assert stats["wildcard_backfills"] >= 0
+        for key in (
+            "route_cache_hits",
+            "route_cache_misses",
+            "path_cache_hits",
+            "path_cache_misses",
+        ):
+            assert stats[key] >= 0
+
+    def test_linear_matcher_reported(self):
+        stats = self.fan_in("linear").engine_stats
+        assert stats["matcher"] == "linear"
+        assert stats["wildcard_matches"] == 0  # counter is index-path only
+
+    def test_unknown_matcher_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Engine(ideal_machine(2), matcher="quadratic")
