@@ -30,11 +30,13 @@ writing code:
     queue-wait/service/turnaround plus makespan and utilization.
 ``bench``
     Wall-clock kernel benchmark: time the sequential decomposition under
-    every registered kernel (conv/lifting/fused), cross-check the numerics
-    against the conv reference, and write ``BENCH_wavelet.json``.
-    ``--virtual`` reports deterministic virtual time through the runtime
-    layer instead.  ``--ratchet BASELINE`` compares kernel speedups
-    against a committed baseline and fails on regression.
+    every registered kernel (conv/lifting/fused/single-loop), cross-check
+    the numerics against the conv reference, and write
+    ``BENCH_wavelet.json``.  ``--virtual`` reports deterministic virtual
+    time through the runtime layer instead.  ``--ratchet BASELINE``
+    compares kernel speedups against a committed baseline (including its
+    per-PR history trajectory) and fails on regression; ``--history-pr
+    ID`` stamps the written document with a trajectory entry.
 ``serve``
     Multi-tenant service simulation in virtual time: seeded open-loop
     arrivals over a tenant mix, admission control, batching, fair-share
@@ -85,8 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wavelet.add_argument("--placement", default="snake", choices=("snake", "naive"))
     wavelet.add_argument(
-        "--kernel", default="conv", choices=("conv", "lifting", "fused"),
-        help="filtering kernel (default conv)",
+        "--kernel", default="conv",
+        help="filtering kernel spec: conv, lifting, fused, fused:N, or "
+        "single-loop (default conv)",
     )
     wavelet.add_argument("--timeline", action="store_true", help="render an ASCII Gantt chart")
 
@@ -205,7 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = sub.add_parser(
-        "bench", help="wall-clock kernel benchmark (conv vs lifting vs fused)"
+        "bench",
+        help="wall-clock kernel benchmark (conv vs lifting vs fused vs "
+        "single-loop)",
     )
     bench.add_argument(
         "--virtual", action="store_true",
@@ -240,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--ratchet-tolerance", type=float, default=0.25,
         help="allowed fractional speedup regression for --ratchet "
         "(default 0.25)",
+    )
+    bench.add_argument(
+        "--history-pr", default=None, metavar="ID",
+        help="stamp the written document with a per-PR perf-trajectory "
+        "entry under this id, carrying forward the history of the "
+        "--ratchet baseline (or of an existing --out file)",
     )
     bench.add_argument(
         "--engine", action="store_true",
@@ -429,8 +440,23 @@ def _cmd_wavelet(args) -> int:
         f"{args.levels} level(s) on {args.machine}"
     )
     if args.machine == "maspar":
+        from repro.wavelet.plan import parse_kernel_spec
+
+        # Map the MIMD kernel spec onto the closest SIMD formulation:
+        # conv filters run systolically, the lifting-scheme traversals
+        # run the decimate-first lane algorithms.
+        plan = parse_kernel_spec(args.kernel)
+        if plan.traversal == "single-loop":
+            algorithm = "single-loop"
+        elif plan.scheme == "conv":
+            algorithm = "systolic"
+        else:
+            algorithm = "lifting"
         machine = MasParMachine(maspar_mp2(), "hierarchical")
-        outcome = simd_mallat_decompose(machine, image, bank, args.levels)
+        outcome = simd_mallat_decompose(
+            machine, image, bank, args.levels, algorithm=algorithm
+        )
+        print(f"algorithm: {outcome.algorithm}")
         print(f"virtual time: {outcome.elapsed_s:.4f} s "
               f"({1 / outcome.elapsed_s:.0f} images/second)")
         for kind, share in outcome.stats.fractions().items():
@@ -952,6 +978,7 @@ def _cmd_bench(args) -> int:
     from repro.perf.bench import (
         default_cases,
         quick_cases,
+        record_history,
         run_bench,
         run_virtual_bench,
         write_bench_json,
@@ -1020,6 +1047,14 @@ def _cmd_bench(args) -> int:
             rows,
         )
     )
+    if args.history_pr:
+        import os
+
+        from repro.perf.ratchet import load_bench
+
+        prior_path = args.ratchet or args.out
+        prior = load_bench(prior_path) if os.path.exists(prior_path) else None
+        record_history(doc, args.history_pr, prior)
     write_bench_json(args.out, doc)
     print(f"wrote {len(doc['results'])} results to {args.out}")
     return _bench_ratchet(args, doc)

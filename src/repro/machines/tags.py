@@ -14,7 +14,7 @@ module, and once per lint run over source that may not even be imported.
 The concrete numbers are frozen: they predate the registry (they were
 module-local ``_TAG_*`` constants) and the byte-exact trace/digest pins in
 ``tests/test_runtime_compat.py`` depend on them.  Allocate new tags in the
-gaps (12-20, 22-30, 36+) below :data:`USER_TAG_CEILING`; never renumber an
+gaps (16-20, 22-30, 37+) below :data:`USER_TAG_CEILING`; never renumber an
 existing one.
 
 Layout
@@ -23,6 +23,8 @@ Layout
 ==============  =======================================================
 1-11            2-D wavelet SPMD (striped/block), reconstruction, 1-D
                 transform, N-body manager-worker update
+12-15           single-loop sweep raw-tile guard exchanges (striped
+                row guards, block column + extended-row guards)
 21              PIC final particle collection
 31-35           lifting/fused front- and back-guard exchanges (opposite
                 direction to the conv guards)
@@ -53,6 +55,10 @@ __all__ = [
     "WAVELET_COLLECT",
     "WAVELET_COL_GUARD_FRONT",
     "WAVELET_ROW_GUARD_FRONT",
+    "WAVELET_SWEEP_GUARD",
+    "WAVELET_SWEEP_GUARD_FRONT",
+    "WAVELET_SWEEP_COL_GUARD",
+    "WAVELET_SWEEP_COL_GUARD_FRONT",
     # wavelet 2-D SPMD reconstruction
     "RECONSTRUCT_DISTRIBUTE",
     "RECONSTRUCT_GUARD",
@@ -233,6 +239,19 @@ RECONSTRUCT_COLLECT = REGISTRY.allocate("wavelet.reconstruct.collect", 7)
 DWT1D_DISTRIBUTE = REGISTRY.allocate("wavelet.dwt1d.distribute", 8)
 DWT1D_GUARD = REGISTRY.allocate("wavelet.dwt1d.guard", 9)
 DWT1D_COLLECT = REGISTRY.allocate("wavelet.dwt1d.collect", 10)
+
+# -- single-loop sweep guard exchanges (repro.wavelet.parallel.spmd) -------
+# The monolithic sweep exchanges guards of the *raw* tile before any
+# arithmetic (there are no per-pass intermediates to exchange): row
+# guards for the striped program, column guards plus guards of the
+# horizontally-extended tile (so corner data flows through neighbors)
+# for the block program.
+WAVELET_SWEEP_GUARD = REGISTRY.allocate("wavelet.spmd.sweep_guard", 12)
+WAVELET_SWEEP_GUARD_FRONT = REGISTRY.allocate("wavelet.spmd.sweep_guard_front", 13)
+WAVELET_SWEEP_COL_GUARD = REGISTRY.allocate("wavelet.spmd.sweep_col_guard", 14)
+WAVELET_SWEEP_COL_GUARD_FRONT = REGISTRY.allocate(
+    "wavelet.spmd.sweep_col_guard_front", 15
+)
 
 # -- applications ----------------------------------------------------------
 NBODY_UPDATE = REGISTRY.allocate("nbody.update", 11)

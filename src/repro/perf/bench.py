@@ -12,6 +12,14 @@ The output document (``BENCH_wavelet.json``) is versioned under the
 ``repro.bench.wavelet/v1`` schema and checked by
 :func:`validate_bench_document`, which the CI smoke job and the tier-1
 suite both run.
+
+Documents may also carry a per-PR perf trajectory: an optional
+top-level ``history`` list of ``{"pr", "speedups"}`` entries
+(:func:`history_entry`), one per pull request that regenerated the
+baseline.  The ratchet (:mod:`repro.perf.ratchet`) folds the history
+into the baseline — per kernel, per case, the best speedup ever
+committed — so a fresh run is compared against the trajectory's high-
+water mark, not just the last snapshot.
 """
 
 from __future__ import annotations
@@ -29,7 +37,9 @@ __all__ = [
     "VIRTUAL_BENCH_SCHEMA",
     "BenchCase",
     "default_cases",
+    "history_entry",
     "quick_cases",
+    "record_history",
     "run_bench",
     "run_virtual_bench",
     "validate_bench_document",
@@ -293,6 +303,82 @@ def run_virtual_bench(
     }
 
 
+def history_entry(doc: dict, pr: str) -> dict:
+    """One perf-trajectory entry from a wall-clock bench document.
+
+    ``{"pr": pr, "speedups": {kernel: {"size/filter/levels": speedup}}}``
+    — conv (always 1.0 by construction) is omitted.
+    """
+    if not isinstance(pr, str) or not pr:
+        raise ConfigurationError(f"history pr id must be a non-empty string, got {pr!r}")
+    speedups: dict = {}
+    for row in doc.get("results", ()):
+        if row["kernel"] == "conv":
+            continue
+        key = f"{row['size']}/{row['filter_length']}/{row['levels']}"
+        speedups.setdefault(row["kernel"], {})[key] = float(row["speedup_vs_conv"])
+    if not speedups:
+        raise ConfigurationError("cannot build a history entry: no non-conv results")
+    return {"pr": pr, "speedups": speedups}
+
+
+def record_history(doc: dict, pr: str, prior: dict | None = None) -> dict:
+    """Stamp ``doc`` with the perf trajectory: the prior baseline's
+    ``history`` (if any) plus this document's own :func:`history_entry`
+    under ``pr``.  An existing entry for the same ``pr`` is replaced (a
+    PR may regenerate its baseline several times).  Returns ``doc``.
+    """
+    carried = list((prior or {}).get("history") or ())
+    carried = [entry for entry in carried if entry.get("pr") != pr]
+    doc["history"] = carried + [history_entry(doc, pr)]
+    validate_bench_document(doc)
+    return doc
+
+
+def _validate_history(history) -> None:
+    from repro.wavelet import KERNEL_NAMES
+
+    if not isinstance(history, list):
+        raise ConfigurationError("bench 'history' must be a list of trajectory entries")
+    for i, entry in enumerate(history):
+        if not isinstance(entry, dict) or set(entry) != {"pr", "speedups"}:
+            raise ConfigurationError(
+                f"history entry {i} must be a dict with exactly 'pr' and 'speedups'"
+            )
+        if not isinstance(entry["pr"], str) or not entry["pr"]:
+            raise ConfigurationError(f"history entry {i} 'pr' must be a non-empty string")
+        speedups = entry["speedups"]
+        if not isinstance(speedups, dict) or not speedups:
+            raise ConfigurationError(
+                f"history entry {i} 'speedups' must be a non-empty dict"
+            )
+        for kernel, cases in speedups.items():
+            if kernel not in KERNEL_NAMES or kernel == "conv":
+                raise ConfigurationError(
+                    f"history entry {i} has unexpected kernel {kernel!r}"
+                )
+            if not isinstance(cases, dict) or not cases:
+                raise ConfigurationError(
+                    f"history entry {i} kernel {kernel!r} has no cases"
+                )
+            for case_key, speedup in cases.items():
+                parts = str(case_key).split("/")
+                if len(parts) != 3 or not all(p.isdigit() for p in parts):
+                    raise ConfigurationError(
+                        f"history entry {i} case key {case_key!r} is not "
+                        "'size/filter_length/levels'"
+                    )
+                if (
+                    not isinstance(speedup, (int, float))
+                    or isinstance(speedup, bool)
+                    or speedup <= 0
+                ):
+                    raise ConfigurationError(
+                        f"history entry {i} case {case_key!r} speedup must be "
+                        f"a positive number, got {speedup!r}"
+                    )
+
+
 _RESULT_FIELDS = {
     "size": int,
     "filter_length": int,
@@ -311,8 +397,9 @@ def validate_bench_document(doc) -> None:
 
     Raises :class:`~repro.errors.ConfigurationError` on any violation:
     wrong schema tag, missing/extra result fields, unknown kernels,
-    non-positive timings, missing conv reference rows, or numeric
-    cross-checks outside the documented budgets.
+    non-positive timings, missing conv reference rows, numeric
+    cross-checks outside the documented budgets, or a malformed optional
+    ``history`` trajectory (see :func:`history_entry`).
     """
     from repro.wavelet import KERNEL_NAMES
 
@@ -375,6 +462,8 @@ def validate_bench_document(doc) -> None:
         raise ConfigurationError(
             f"cases {sorted(missing)} lack a conv reference row"
         )
+    if "history" in doc:
+        _validate_history(doc["history"])
 
 
 def write_bench_json(path: str, doc: dict) -> None:

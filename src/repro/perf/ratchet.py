@@ -1,13 +1,20 @@
 """Benchmark ratchet: fail CI when kernel speedups regress.
 
 A committed ``BENCH_wavelet.json`` baseline pins the speedups the
-lifting and fused kernels achieved over the conv reference on the
-machine that produced it.  :func:`compare_bench` re-aggregates a fresh
-run against that baseline — per-kernel geometric mean of
+lifting-family kernels achieved over the conv reference on the machine
+that produced it.  :func:`compare_bench` re-aggregates a fresh run
+against that baseline — per-kernel geometric mean of
 ``speedup_vs_conv`` over the *intersection* of benchmark cases, so a
 quick CI run ratchets against the matching subset of a full baseline —
 and flags any kernel whose mean speedup fell more than ``tolerance``
 below the pinned value.
+
+When the baseline carries a per-PR ``history`` trajectory
+(:func:`repro.perf.bench.history_entry`), the pinned value per kernel
+per case is the *maximum* over the snapshot and every history entry:
+the ratchet compares against the best speedup any PR ever committed,
+so a regression slipped into one baseline regeneration cannot lower
+the bar for the next.
 
 Wall-clock numbers are noisy across hosts, which is why the tolerance is
 generous by default (25%) and the comparison is against ratios
@@ -64,6 +71,19 @@ def _speedups_by_kernel(doc: dict) -> dict:
     return table
 
 
+def _merge_history(table: dict, doc: dict) -> dict:
+    """Fold a baseline's per-PR ``history`` into its speedup table:
+    per kernel per case, keep the best speedup ever committed."""
+    for entry in doc.get("history") or ():
+        for kernel, cases in entry.get("speedups", {}).items():
+            dest = table.setdefault(kernel, {})
+            for case_key, speedup in cases.items():
+                size, filt, levels = (int(p) for p in str(case_key).split("/"))
+                key = (size, filt, levels)
+                dest[key] = max(dest.get(key, 0.0), float(speedup))
+    return table
+
+
 def _is_engine_doc(doc: dict) -> bool:
     return doc.get("schema") == ENGINE_BENCH_SCHEMA
 
@@ -94,7 +114,9 @@ def compare_bench(current: dict, baseline: dict, *, tolerance: float = 0.25) -> 
     speedup over the shared cases, the ratio, and a ``regressed`` flag
     (``current < baseline * (1 - tolerance)``).  Kernels or cases absent
     from either side are skipped (reported with ``cases == 0``), never
-    treated as regressions.
+    treated as regressions.  A wavelet baseline's per-PR ``history``
+    trajectory is folded in first (per kernel per case, the best
+    speedup ever committed).
     """
     if not 0.0 <= tolerance < 1.0:
         raise ConfigurationError(
@@ -110,7 +132,7 @@ def compare_bench(current: dict, baseline: dict, *, tolerance: float = 0.25) -> 
         baseline_table = _engine_speedups(baseline)
     else:
         current_table = _speedups_by_kernel(current)
-        baseline_table = _speedups_by_kernel(baseline)
+        baseline_table = _merge_history(_speedups_by_kernel(baseline), baseline)
     kernels = []
     ok = True
     for kernel in sorted(set(current_table) | set(baseline_table)):

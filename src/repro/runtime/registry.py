@@ -176,10 +176,12 @@ def _build_wavelet(spec: JobSpec, nranks: int) -> Launch:
     levels = int(spec.params["levels"])
     distribute = bool(spec.param("distribute", True))
     collect = bool(spec.param("collect", True))
-    if opts.kernel not in ("conv", "lifting", "fused"):
-        from repro.wavelet.kernels import get_kernel
+    if opts.kernel != "conv":
+        from repro.wavelet.plan import parse_kernel_spec
 
-        get_kernel(opts.kernel)  # raises ConfigurationError with known names
+        # Validates names and parameterized specs ("fused:16",
+        # "single-loop") up front; raises ConfigurationError on junk.
+        parse_kernel_spec(opts.kernel)
     kwargs = dict(distribute=distribute, collect=collect, kernel=opts.kernel)
 
     if opts.decomposition == "striped":

@@ -51,7 +51,9 @@ class JobTemplate:
 
     ``program`` is a :mod:`repro.runtime` registry name; wavelet
     templates carry image ``size``/``filter_length``/``levels``/
-    ``kernel``, workload templates a trace ``scale``/``repeats``.
+    ``kernel`` (any :func:`repro.wavelet.plan.parse_kernel_spec` spec —
+    ``"conv"``, ``"lifting"``, ``"fused"``/``"fused:N"``,
+    ``"single-loop"``), workload templates a trace ``scale``/``repeats``.
     ``batchable`` marks small requests the service may coalesce into one
     fused submission (one partition allocation serving many images).
     """
@@ -317,7 +319,7 @@ def default_mix() -> Mix:
         ),
         "dwt-medium": JobTemplate(
             name="dwt-medium", program="wavelet", nranks=8, size=128,
-            filter_length=4, levels=2, kernel="lifting",
+            filter_length=4, levels=2, kernel="single-loop",
         ),
         "mix-analytics": JobTemplate(
             name="mix-analytics", program="workload", nranks=8, scale=0.2,

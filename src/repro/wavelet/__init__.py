@@ -36,14 +36,17 @@ from repro.wavelet.cost import (
     lifting_pass_cost,
     synthesis_pass_cost,
 )
+from repro.wavelet.cost import single_loop_sweep_cost
 from repro.wavelet.kernels import (
     KERNEL_NAMES,
     ConvKernel,
     FusedKernel,
     LiftingKernel,
+    SingleLoopKernel,
     WaveletKernel,
     get_kernel,
 )
+from repro.wavelet.plan import BufferPolicy, KernelPlan, parse_kernel_spec
 from repro.wavelet.lifting import (
     LiftingScheme,
     LiftingStep,
@@ -134,12 +137,17 @@ __all__ = [
     "synthesis_pass_cost",
     "lifting_pass_cost",
     "lifting_level_cost",
+    "single_loop_sweep_cost",
     "KERNEL_NAMES",
     "WaveletKernel",
     "ConvKernel",
     "LiftingKernel",
     "FusedKernel",
+    "SingleLoopKernel",
     "get_kernel",
+    "KernelPlan",
+    "BufferPolicy",
+    "parse_kernel_spec",
     "LiftingScheme",
     "LiftingStep",
     "lifting_scheme",

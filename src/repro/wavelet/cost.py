@@ -28,6 +28,7 @@ __all__ = [
     "synthesis_pass_cost",
     "lifting_pass_cost",
     "lifting_level_cost",
+    "single_loop_sweep_cost",
 ]
 
 
@@ -130,6 +131,39 @@ def lifting_level_cost(rows: int, cols: int, step_taps: tuple) -> OpCount:
     row_pass = lifting_pass_cost(2 * rows * (cols // 2), step_taps)
     col_pass = lifting_pass_cost(4 * (rows // 2) * (cols // 2), step_taps)
     return row_pass + col_pass
+
+
+def single_loop_sweep_cost(rows: int, cols: int, step_taps: tuple) -> OpCount:
+    """Cost of one monolithic single-loop 2-D lifting sweep over an
+    ``rows x cols`` input (Barina et al.'s single-loop scheme: the image
+    is split once into 2x2 polyphase quads and every lifting step is
+    applied along both axes before the next step — one visit per pixel
+    per level instead of a row pass followed by a column pass).
+
+    Per quad (four samples): each step applies one multiply-add per tap
+    to two lane samples along each axis (``8 * T`` flops for ``T`` total
+    taps), and the fused diagonal scaling is a single multiply per output
+    sample (4) — the separable form pays the scaling twice, once per
+    pass.  Memory traffic per quad: each step/axis reads its taps and
+    reads+writes its two targets (``4T + 8S``) plus the scaling's four
+    reads and writes (8).  Index arithmetic is the same six-integer-op
+    convention as the filter passes, but charged once per pixel rather
+    than once per pass output — the whole point of the single loop.
+    """
+    if rows % 2 or cols % 2:
+        raise ConfigurationError(
+            f"sweep input must have even dimensions, got {(rows, cols)}"
+        )
+    if not step_taps:
+        raise ConfigurationError("step_taps must be a non-empty tuple")
+    if any(t < 1 for t in step_taps):
+        raise ConfigurationError(f"step tap counts must be >= 1, got {step_taps}")
+    total_taps = sum(step_taps)
+    quads = rows * cols / 4
+    flops = quads * (8 * total_taps + 4)
+    memops = quads * (4 * total_taps + 8 * len(step_taps) + 8)
+    intops = rows * cols * 6
+    return OpCount(flops=flops, intops=intops, memops=memops)
 
 
 def dwt_level_cost(rows: int, cols: int, filter_length: int) -> OpCount:

@@ -1,7 +1,8 @@
 """Kernel registry for the Mallat transform hot paths.
 
-Every public transform entry point accepts ``kernel="conv"|"lifting"|"fused"``
-(default ``"conv"``, the seed implementation, byte-for-byte preserved):
+Every public transform entry point accepts
+``kernel="conv"|"lifting"|"fused"|"single-loop"`` (default ``"conv"``,
+the seed implementation, byte-for-byte preserved):
 
 * ``"conv"`` — direct periodized correlation/convolution
   (:mod:`repro.wavelet.conv`), one pass per subband.
@@ -14,11 +15,25 @@ Every public transform entry point accepts ``kernel="conv"|"lifting"|"fused"``
   pass on that strip, and immediately column-transforms it — the full-height
   L/H intermediate images are never materialized, so the working set stays
   cache-sized.
+* ``"single-loop"`` — the monolithic sweep of
+  :mod:`repro.wavelet.singleloop`: the image is split once into its four
+  polyphase lanes and every lifting step runs along both axes before the
+  next, so each pixel is visited once per level and no intermediate
+  subband image exists at all.
 
-Kernels also expose the operation counts their passes charge to the
-simulated machines (:meth:`WaveletKernel.level_cost` etc.), which the
-cost-consistency tests hold equal to what the SPMD programs actually
+Each kernel is the *executor* half of a :class:`repro.wavelet.plan.KernelPlan`
+— a thin configuration binding the plan's arithmetic scheme, traversal,
+boundary handling, and buffer policy to concrete NumPy passes.  The cost
+methods delegate to the plan (:meth:`KernelPlan.level_passes` charges one
+entry per pass, so the single-loop kernel charges one sweep where the
+separable kernels charge a row pass and a column pass), and the
+cost-consistency tests hold them equal to what the SPMD programs actually
 charge through ``ctx.charge``.
+
+:func:`get_kernel` resolves *specs*, not just names: ``"fused:16"``
+configures the strip height, and every call returns a fresh instance —
+the registry stores factories, so no caller can mutate state out from
+under another (the old shared-singleton ``block_rows`` hazard).
 """
 
 from __future__ import annotations
@@ -26,12 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.wavelet.cost import (
-    OpCount,
-    filter_pass_cost,
-    lifting_pass_cost,
-    synthesis_pass_cost,
-)
+from repro.wavelet.cost import OpCount
 from repro.wavelet.conv import analyze_axis, synthesize_axis
 from repro.wavelet.filters import FilterBank
 from repro.wavelet.lifting import (
@@ -42,6 +52,11 @@ from repro.wavelet.lifting import (
     lifting_synthesize_axis,
     lifting_synthesize_axis_valid,
 )
+from repro.wavelet.plan import KERNEL_NAMES, KernelPlan, parse_kernel_spec
+from repro.wavelet.singleloop import (
+    single_loop_analyze_2d,
+    single_loop_synthesize_2d,
+)
 
 __all__ = [
     "KERNEL_NAMES",
@@ -49,23 +64,25 @@ __all__ = [
     "ConvKernel",
     "LiftingKernel",
     "FusedKernel",
+    "SingleLoopKernel",
     "get_kernel",
 ]
-
-KERNEL_NAMES = ("conv", "lifting", "fused")
 
 
 class WaveletKernel:
     """Interface every transform kernel implements.
 
     2-D methods consume/produce :class:`repro.wavelet.transform.Subbands2D`;
-    1-D methods run one analysis/synthesis level.  The cost methods report
-    the operation counts one pass charges to the machine models —
+    1-D methods run one analysis/synthesis level.  Cost queries delegate
+    to the kernel's :class:`~repro.wavelet.plan.KernelPlan` —
     ``output_samples`` counts every emitted sample (both subbands for
     analysis, the full doubled rate for synthesis).
     """
 
     name = "abstract"
+
+    def __init__(self, plan: KernelPlan | None = None) -> None:
+        self.plan = plan if plan is not None else parse_kernel_spec(self.name)
 
     def forward_step_2d(self, image: np.ndarray, bank: FilterBank):
         raise NotImplementedError
@@ -82,21 +99,16 @@ class WaveletKernel:
         raise NotImplementedError
 
     def analysis_pass_cost(self, output_samples: int, bank: FilterBank) -> OpCount:
-        raise NotImplementedError
+        return self.plan.analysis_pass_cost(output_samples, bank)
 
     def synthesis_pass_cost(self, output_samples: int, bank: FilterBank) -> OpCount:
-        raise NotImplementedError
+        return self.plan.synthesis_pass_cost(output_samples, bank)
 
     def level_cost(self, rows: int, cols: int, bank: FilterBank) -> OpCount:
-        """One 2-D analysis level on an ``rows x cols`` input, split the
-        way the SPMD programs charge it (row pass then column pass)."""
-        if rows % 2 or cols % 2:
-            raise ConfigurationError(
-                f"level input must have even dimensions, got {(rows, cols)}"
-            )
-        row_pass = self.analysis_pass_cost(2 * rows * (cols // 2), bank)
-        col_pass = self.analysis_pass_cost(4 * (rows // 2) * (cols // 2), bank)
-        return row_pass + col_pass
+        """One 2-D analysis level on an ``rows x cols`` input, totalled
+        over the plan's per-pass charges (row pass plus column pass for
+        the separable traversals, one sweep for single-loop)."""
+        return self.plan.level_cost(rows, cols, bank)
 
 
 class ConvKernel(WaveletKernel):
@@ -107,6 +119,9 @@ class ConvKernel(WaveletKernel):
     def forward_step_2d(self, image, bank):
         from repro.wavelet.transform import mallat_step_2d
 
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            self.plan.validate_step_2d(*image.shape, bank)
         return mallat_step_2d(image, bank)
 
     def inverse_step_2d(self, subbands, bank):
@@ -124,12 +139,6 @@ class ConvKernel(WaveletKernel):
             detail, bank.highpass, axis=0
         )
 
-    def analysis_pass_cost(self, output_samples, bank):
-        return filter_pass_cost(output_samples, bank.length)
-
-    def synthesis_pass_cost(self, output_samples, bank):
-        return synthesis_pass_cost(output_samples, bank.length)
-
 
 class LiftingKernel(WaveletKernel):
     """Factored lifting passes, separable (row pass then column pass)."""
@@ -143,6 +152,9 @@ class LiftingKernel(WaveletKernel):
         from repro.wavelet.transform import Subbands2D
 
         scheme = self._scheme(bank)
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            self.plan.validate_step_2d(*image.shape, bank)
         low, high = lifting_analyze_axis(image, scheme, axis=1)
         ll, lh = lifting_analyze_axis(low, scheme, axis=0)
         hl, hh = lifting_analyze_axis(high, scheme, axis=0)
@@ -160,12 +172,6 @@ class LiftingKernel(WaveletKernel):
     def inverse_1d(self, approx, detail, bank):
         return lifting_synthesize_axis(approx, detail, self._scheme(bank), axis=0)
 
-    def analysis_pass_cost(self, output_samples, bank):
-        return lifting_pass_cost(output_samples, self._scheme(bank).step_taps)
-
-    def synthesis_pass_cost(self, output_samples, bank):
-        return lifting_pass_cost(output_samples, self._scheme(bank).step_taps)
-
 
 class FusedKernel(LiftingKernel):
     """Lifting arithmetic with the 2-D row/column passes strip-fused.
@@ -178,10 +184,18 @@ class FusedKernel(LiftingKernel):
 
     name = "fused"
 
-    def __init__(self, block_rows: int = 32) -> None:
-        if block_rows < 1:
-            raise ConfigurationError(f"block_rows must be >= 1, got {block_rows}")
-        self.block_rows = block_rows
+    def __init__(
+        self, block_rows: int | None = None, plan: KernelPlan | None = None
+    ) -> None:
+        if plan is None:
+            plan = parse_kernel_spec(
+                "fused" if block_rows is None else f"fused:{block_rows}"
+            )
+        super().__init__(plan)
+
+    @property
+    def block_rows(self) -> int:
+        return self.plan.buffer.block_rows
 
     def forward_step_2d(self, image, bank):
         from repro.wavelet.transform import Subbands2D
@@ -189,15 +203,7 @@ class FusedKernel(LiftingKernel):
         scheme = self._scheme(bank)
         image = np.asarray(image, dtype=np.float64)
         rows, cols = image.shape
-        if rows % 2 or cols % 2:
-            raise ConfigurationError(
-                f"image dimensions must be even, got {(rows, cols)}"
-            )
-        if min(rows, cols) < scheme.filter_length:
-            raise ConfigurationError(
-                f"image {rows}x{cols} is smaller than the "
-                f"{scheme.filter_length}-tap filter"
-            )
+        self.plan.validate_step_2d(rows, cols, bank)
         front, back = scheme.analysis_margins
         back += back % 2  # keep strips an even number of rows
         half_rows, half_cols = rows // 2, cols // 2
@@ -241,20 +247,55 @@ class FusedKernel(LiftingKernel):
         return image
 
 
-_REGISTRY = {
-    "conv": ConvKernel(),
-    "lifting": LiftingKernel(),
-    "fused": FusedKernel(),
+class SingleLoopKernel(LiftingKernel):
+    """The monolithic single-loop 2-D sweep (Barina et al.).
+
+    Lifting arithmetic, but the traversal interleaves vertical and
+    horizontal steps over the four polyphase lanes so each pixel is
+    visited once per level (:mod:`repro.wavelet.singleloop`).  In 1-D
+    there is only one axis to sweep, so the monolithic unit degenerates
+    to the plain lifting pass — the 1-D paths are inherited.  The plan
+    charges one sweep per level instead of two passes.
+    """
+
+    name = "single-loop"
+
+    def forward_step_2d(self, image, bank):
+        from repro.wavelet.transform import Subbands2D
+
+        scheme = self._scheme(bank)
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            self.plan.validate_step_2d(*image.shape, bank)
+        ll, lh, hl, hh = single_loop_analyze_2d(image, scheme)
+        return Subbands2D(ll=ll, lh=lh, hl=hl, hh=hh)
+
+    def inverse_step_2d(self, subbands, bank):
+        scheme = self._scheme(bank)
+        return single_loop_synthesize_2d(
+            subbands.ll, subbands.lh, subbands.hl, subbands.hh, scheme
+        )
+
+
+_FACTORIES = {
+    "conv": ConvKernel,
+    "lifting": LiftingKernel,
+    "fused": FusedKernel,
+    "single-loop": SingleLoopKernel,
 }
 
 
 def get_kernel(kernel) -> WaveletKernel:
-    """Resolve a kernel name (or pass a :class:`WaveletKernel` through)."""
+    """Resolve a kernel spec to a freshly configured kernel.
+
+    Accepts a registered name (``"fused"``), a parameterized spec
+    (``"fused:16"`` — strip height 16), or an already-built
+    :class:`WaveletKernel` (passed through).  Every spec resolution
+    returns a *new* instance, so configuring one caller's kernel can
+    never leak into another's.  Malformed or unknown specs raise
+    :class:`ConfigurationError`.
+    """
     if isinstance(kernel, WaveletKernel):
         return kernel
-    try:
-        return _REGISTRY[kernel]
-    except (KeyError, TypeError):
-        raise ConfigurationError(
-            f"unknown kernel {kernel!r}; choose one of {KERNEL_NAMES}"
-        ) from None
+    plan = parse_kernel_spec(kernel)
+    return _FACTORIES[plan.base](plan=plan)

@@ -32,28 +32,25 @@ def analysis_guard_depths(bank, kernel: str = "conv") -> tuple:
 
     The convolution kernel's forward-only window needs no front guard and
     ``filter_length`` trailing samples (the paper's "order of the filter
-    length").  Lifting steps reach both ways, so the lifting/fused kernels
-    need guards on both sides — depths come from the factored scheme's
-    probed margins, with the back guard rounded up to keep extended
+    length").  Lifting steps reach both ways, so the lifting-scheme
+    kernels (``lifting``/``fused``/``single-loop``) need guards on both
+    sides.  Depths are derived from the kernel's parsed
+    :class:`~repro.wavelet.plan.KernelPlan`, which probes the factored
+    scheme's margins and rounds the back guard up to keep extended
     segments an even length.
     """
-    if kernel == "conv":
-        return (0, bank.length)
-    from repro.wavelet.lifting import lifting_scheme
+    from repro.wavelet.plan import parse_kernel_spec
 
-    front, back = lifting_scheme(bank).analysis_margins
-    return (front, back + back % 2)
+    return parse_kernel_spec(kernel).analysis_guard_depths(bank)
 
 
 def synthesis_guard_depths(bank, kernel: str = "conv") -> tuple:
     """``(front, back)`` guard subband samples needed for one level of
     upsampling synthesis under ``kernel`` (front comes from the preceding
     neighbor, back from the following one)."""
-    if kernel == "conv":
-        return (max(1, bank.length // 2), 0)
-    from repro.wavelet.lifting import lifting_scheme
+    from repro.wavelet.plan import parse_kernel_spec
 
-    return lifting_scheme(bank).synthesis_margins
+    return parse_kernel_spec(kernel).synthesis_guard_depths(bank)
 
 
 @dataclass(frozen=True)

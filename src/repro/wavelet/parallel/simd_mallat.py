@@ -17,6 +17,12 @@ each (logical) PE holding one pixel:
   shifts and MACs.  Every MAC and shift touches half (or, in the column
   pass, a quarter) of the PEs the systolic formulation needs, cutting the
   arithmetic cycle count roughly in half for long filters.
+* **Single-loop** — decimate *both* axes first (router passes split the
+  image into its four polyphase quarter lanes), then interleave each
+  lifting step's horizontal and vertical applications on the
+  quarter-size lanes.  Every MAC touches a quarter of the PEs, the
+  diagonal scaling fuses into one MAC per subband, and each pixel is
+  visited once per level (:mod:`repro.wavelet.singleloop`).
 
 All run the real arithmetic through :class:`MasParMachine`, so their
 pyramids are verified against the sequential transform (exactly for the
@@ -91,8 +97,10 @@ def simd_mallat_decompose(
         Analysis bank and decomposition depth.
     algorithm:
         ``"systolic"`` (router decimation), ``"dilution"`` (in-place
-        strided filtering, no router), or ``"lifting"`` (decimate first,
-        factored lifting steps on half-size lanes).
+        strided filtering, no router), ``"lifting"`` (decimate first,
+        factored lifting steps on half-size lanes), or ``"single-loop"``
+        (decimate both axes first, interleaved steps on quarter-size
+        lanes with fused output scaling).
 
     Returns
     -------
@@ -117,10 +125,12 @@ def simd_mallat_decompose(
         pyramid = _decompose_dilution(machine, image, bank, levels)
     elif algorithm == "lifting":
         pyramid = _decompose_lifting(machine, image, bank, levels)
+    elif algorithm == "single-loop":
+        pyramid = _decompose_single_loop(machine, image, bank, levels)
     else:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; use 'systolic', 'dilution', "
-            f"or 'lifting'"
+            f"'lifting', or 'single-loop'"
         )
     return SimdWaveletOutcome(
         pyramid=pyramid,
@@ -202,6 +212,62 @@ def _decompose_lifting(
         lo, hi = _lifting_lane_pass(machine, current, scheme, axis=1)
         ll, lh = _lifting_lane_pass(machine, lo, scheme, axis=0)
         hl, hh = _lifting_lane_pass(machine, hi, scheme, axis=0)
+        details.append(DetailTriple(lh=lh, hl=hl, hh=hh))
+        current = ll
+    return WaveletPyramid(current, tuple(details), bank.name)
+
+
+def _decompose_single_loop(
+    machine: MasParMachine, image: np.ndarray, bank: FilterBank, levels: int
+) -> WaveletPyramid:
+    """Single-loop sweep on the PE array: router-decimate both axes into
+    the four polyphase quarter lanes, then run each lifting step
+    horizontally and immediately vertically (broadcast hoisted once per
+    tap, serving both lane pairs) and fuse the diagonal scaling into one
+    MAC per subband."""
+    from repro.wavelet.lifting import lifting_scheme
+    from repro.wavelet.singleloop import _band_specs
+
+    parities = ("e", "o")
+    scheme = lifting_scheme(bank)
+    current = image.copy()
+    details = []
+    for _ in range(levels):
+        row = {
+            "e": machine.router_decimate(current, axis=0),
+            "o": machine.router_decimate(machine.shift(current, 1, axis=0), axis=0),
+        }
+        lanes = {}
+        for r in parities:
+            lanes[(r, "e")] = machine.router_decimate(row[r], axis=1)
+            lanes[(r, "o")] = machine.router_decimate(
+                machine.shift(row[r], 1, axis=1), axis=1
+            )
+        for step in scheme.steps:
+            other = "o" if step.target == "e" else "e"
+            for axis in (1, 0):
+                for j, c in enumerate(step.coeffs):
+                    coeff = machine.broadcast(c)
+                    offset = step.dmin + j
+                    for p in parities:
+                        t = (p, step.target) if axis == 1 else (step.target, p)
+                        s = (p, other) if axis == 1 else (other, p)
+                        src = lanes[s]
+                        shifted = (
+                            machine.shift(src, offset, axis=axis) if offset else src
+                        )
+                        machine.mac(lanes[t], shifted, coeff)
+        bands = []
+        for v, h in _band_specs(scheme):
+            lane = lanes[(v[0], h[0])]
+            if v[2]:
+                lane = machine.shift(lane, v[2], axis=0)
+            if h[2]:
+                lane = machine.shift(lane, h[2], axis=1)
+            out = np.zeros_like(lane)
+            machine.mac(out, lane, machine.broadcast(v[1] * h[1]))
+            bands.append(out)
+        ll, lh, hl, hh = bands
         details.append(DetailTriple(lh=lh, hl=hl, hh=hh))
         current = ll
     return WaveletPyramid(current, tuple(details), bank.name)

@@ -14,7 +14,16 @@ introduced by the decomposition).
 
 Message tags are allocated by the central :mod:`repro.machines.tags`
 registry (distribution, row-guard, column-guard, collection, plus the
-lifting kernels' front-guard exchanges).
+lifting kernels' front-guard exchanges and the single-loop sweep's
+raw-tile guard exchanges).
+
+``kernel="single-loop"`` runs the monolithic sweep of
+:mod:`repro.wavelet.singleloop`: there are no per-pass intermediates to
+exchange, so each level ships guards of the *raw* tile up front — row
+guards under striping (2 messages/level), column guards plus guards of
+the horizontally-extended tile under blocking (4 messages/level, the
+extended rows carrying the corner data through the neighbors) — and then
+charges one sweep instead of two passes.
 """
 
 from __future__ import annotations
@@ -27,7 +36,11 @@ from repro.errors import DecompositionError
 from repro.machines import tags
 from repro.machines.engine import Machine, RunResult
 from repro.wavelet.conv import analyze_axis_valid
-from repro.wavelet.cost import filter_pass_cost, lifting_pass_cost
+from repro.wavelet.cost import (
+    filter_pass_cost,
+    lifting_pass_cost,
+    single_loop_sweep_cost,
+)
 from repro.wavelet.filters import FilterBank
 from repro.wavelet.parallel.decomposition import (
     BlockDecomposition,
@@ -51,6 +64,20 @@ _TAG_COLLECT = tags.WAVELET_COLLECT
 # kernels add a front-guard exchange in the opposite direction.
 _TAG_COL_GUARD_FRONT = tags.WAVELET_COL_GUARD_FRONT
 _TAG_ROW_GUARD_FRONT = tags.WAVELET_ROW_GUARD_FRONT
+# The single-loop sweep exchanges guards of the raw tile before any
+# arithmetic; its messages ride their own tags so a mixed-kernel trace
+# can never alias a lifting guard.
+_TAG_SWEEP_GUARD = tags.WAVELET_SWEEP_GUARD
+_TAG_SWEEP_GUARD_FRONT = tags.WAVELET_SWEEP_GUARD_FRONT
+_TAG_SWEEP_COL_GUARD = tags.WAVELET_SWEEP_COL_GUARD
+_TAG_SWEEP_COL_GUARD_FRONT = tags.WAVELET_SWEEP_COL_GUARD_FRONT
+
+
+def _is_sweep(kernel: str) -> bool:
+    """Whether ``kernel`` resolves to the single-loop traversal."""
+    from repro.wavelet.plan import parse_kernel_spec
+
+    return parse_kernel_spec(kernel).traversal == "single-loop"
 
 
 @dataclass
@@ -92,7 +119,11 @@ def striped_wavelet_program(
     lifting, the column pass valid-mode lifting over guards sized by
     :func:`~repro.wavelet.parallel.decomposition.analysis_guard_depths`,
     adding a front-guard exchange toward the south neighbor when the
-    scheme's front margin is nonzero.
+    scheme's front margin is nonzero.  ``"single-loop"`` exchanges row
+    guards of the *raw* stripe instead (same depths — the sweep's row
+    erosion equals the separable column pass's) and runs one monolithic
+    valid-rows/periodized-columns sweep per level, charged as a single
+    :func:`~repro.wavelet.cost.single_loop_sweep_cost`.
     """
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
@@ -101,9 +132,11 @@ def striped_wavelet_program(
 
         scheme = lifting_scheme(bank)
         front, back = analysis_guard_depths(bank, kernel)
+        sweep = _is_sweep(kernel)
     else:
         scheme = None
         front, back = analysis_guard_depths(bank)
+        sweep = False
 
     if restore is not None:
         start_level, current, saved_details = restore[rank]
@@ -140,7 +173,39 @@ def striped_wavelet_program(
         # Domain-decomposition bookkeeping: pure parallelization redundancy.
         yield ctx.compute(intops=64, redundant=True)
 
-        if kernel == "conv":
+        if sweep:
+            from repro.wavelet.singleloop import single_loop_analyze_valid
+
+            # Guards of the raw stripe, shipped before any arithmetic
+            # (the sweep has no row-pass intermediates to exchange).
+            if nranks > 1:
+                if back > 0:
+                    yield ctx.send(north, current[:back], tag=_TAG_SWEEP_GUARD)
+                if front > 0:
+                    yield ctx.send(
+                        south, current[rows - front :], tag=_TAG_SWEEP_GUARD_FRONT
+                    )
+                back_rows = (
+                    (yield ctx.recv(south, tag=_TAG_SWEEP_GUARD))
+                    if back > 0
+                    else current[:0]
+                )
+                front_rows = (
+                    (yield ctx.recv(north, tag=_TAG_SWEEP_GUARD_FRONT))
+                    if front > 0
+                    else current[:0]
+                )
+            else:
+                back_rows = current[:back]
+                front_rows = current[rows - front :]
+
+            out_rows = rows // 2
+            ext = np.vstack([front_rows, current, back_rows])
+            ll, lh, hl, hh = single_loop_analyze_valid(
+                ext, scheme, out_rows, cols // 2, front, periodic_cols=True
+            )
+            yield ctx.charge(single_loop_sweep_cost(rows, cols, scheme.step_taps))
+        elif kernel == "conv":
             # Steps 1-2: row filtering + column decimation, fully local.
             lo = _analyze_full_axis1(current, bank.lowpass)
             hi = _analyze_full_axis1(current, bank.highpass)
@@ -242,7 +307,12 @@ def block_wavelet_program(
     """Rank program: 2-D block decomposition (two guard exchanges per
     level), the costlier alternative of Figure 3.  ``kernel`` as in
     :func:`striped_wavelet_program`; under lifting both the row and the
-    column filtering gain a front-guard exchange when needed."""
+    column filtering gain a front-guard exchange when needed.  Under
+    ``"single-loop"`` the level exchanges guards of the raw block in two
+    stages — east/west column guards, then north/south row guards of the
+    *horizontally-extended* block, so the corner data each diagonal
+    neighbor owns arrives through the adjacent neighbors' guards — and
+    runs one doubly-valid monolithic sweep."""
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
     if kernel != "conv":
@@ -250,9 +320,11 @@ def block_wavelet_program(
 
         scheme = lifting_scheme(bank)
         front, back = analysis_guard_depths(bank, kernel)
+        sweep = _is_sweep(kernel)
     else:
         scheme = None
         front, back = analysis_guard_depths(bank)
+        sweep = False
 
     (r0, r1), (c0, c1) = decomp.block_ranges(rank)
     if distribute and nranks > 1:
@@ -284,7 +356,67 @@ def block_wavelet_program(
 
         out_cols = cols // 2
         out_rows = rows // 2
-        if kernel == "conv":
+        if sweep:
+            from repro.wavelet.singleloop import single_loop_analyze_valid
+
+            # Stage 1: east/west column guards of the raw block.
+            if decomp.pcols > 1:
+                if back > 0:
+                    yield ctx.send(
+                        west,
+                        np.ascontiguousarray(current[:, :back]),
+                        tag=_TAG_SWEEP_COL_GUARD,
+                    )
+                if front > 0:
+                    yield ctx.send(
+                        east,
+                        np.ascontiguousarray(current[:, cols - front :]),
+                        tag=_TAG_SWEEP_COL_GUARD_FRONT,
+                    )
+                guard_east = (
+                    (yield ctx.recv(east, tag=_TAG_SWEEP_COL_GUARD))
+                    if back > 0
+                    else current[:, :0]
+                )
+                guard_west = (
+                    (yield ctx.recv(west, tag=_TAG_SWEEP_COL_GUARD_FRONT))
+                    if front > 0
+                    else current[:, :0]
+                )
+            else:
+                guard_east = current[:, :back]
+                guard_west = current[:, cols - front :]
+            ext = np.hstack([guard_west, current, guard_east])
+
+            # Stage 2: north/south row guards of the horizontally-extended
+            # block — the neighbors' own east/west guards ride along, so
+            # the corner data flows without diagonal messages.
+            if decomp.prows > 1:
+                if back > 0:
+                    yield ctx.send(north, ext[:back], tag=_TAG_SWEEP_GUARD)
+                if front > 0:
+                    yield ctx.send(
+                        south, ext[rows - front :], tag=_TAG_SWEEP_GUARD_FRONT
+                    )
+                back_rows = (
+                    (yield ctx.recv(south, tag=_TAG_SWEEP_GUARD))
+                    if back > 0
+                    else ext[:0]
+                )
+                front_rows = (
+                    (yield ctx.recv(north, tag=_TAG_SWEEP_GUARD_FRONT))
+                    if front > 0
+                    else ext[:0]
+                )
+            else:
+                back_rows = ext[:back]
+                front_rows = ext[rows - front :]
+            full = np.vstack([front_rows, ext, back_rows])
+            ll, lh, hl, hh = single_loop_analyze_valid(
+                full, scheme, out_rows, out_cols, front, front
+            )
+            yield ctx.charge(single_loop_sweep_cost(rows, cols, scheme.step_taps))
+        elif kernel == "conv":
             # Row filtering needs an east guard of `m` columns.
             if decomp.pcols > 1:
                 yield ctx.send(west, np.ascontiguousarray(current[:, :m]), tag=_TAG_ROW_GUARD)
@@ -458,7 +590,8 @@ def run_spmd_wavelet(
         ``"striped"`` (the paper's choice) or ``"block"``.
     kernel:
         Filtering implementation: ``"conv"`` (default, the seed path),
-        ``"lifting"``, or ``"fused"`` (see :mod:`repro.wavelet.kernels`).
+        ``"lifting"``, ``"fused"`` (or a parameterized ``"fused:N"``
+        spec), or ``"single-loop"`` (see :mod:`repro.wavelet.kernels`).
     distribute / collect:
         Whether the timed region includes shipping the image out from
         rank 0 and gathering the subbands back (the paper's measurements

@@ -71,10 +71,11 @@ def dwt_1d_program(
 ):
     """Rank program for the striped 1-D multi-level decomposition.
 
-    ``kernel="lifting"``/``"fused"`` runs the factored lifting passes; the
-    left-neighbor guard shrinks to the scheme's back margin and a second,
-    front guard travels the other way around the ring when the lifting
-    steps reach backwards.
+    Any lifting-scheme kernel (``"lifting"``/``"fused"``/``"single-loop"``
+    — in 1-D the monolithic sweep degenerates to the factored passes)
+    runs the lifting path; the left-neighbor guard shrinks to the
+    scheme's back margin and a second, front guard travels the other way
+    around the ring when the lifting steps reach backwards.
     """
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length
@@ -187,9 +188,9 @@ def idwt_1d_program(
 
     Synthesis needs a guard from the *left* neighbor (the mirror of the
     analysis guard), of depth ``filter_length // 2`` coefficients.  Under
-    ``kernel="lifting"``/``"fused"`` the guard depths come from the
-    scheme's synthesis margins, adding a right-neighbor (back) guard when
-    the inverse steps reach forwards.
+    any lifting-scheme kernel (``"lifting"``/``"fused"``/``"single-loop"``)
+    the guard depths come from the scheme's synthesis margins, adding a
+    right-neighbor (back) guard when the inverse steps reach forwards.
     """
     from repro.wavelet.conv import synthesize_axis_valid
     from repro.wavelet.cost import synthesis_pass_cost

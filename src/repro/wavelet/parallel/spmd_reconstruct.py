@@ -73,9 +73,11 @@ def striped_reconstruct_program(
 ):
     """Rank program for the striped parallel reconstruction.
 
-    ``kernel="lifting"``/``"fused"`` runs the inverse lifting passes with
-    guard depths from the scheme's synthesis margins (a north front guard,
-    plus a south back guard when the inverse steps reach forwards).
+    Any lifting-scheme kernel (``"lifting"``/``"fused"``/``"single-loop"``
+    — the single-loop inverse shares the separable lifting synthesis
+    path) runs the inverse lifting passes with guard depths from the
+    scheme's synthesis margins (a north front guard, plus a south back
+    guard when the inverse steps reach forwards).
     """
     rank, nranks = ctx.rank, ctx.nranks
     m = bank.length

@@ -76,6 +76,10 @@ class TestTagRegistry:
             "wavelet.dwt1d.guard": 9,
             "wavelet.dwt1d.collect": 10,
             "nbody.update": 11,
+            "wavelet.spmd.sweep_guard": 12,
+            "wavelet.spmd.sweep_guard_front": 13,
+            "wavelet.spmd.sweep_col_guard": 14,
+            "wavelet.spmd.sweep_col_guard_front": 15,
             "pic.final": 21,
             "wavelet.spmd.col_guard_front": 31,
             "wavelet.spmd.row_guard_front": 32,

@@ -146,7 +146,100 @@ class TestCommittedBaseline:
         report = compare_bench(doc, doc)
         assert report["ok"]
         kernels = {e["kernel"] for e in report["kernels"]}
-        assert kernels == {"lifting", "fused"}
+        assert kernels == {"lifting", "fused", "single-loop"}
+
+    def test_repo_baseline_carries_a_history_trajectory(self):
+        # Per-PR trajectory entries back the ratchet's high-water mark;
+        # the full document must satisfy the bench schema validator.
+        from pathlib import Path
+
+        from repro.perf.bench import validate_bench_document
+
+        baseline = Path(__file__).resolve().parent.parent / "BENCH_wavelet.json"
+        doc = load_bench(str(baseline))
+        validate_bench_document(doc)
+        history = doc.get("history")
+        assert history, "committed baseline must carry a perf trajectory"
+        assert all(entry["pr"] for entry in history)
+        assert any("single-loop" in entry["speedups"] for entry in history)
+
+
+class TestHistory:
+    def test_baseline_history_raises_the_bar(self):
+        # The snapshot pins 2.0/2.2 but a past PR committed 4.0: the
+        # merged baseline is the per-case max, so a current run matching
+        # only the snapshot regresses.
+        baseline = doc_with(
+            {
+                ("fused", 256, 4, 2): 2.0,
+                ("fused", 512, 4, 2): 2.2,
+            }
+        )
+        baseline["history"] = [
+            {
+                "pr": "PR-1",
+                "speedups": {"fused": {"256/4/2": 4.0, "512/4/2": 4.4}},
+            }
+        ]
+        current = doc_with(
+            {
+                ("fused", 256, 4, 2): 2.0,
+                ("fused", 512, 4, 2): 2.2,
+            }
+        )
+        report = compare_bench(current, baseline, tolerance=0.25)
+        assert not report["ok"]
+        fused = next(e for e in report["kernels"] if e["kernel"] == "fused")
+        assert fused["baseline"] == pytest.approx((4.0 * 4.4) ** 0.5)
+
+    def test_history_never_lowers_the_bar(self):
+        # A slow history entry is dominated by the snapshot's max.
+        baseline = doc_with({("fused", 256, 4, 2): 2.0})
+        baseline["history"] = [
+            {"pr": "PR-1", "speedups": {"fused": {"256/4/2": 0.5}}}
+        ]
+        current = doc_with({("fused", 256, 4, 2): 2.0})
+        report = compare_bench(current, baseline, tolerance=0.25)
+        assert report["ok"]
+        fused = next(e for e in report["kernels"] if e["kernel"] == "fused")
+        assert fused["baseline"] == pytest.approx(2.0)
+
+    def test_record_history_carries_prior_and_replaces_same_pr(self):
+        from repro.perf.bench import history_entry, record_history, run_bench
+
+        doc = run_bench(
+            [__import__("repro.perf.bench", fromlist=["BenchCase"]).BenchCase(32, 2, 1)],
+            warmup=0,
+            repeats=1,
+            trim=0,
+            seed=0,
+        )
+        prior = {
+            "history": [
+                {"pr": "PR-1", "speedups": {"fused": {"32/2/1": 1.5}}},
+                {"pr": "PR-2", "speedups": {"fused": {"32/2/1": 1.6}}},
+            ]
+        }
+        record_history(doc, "PR-2", prior)
+        prs = [entry["pr"] for entry in doc["history"]]
+        assert prs == ["PR-1", "PR-2"]
+        assert doc["history"][-1] == history_entry(doc, "PR-2")
+
+    def test_malformed_history_rejected(self):
+        from repro.perf.bench import validate_bench_document, run_bench, BenchCase
+
+        doc = run_bench([BenchCase(32, 2, 1)], warmup=0, repeats=1, trim=0, seed=0)
+        for bad in (
+            {"pr": "", "speedups": {"fused": {"32/2/1": 1.5}}},
+            {"pr": "PR-1", "speedups": {"conv": {"32/2/1": 1.0}}},
+            {"pr": "PR-1", "speedups": {"winograd": {"32/2/1": 1.5}}},
+            {"pr": "PR-1", "speedups": {"fused": {"32x2x1": 1.5}}},
+            {"pr": "PR-1", "speedups": {"fused": {"32/2/1": -1.0}}},
+            {"pr": "PR-1"},
+        ):
+            doc["history"] = [bad]
+            with pytest.raises(ConfigurationError):
+                validate_bench_document(doc)
 
 
 def engine_doc(speedups):

@@ -18,6 +18,7 @@ from repro.wavelet import (
     lifting_pass_cost,
     lifting_scheme,
     mallat_decompose_2d,
+    single_loop_sweep_cost,
     synthesis_pass_cost,
 )
 from repro.wavelet.parallel.decomposition import StripeDecomposition
@@ -73,7 +74,7 @@ def _assert_same(charged, expected):
 
 
 @pytest.mark.parametrize("bank", BANKS, ids=lambda b: b.name)
-@pytest.mark.parametrize("kernel", ["conv", "lifting", "fused"])
+@pytest.mark.parametrize("kernel", ["conv", "lifting", "fused", "single-loop"])
 def test_striped_2d_charges_match_cost_model(bank, kernel):
     rows = cols = 64
     levels = 2
@@ -90,6 +91,9 @@ def test_striped_2d_charges_match_cost_model(bank, kernel):
         if kernel == "conv":
             expected.append(filter_pass_cost(2 * r * (c // 2), bank.length))
             expected.append(filter_pass_cost(4 * (r // 2) * (c // 2), bank.length))
+        elif kernel == "single-loop":
+            # One monolithic sweep per level: a single charge.
+            expected.append(single_loop_sweep_cost(r, c, taps))
         else:
             expected.append(lifting_pass_cost(2 * r * (c // 2), taps))
             expected.append(lifting_pass_cost(4 * (r // 2) * (c // 2), taps))
@@ -97,11 +101,16 @@ def test_striped_2d_charges_match_cost_model(bank, kernel):
         c //= 2
     _assert_same(ctx.charged, expected)
 
-    # The kernel registry's level_cost is the same row+column split.
+    # The registry kernel's level_cost aggregates the same passes the
+    # program charged (row+column for the separable traversals, one
+    # sweep for single-loop).
     registry_kernel = get_kernel(kernel)
+    passes = 1 if kernel == "single-loop" else 2
     r, c = rows, cols
     for level in range(levels):
-        level_total = ctx.charged[2 * level] + ctx.charged[2 * level + 1]
+        level_total = ctx.charged[passes * level]
+        for i in range(1, passes):
+            level_total = level_total + ctx.charged[passes * level + i]
         predicted = registry_kernel.level_cost(r, c, bank)
         assert level_total.flops == predicted.flops
         assert level_total.memops == predicted.memops

@@ -1,9 +1,9 @@
 """Property-based kernel equivalence (hypothesis) and the seed-path
 byte-identity regression.
 
-The lifting and fused kernels must reproduce the conv reference — forward,
-inverse, and round-trip — for arbitrary float64 inputs, within a tolerance
-that scales with the data magnitude.  The default ``kernel="conv"`` path
+The lifting, fused, and single-loop kernels must reproduce the conv
+reference — forward, inverse, and round-trip — for arbitrary float64
+inputs, within a tolerance that scales with the data magnitude.  The default ``kernel="conv"`` path
 must stay byte-for-byte what the seed produced, pinned by sha256 digests
 over a fixed pipeline.
 """
@@ -30,7 +30,7 @@ from repro.wavelet import (
 from repro.errors import ConfigurationError
 
 filter_lengths = st.sampled_from([2, 4, 8])
-kernels = st.sampled_from(["lifting", "fused"])
+kernels = st.sampled_from(["lifting", "fused", "fused:16", "single-loop"])
 
 
 def images(side_pows=(4, 5)):
