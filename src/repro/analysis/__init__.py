@@ -8,7 +8,7 @@ call, or an uncharged kernel is caught for all processor counts at once.
 In the spirit of MPI-Checker/MUST, but for the generator-coroutine
 ``ctx.send``/``ctx.recv`` dialect.
 
-Three rule families:
+Four rule families:
 
 * **communication** — per-module static communication summaries (tag
   constants, peer expressions, wildcard usage, timeout presence) feed
@@ -22,12 +22,19 @@ Three rule families:
   scheduler, and causality layers;
 * **charging** — NumPy kernel calls inside rank-program bodies must be
   paired with a ``ctx.compute``/``ctx.charge`` before the next
-  communication operation.
+  communication operation;
+* **protocol** (``lint --protocol``) — whole-program symbolic
+  verification of every registered SPMD program: rank-parameterized
+  send/recv matching under peer-expression inversion, phase-ordered
+  static deadlock proofs, rank-uniform collective participation, and the
+  plan/guard-depth contract (:mod:`repro.analysis.protocol`,
+  :mod:`repro.analysis.contracts`).
 
-Findings carry a rule id, severity, and fix hint; per-line suppression
-comments (``# lint: disable=RULE-ID``) and an optional reviewed baseline
-file waive known-safe sites.  ``python -m repro lint`` is the CLI; the CI
-``lint`` job gates PRs on a clean run.
+Findings carry a rule id, severity, and fix hint; suppression comments
+(``# lint: disable=RULE-ID``, ``disable-next=``, ``disable-file=``) and
+an optional reviewed baseline file waive known-safe sites.  ``python -m
+repro lint`` is the CLI (``--format sarif`` for CI annotation); the CI
+``lint`` job gates PRs on a clean run including the protocol pass.
 """
 
 from repro.analysis.comm import CommSite, CommSummary, extract_comm_sites, summarize_comm
@@ -39,7 +46,15 @@ from repro.analysis.linter import (
     lint_paths,
     lint_sources,
 )
+from repro.analysis.protocol import (
+    DEFAULT_PROTOCOL_PROGRAMS,
+    ProtocolProgram,
+    check_protocol,
+    concrete_channels,
+    extract_protocol,
+)
 from repro.analysis.rules import ALL_RULES, Finding, Rule, load_baseline, write_baseline
+from repro.analysis.sarif import format_sarif, validate_sarif
 
 __all__ = [
     "ALL_RULES",
@@ -55,6 +70,13 @@ __all__ = [
     "lint_sources",
     "format_human",
     "format_json",
+    "format_sarif",
+    "validate_sarif",
     "load_baseline",
     "write_baseline",
+    "ProtocolProgram",
+    "DEFAULT_PROTOCOL_PROGRAMS",
+    "check_protocol",
+    "extract_protocol",
+    "concrete_channels",
 ]

@@ -51,6 +51,12 @@ class LintConfig:
     baseline: Baseline | None = None
     #: Cross-check minted tags against repro.machines.tags.REGISTRY.
     check_registry: bool = True
+    #: Run the whole-program protocol verifier (PROTO-* rules) over the
+    #: registered SPMD programs present in the analyzed set.
+    protocol: bool = False
+    #: Override the program table (fixtures/tests); ``None`` means
+    #: :data:`repro.analysis.protocol.DEFAULT_PROTOCOL_PROGRAMS`.
+    protocol_programs: tuple | None = None
 
 
 @dataclass
@@ -94,6 +100,13 @@ def lint_modules(modules: list[SourceModule], config: LintConfig | None = None) 
     findings = list(comm_findings)
     findings.extend(check_determinism(modules, strict_modules=config.strict_modules))
     findings.extend(check_charging(modules, kernel_calls=config.kernel_calls))
+    if config.protocol:
+        from repro.analysis.protocol import check_protocol
+
+        proto_findings, _protocols = check_protocol(
+            modules, programs=config.protocol_programs
+        )
+        findings.extend(proto_findings)
 
     suppression_maps = {m.name: m.suppressions for m in modules}
     kept, waived = apply_suppressions(findings, suppression_maps)

@@ -1,0 +1,363 @@
+"""Symbolic peer expressions, rank guards, and static condition evaluation.
+
+The protocol verifier (:mod:`repro.analysis.protocol`) reasons about a
+rank program *for every processor count at once*, so peers and guards are
+kept symbolic in ``rank``/``nranks`` rather than enumerated:
+
+* :class:`Peer` — the peer-expression algebra.  The SPMD dialect writes
+  peers in a handful of closed forms: ring arithmetic ``(rank ± k) %
+  nranks``, butterfly partners ``rank ^ mask``, the decomposition
+  neighbor helpers (``north_neighbor``/``south_neighbor`` along the
+  ``"row"`` axis, ``east_neighbor``/``west_neighbor`` along ``"col"``),
+  manager/worker constants, and fan loops over ``range(1, nranks)``.
+  Matching a send against a receive only needs *inversion* — a send
+  shifting ``+d`` along an axis pairs with a receive shifting ``-d`` —
+  so the algebra never needs the concrete grid geometry.
+* :class:`RankGuard` — the rank-dependent part of the path condition:
+  every rank (``all``), exactly rank ``k`` (``only``), or everyone else
+  (``except``), from ``if rank == k`` / ``if rank != k`` tests.
+* :func:`channel_key` — the canonical descriptor of the symbolic channel
+  set ``{(src, dst)}`` a site touches, shared between the send and the
+  receive direction so structural matching is a dictionary lookup.
+* :func:`eval_static` — a tiny closed-world expression evaluator used to
+  decide which guard atoms hold under one concrete configuration
+  (kernel, bank, nranks > 1, ...), both for the plan/guard contract and
+  for expanding symbolic channels to concrete ``(src, dst, tag)`` sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = [
+    "Peer",
+    "RankGuard",
+    "AXIS_HELPERS",
+    "channel_key",
+    "describe_channel",
+    "guards_intersect",
+    "intersect_guards",
+    "atoms_compatible",
+    "eval_static",
+    "eval_atoms",
+]
+
+#: Decomposition neighbor-helper methods and the (axis, delta) shift each
+#: one performs in rank space.  Both decompositions wrap periodically, so
+#: inversion is simply delta negation on the same axis; the verifier never
+#: needs to know whether ``"row"`` means a stripe ring or a grid column.
+AXIS_HELPERS: dict[str, tuple[str, int]] = {
+    "north_neighbor": ("row", -1),
+    "south_neighbor": ("row", +1),
+    "west_neighbor": ("col", -1),
+    "east_neighbor": ("col", +1),
+}
+
+
+@dataclass(frozen=True)
+class Peer:
+    """One symbolic peer expression.
+
+    ``kind`` selects the algebra case:
+
+    ``"const"``
+        A fixed rank (``value``) — the manager/worker pattern.
+    ``"axis"``
+        A periodic shift of ``value`` steps along ``axis`` (``"ring"``
+        for explicit ``(rank ± k) % nranks`` arithmetic, ``"row"`` /
+        ``"col"`` for the decomposition helpers).
+    ``"xor"``
+        The butterfly partner ``rank ^ value`` (self-inverse).
+    ``"fanrange"``
+        A fan loop variable iterating ``range(value, nranks)``.
+    ``"unknown"``
+        Anything the algebra cannot represent; ``text`` carries the
+        source for diagnostics.
+    """
+
+    kind: str
+    value: int = 0
+    axis: str = ""
+    text: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "const":
+            return f"rank {self.value}"
+        if self.kind == "axis":
+            sign = "+" if self.value >= 0 else ""
+            return f"{self.axis}{sign}{self.value}"
+        if self.kind == "xor":
+            return f"rank^{self.value}"
+        if self.kind == "fanrange":
+            return f"range({self.value}, nranks)"
+        return self.text or "?"
+
+
+@dataclass(frozen=True)
+class RankGuard:
+    """The rank-dependent guard a site executes under."""
+
+    kind: str = "all"  # "all" | "only" | "except" | "none"
+    value: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "all":
+            return "all ranks"
+        if self.kind == "only":
+            return f"rank {self.value}"
+        if self.kind == "except":
+            return f"ranks != {self.value}"
+        return "no rank"
+
+
+def intersect_guards(a: RankGuard, b: RankGuard) -> RankGuard:
+    """Intersection of two rank guards (``"none"`` when provably empty).
+
+    ``except ∩ except`` over different values is kept as the first
+    operand: it is still nonempty for every ``nranks >= 3`` and the
+    verifier only needs emptiness/nonemptiness plus the exact forms the
+    dialect writes (nested guards over the *same* manager rank).
+    """
+    if a.kind == "none" or b.kind == "none":
+        return RankGuard("none")
+    if a.kind == "all":
+        return b
+    if b.kind == "all":
+        return a
+    if a.kind == "only" and b.kind == "only":
+        return a if a.value == b.value else RankGuard("none")
+    if a.kind == "only":
+        return a if a.value != b.value else RankGuard("none")
+    if b.kind == "only":
+        return b if b.value != a.value else RankGuard("none")
+    return a
+
+
+def guards_intersect(a: RankGuard, b: RankGuard) -> bool:
+    """Whether two guards can both hold for some rank (``nranks`` large)."""
+    return intersect_guards(a, b).kind != "none"
+
+
+def atoms_compatible(
+    a: frozenset[tuple[str, bool]], b: frozenset[tuple[str, bool]]
+) -> bool:
+    """Whether two guard-atom sets can hold simultaneously (no atom is
+    required with both polarities)."""
+    truth: dict[str, bool] = {}
+    for text, polarity in a | b:
+        if truth.setdefault(text, polarity) != polarity:
+            return False
+    return True
+
+
+def channel_key(kind: str, peer: Peer, guard: RankGuard) -> tuple | None:
+    """Canonical descriptor of the symbolic channel set ``{(src, dst)}``.
+
+    A send and a receive describe the *same* channel set exactly when
+    their keys are equal — inversion is baked in (a receive from an axis
+    shift ``+d`` normalizes to the ``-d`` send direction), so matching
+    reduces to key equality.  ``None`` means the (peer, guard) pair is
+    outside the canonical forms and cannot be verified structurally.
+    """
+    if peer.kind == "axis":
+        if guard.kind != "all":
+            return None
+        delta = peer.value if kind == "send" else -peer.value
+        return ("shift", peer.axis, delta)
+    if peer.kind == "xor":
+        if guard.kind != "all":
+            return None
+        return ("xor", peer.value)
+    if kind == "send":
+        if peer.kind == "fanrange" and guard.kind == "only":
+            return ("star-out", guard.value, _fan_srcs(guard.value, peer.value))
+        if peer.kind == "const" and guard.kind == "except" and guard.value == peer.value:
+            return ("star-in", peer.value, "except")
+        if peer.kind == "const" and guard.kind == "only":
+            return ("pair", guard.value, peer.value)
+    else:
+        if peer.kind == "fanrange" and guard.kind == "only":
+            return ("star-in", guard.value, _fan_srcs(guard.value, peer.value))
+        if peer.kind == "const" and guard.kind == "except" and guard.value == peer.value:
+            return ("star-out", peer.value, "except")
+        if peer.kind == "const" and guard.kind == "only":
+            return ("pair", peer.value, guard.value)
+    return None
+
+
+def _fan_srcs(root: int, lo: int) -> object:
+    """Normalize a fan set ``range(lo, nranks)`` against ``all != root``."""
+    if root == 0 and lo == 1:
+        return "except"
+    return ("range", lo)
+
+
+def describe_channel(key: tuple) -> str:
+    """Human-readable form of a channel descriptor for findings."""
+    shape, *rest = key
+    if shape == "shift":
+        axis, delta = rest
+        sign = "+" if delta >= 0 else ""
+        return f"rank -> rank{sign}{delta} along {axis}"
+    if shape == "xor":
+        return f"rank <-> rank^{rest[0]}"
+    if shape == "star-out":
+        return f"rank {rest[0]} -> every other rank"
+    if shape == "star-in":
+        return f"every other rank -> rank {rest[0]}"
+    if shape == "pair":
+        return f"rank {rest[0]} -> rank {rest[1]}"
+    return repr(key)
+
+
+# -- closed-world static evaluation ----------------------------------------
+
+
+class _Opaque:
+    """Sentinel for names the configuration does not pin down."""
+
+
+OPAQUE = _Opaque()
+
+
+def eval_static(node: ast.expr | str, env: dict[str, object]) -> object:
+    """Evaluate a side-effect-free expression under a closed environment.
+
+    ``env`` maps names (and dotted attribute paths like
+    ``"decomp.pcols"``) to Python values.  Returns :data:`OPAQUE` when
+    the expression touches anything outside the environment — callers
+    treat opaque conditions as "may hold" so the analysis stays sound.
+    Supports the condition/arithmetic subset the SPMD dialect writes:
+    comparisons, boolean operators, ``not``, ``+ - * // %``, unary minus,
+    and ``max``/``min`` calls.
+    """
+    if isinstance(node, str):
+        try:
+            node = ast.parse(node, mode="eval").body
+        except SyntaxError:
+            return OPAQUE
+    return _eval(node, env)
+
+
+def _eval(node: ast.expr, env: dict[str, object]) -> object:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id, OPAQUE)
+    if isinstance(node, ast.Attribute):
+        return env.get(_dotted(node), OPAQUE)
+    if isinstance(node, ast.UnaryOp):
+        operand = _eval(node.operand, env)
+        if operand is OPAQUE:
+            return OPAQUE
+        if isinstance(node.op, ast.Not):
+            return not operand
+        if isinstance(node.op, ast.USub):
+            return -operand  # type: ignore[operator]
+        return OPAQUE
+    if isinstance(node, ast.BoolOp):
+        values = [_eval(v, env) for v in node.values]
+        if any(v is OPAQUE for v in values):
+            return OPAQUE
+        if isinstance(node.op, ast.And):
+            result: object = True
+            for v in values:
+                result = v
+                if not v:
+                    return v
+            return result
+        for v in values:
+            if v:
+                return v
+        return values[-1]
+    if isinstance(node, ast.BinOp):
+        left, right = _eval(node.left, env), _eval(node.right, env)
+        if left is OPAQUE or right is OPAQUE:
+            return OPAQUE
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right  # type: ignore[operator]
+            if isinstance(node.op, ast.Sub):
+                return left - right  # type: ignore[operator]
+            if isinstance(node.op, ast.Mult):
+                return left * right  # type: ignore[operator]
+            if isinstance(node.op, ast.FloorDiv):
+                return left // right  # type: ignore[operator]
+            if isinstance(node.op, ast.Mod):
+                return left % right  # type: ignore[operator]
+            if isinstance(node.op, ast.Pow):
+                return left**right  # type: ignore[operator]
+        except Exception:
+            return OPAQUE
+        return OPAQUE
+    if isinstance(node, ast.Compare):
+        left = _eval(node.left, env)
+        if left is OPAQUE:
+            return OPAQUE
+        for op, comparator in zip(node.ops, node.comparators):
+            right = _eval(comparator, env)
+            if right is OPAQUE:
+                return OPAQUE
+            try:
+                if isinstance(op, ast.Eq):
+                    ok = left == right
+                elif isinstance(op, ast.NotEq):
+                    ok = left != right
+                elif isinstance(op, ast.Gt):
+                    ok = left > right  # type: ignore[operator]
+                elif isinstance(op, ast.GtE):
+                    ok = left >= right  # type: ignore[operator]
+                elif isinstance(op, ast.Lt):
+                    ok = left < right  # type: ignore[operator]
+                elif isinstance(op, ast.LtE):
+                    ok = left <= right  # type: ignore[operator]
+                elif isinstance(op, ast.Is):
+                    ok = left is right
+                elif isinstance(op, ast.IsNot):
+                    ok = left is not right
+                else:
+                    return OPAQUE
+            except Exception:
+                return OPAQUE
+            if not ok:
+                return False
+            left = right
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("max", "min") and not node.keywords:
+            args = [_eval(a, env) for a in node.args]
+            if any(a is OPAQUE for a in args):
+                return OPAQUE
+            return (max if node.func.id == "max" else min)(args)  # type: ignore[arg-type]
+        return OPAQUE
+    return OPAQUE
+
+
+def _dotted(node: ast.Attribute) -> str:
+    parts = [node.attr]
+    cursor: ast.expr = node.value
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+def eval_atoms(atoms: frozenset[tuple[str, bool]], env: dict[str, object]) -> bool:
+    """Whether a site's guard atoms can all hold under ``env``.
+
+    Atoms the environment cannot decide are treated as satisfiable, so a
+    site is only ruled *inactive* when an atom provably contradicts the
+    configuration.
+    """
+    for text, polarity in atoms:
+        value = eval_static(text, env)
+        if value is OPAQUE:
+            continue
+        if bool(value) != polarity:
+            return False
+    return True

@@ -5,8 +5,11 @@ A :class:`Rule` is a stable identifier plus severity and a fix hint; a
 waiver mechanisms exist, both explicit and reviewable:
 
 * an inline comment ``# lint: disable=RULE-ID`` (comma-separate several
-  ids, ``disable=all`` for everything) on the offending line, ideally
-  followed by a justification;
+  ids, ``disable=all`` for everything) on the offending line — or, when
+  the offending line has no room, ``# lint: disable-next=RULE-ID`` on
+  the line above, or ``# lint: disable-file=RULE-ID`` anywhere in the
+  module to waive a rule for the whole file — ideally followed by a
+  justification;
 * a JSON baseline file (``load_baseline``/``write_baseline``) granting a
   per-``(rule, module)`` allowance of pre-existing findings, so the CI
   gate can be landed before a legacy tree is fully clean.  The repo's own
@@ -26,6 +29,7 @@ __all__ = [
     "rule",
     "parse_suppressions",
     "apply_suppressions",
+    "FILE_SUPPRESSION_LINE",
     "Baseline",
     "load_baseline",
     "write_baseline",
@@ -83,22 +87,38 @@ class Finding:
         return (self.module, self.line, self.rule_id)
 
 
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable(?P<form>-next|-file)?=(?P<ids>[A-Za-z0-9_,\- ]+)"
+)
+
+#: Pseudo-line key under which file-wide suppressions are stored.
+FILE_SUPPRESSION_LINE = 0
 
 
 def parse_suppressions(source: str) -> dict[int, set[str]]:
     """Map 1-based line numbers to the rule ids disabled on that line.
 
-    The special id ``all`` disables every rule on the line.
+    Three forms exist: ``disable=`` waives the comment's own line,
+    ``disable-next=`` the line below it, and ``disable-file=`` the whole
+    module (stored under :data:`FILE_SUPPRESSION_LINE`).  The special id
+    ``all`` disables every rule in scope.
     """
     suppressed: dict[int, set[str]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
-        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
-        if ids:
-            suppressed[lineno] = ids
+        ids = {part.strip() for part in match.group("ids").split(",") if part.strip()}
+        if not ids:
+            continue
+        form = match.group("form")
+        if form == "-next":
+            target = lineno + 1
+        elif form == "-file":
+            target = FILE_SUPPRESSION_LINE
+        else:
+            target = lineno
+        suppressed.setdefault(target, set()).update(ids)
     return suppressed
 
 
@@ -109,7 +129,10 @@ def apply_suppressions(
     kept: list[Finding] = []
     waived: list[Finding] = []
     for finding in findings:
-        ids = suppressions.get(finding.module, {}).get(finding.line, set())
+        line_map = suppressions.get(finding.module, {})
+        ids = line_map.get(finding.line, set()) | line_map.get(
+            FILE_SUPPRESSION_LINE, set()
+        )
         if finding.rule_id in ids or "all" in ids:
             waived.append(finding)
         else:

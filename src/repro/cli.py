@@ -384,15 +384,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static communication/determinism/charging analysis",
+        help="static communication/determinism/charging/protocol analysis",
     )
     lint.add_argument(
         "paths", nargs="*",
         help="files or package dirs to lint (default: the repro package)",
     )
     lint.add_argument(
-        "--format", choices=("human", "json"), default="human", dest="fmt",
+        "--format", choices=("human", "json", "sarif"), default="human", dest="fmt",
         help="report format (default human)",
+    )
+    lint.add_argument(
+        "--protocol", action="store_true",
+        help="also run the whole-program protocol verifier (PROTO-* rules) "
+        "over the registered SPMD programs",
     )
     lint.add_argument("--baseline", help="reviewed baseline JSON to subtract")
     lint.add_argument(
@@ -1459,9 +1464,15 @@ def _cmd_lint(args) -> int:
     import json as _json
 
     from repro.analysis import lint_paths, write_baseline
-    from repro.analysis.linter import format_comm_summary, format_human, format_json
+    from repro.analysis.linter import (
+        LintConfig,
+        format_comm_summary,
+        format_human,
+        format_json,
+    )
 
-    report = lint_paths(args.paths or None, baseline_path=args.baseline)
+    config = LintConfig(protocol=args.protocol)
+    report = lint_paths(args.paths or None, config, baseline_path=args.baseline)
     if args.write_baseline:
         write_baseline(args.write_baseline, report.findings)
         print(f"wrote baseline for {len(report.findings)} finding(s) to {args.write_baseline}")
@@ -1471,6 +1482,10 @@ def _cmd_lint(args) -> int:
         return 0
     if args.fmt == "json":
         print(_json.dumps(format_json(report), indent=2, sort_keys=True))
+    elif args.fmt == "sarif":
+        from repro.analysis.sarif import format_sarif
+
+        print(_json.dumps(format_sarif(report), indent=2, sort_keys=True))
     else:
         print(format_human(report, verbose=args.verbose))
     return report.exit_code

@@ -24,6 +24,7 @@ whether that order is an accident of timing:
   trace``).
 """
 
+from repro.machines.causality.channels import observed_channels
 from repro.machines.causality.deadlock import (
     DeadlockReport,
     PostedOp,
@@ -52,4 +53,5 @@ __all__ = [
     "diagnose_deadlock",
     "chrome_trace",
     "write_chrome_trace",
+    "observed_channels",
 ]

@@ -1134,7 +1134,8 @@ class Engine:
         popped = st.chan_popped
         # Order-insensitive: heapify sorts the entries, so mailbox
         # insertion order cannot leak into matching.
-        for (q_src, q_tag), queue in st.mailbox.items():  # lint: disable=DET-DICT-ITERATION
+        # lint: disable-next=DET-DICT-ITERATION
+        for (q_src, q_tag), queue in st.mailbox.items():
             if not queue:
                 continue
             if src is not None and q_src != src:
@@ -1213,7 +1214,8 @@ class Engine:
         best_arrive = None
         # Order-insensitive: the loop reduces to a lexicographic minimum,
         # so mailbox insertion order cannot leak into matching.
-        for (src, tag), queue in st.mailbox.items():  # lint: disable=DET-DICT-ITERATION
+        # lint: disable-next=DET-DICT-ITERATION
+        for (src, tag), queue in st.mailbox.items():
             if not queue:
                 continue
             if op.src != ANY_SOURCE and src != op.src:

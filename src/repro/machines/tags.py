@@ -48,6 +48,9 @@ __all__ = [
     "REGISTRY",
     "USER_TAG_CEILING",
     "verify_collision_free",
+    "protocol_kind",
+    "GuardRole",
+    "GUARD_ROLES",
     # wavelet 2-D SPMD decomposition
     "WAVELET_DISTRIBUTE",
     "WAVELET_ROW_GUARD",
@@ -100,11 +103,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TagRange:
-    """A reserved half-open block ``[start, stop)`` of tag values."""
+    """A reserved half-open block ``[start, stop)`` of tag values.
+
+    ``protocol`` classifies the matching discipline of the owning layer
+    for the symbolic protocol verifier (:mod:`repro.analysis.protocol`):
+    ``"app"`` tags are matched at program level; ``"collective"``,
+    ``"paired"`` (ack'd transport) and ``"fan-in"`` traffic is matched by
+    its own layer and exempt from program-level send/recv pairing.
+    ``partner_shift`` records, for paired ranges, the constant offset to
+    the partner block (data→ack and back) so the inversion is checkable.
+    """
 
     name: str
     start: int
     stop: int
+    protocol: str = "app"
+    partner_shift: int | None = None
 
     def __contains__(self, value: object) -> bool:
         return isinstance(value, int) and self.start <= value < self.stop
@@ -146,7 +160,15 @@ class TagRegistry:
         self._by_value[value] = name
         return value
 
-    def reserve_range(self, name: str, start: int, stop: int) -> TagRange:
+    def reserve_range(
+        self,
+        name: str,
+        start: int,
+        stop: int,
+        *,
+        protocol: str = "app",
+        partner_shift: int | None = None,
+    ) -> TagRange:
         """Reserve the block ``[start, stop)`` for one subsystem."""
         if not 0 <= start < stop:
             raise ConfigurationError(
@@ -164,7 +186,7 @@ class TagRegistry:
                     f"range collision: {name!r} [{start}, {stop}) covers tag "
                     f"{value} owned by {owner!r}"
                 )
-        block = TagRange(name, start, stop)
+        block = TagRange(name, start, stop, protocol, partner_shift)
         self._ranges.append(block)
         return block
 
@@ -215,6 +237,26 @@ class TagRegistry:
                     raise ConfigurationError(
                         f"range collision: {a.name!r} overlaps {b.name!r}"
                     )
+        # Paired ranges must invert: shifting a paired block by its
+        # partner_shift must land exactly on another paired block whose
+        # shift points back.
+        for block in self._ranges:
+            if block.partner_shift is None:
+                continue
+            partner = next(
+                (
+                    other
+                    for other in self._ranges
+                    if other.start == block.start + block.partner_shift
+                    and other.stop == block.stop + block.partner_shift
+                ),
+                None,
+            )
+            if partner is None or partner.partner_shift != -block.partner_shift:
+                raise ConfigurationError(
+                    f"paired range {block.name!r} has no inverse partner at "
+                    f"shift {block.partner_shift:+d}"
+                )
 
 
 #: The process-wide registry all repro tags are allocated from.
@@ -272,7 +314,7 @@ ADVERSARY_SPAM = REGISTRY.allocate("scenarios.adversary.spam", 36)
 # -- collectives (repro.machines.api) --------------------------------------
 COLLECTIVE_TAG_BASE = 900_000
 _COLLECTIVES_RANGE = REGISTRY.reserve_range(
-    "collectives", COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_BASE + 50_000
+    "collectives", COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_BASE + 50_000, protocol="collective"
 )
 COLLECTIVE_BCAST = COLLECTIVE_TAG_BASE + 1
 COLLECTIVE_REDUCE = COLLECTIVE_TAG_BASE + 2
@@ -293,7 +335,7 @@ COLLECTIVE_BCAST_TREE = COLLECTIVE_TAG_BASE + 12
 # every program tag and the collective/transport bands.
 ENGINE_BENCH_TAG_BASE = 880_000
 _ENGINE_BENCH_RANGE = REGISTRY.reserve_range(
-    "bench.engine.collect", ENGINE_BENCH_TAG_BASE, ENGINE_BENCH_TAG_BASE + 16
+    "bench.engine.collect", ENGINE_BENCH_TAG_BASE, ENGINE_BENCH_TAG_BASE + 16, protocol="fan-in"
 )
 
 # -- reliable transport (repro.machines.faults.transport) ------------------
@@ -301,11 +343,64 @@ TRANSPORT_TAG_SPAN = 25_000
 TRANSPORT_DATA_BASE = 950_000
 TRANSPORT_ACK_BASE = 975_000
 _TRANSPORT_DATA_RANGE = REGISTRY.reserve_range(
-    "faults.transport.data", TRANSPORT_DATA_BASE, TRANSPORT_DATA_BASE + TRANSPORT_TAG_SPAN
+    "faults.transport.data",
+    TRANSPORT_DATA_BASE,
+    TRANSPORT_DATA_BASE + TRANSPORT_TAG_SPAN,
+    protocol="paired",
+    partner_shift=TRANSPORT_ACK_BASE - TRANSPORT_DATA_BASE,
 )
 _TRANSPORT_ACK_RANGE = REGISTRY.reserve_range(
-    "faults.transport.ack", TRANSPORT_ACK_BASE, TRANSPORT_ACK_BASE + TRANSPORT_TAG_SPAN
+    "faults.transport.ack",
+    TRANSPORT_ACK_BASE,
+    TRANSPORT_ACK_BASE + TRANSPORT_TAG_SPAN,
+    protocol="paired",
+    partner_shift=TRANSPORT_DATA_BASE - TRANSPORT_ACK_BASE,
 )
+
+
+def protocol_kind(value: int) -> str:
+    """Matching discipline owning a tag value: ``"app"`` for program-level
+    tags, else the reserved range's protocol classification."""
+    for block in REGISTRY.ranges():
+        if value in block:
+            return block.protocol
+    return "app"
+
+
+@dataclass(frozen=True)
+class GuardRole:
+    """Which side of a wavelet guard exchange a tag carries, per phase.
+
+    The protocol verifier compares the payload row/sample count of a send
+    on one of these tags against the kernel plan's
+    ``analysis_guard_depths`` / ``synthesis_guard_depths``.  ``None``
+    means the tag plays no role in that phase.
+    """
+
+    analysis: str | None = None  # "front" | "back"
+    synthesis: str | None = None
+
+
+#: Guard-exchange role of every wavelet guard tag.  Back guards flow to
+#: the preceding rank (conv consumes rows *after* the tile); front guards
+#: flow to the following rank (lifting/synthesis margins).  DWT1D_GUARD
+#: is phase-overloaded: the forward transform ships the back guard on it,
+#: the inverse ships the front guard.
+GUARD_ROLES: dict[int, GuardRole] = {
+    WAVELET_ROW_GUARD: GuardRole(analysis="back"),
+    WAVELET_COL_GUARD: GuardRole(analysis="back"),
+    WAVELET_SWEEP_GUARD: GuardRole(analysis="back"),
+    WAVELET_SWEEP_GUARD_FRONT: GuardRole(analysis="front"),
+    WAVELET_SWEEP_COL_GUARD: GuardRole(analysis="back"),
+    WAVELET_SWEEP_COL_GUARD_FRONT: GuardRole(analysis="front"),
+    WAVELET_COL_GUARD_FRONT: GuardRole(analysis="front"),
+    WAVELET_ROW_GUARD_FRONT: GuardRole(analysis="front"),
+    DWT1D_GUARD: GuardRole(analysis="back", synthesis="front"),
+    DWT1D_GUARD_FRONT: GuardRole(analysis="front"),
+    DWT1D_GUARD_BACK: GuardRole(synthesis="back"),
+    RECONSTRUCT_GUARD: GuardRole(synthesis="front"),
+    RECONSTRUCT_GUARD_BACK: GuardRole(synthesis="back"),
+}
 
 
 def verify_collision_free() -> None:
